@@ -1,0 +1,41 @@
+//! # p4auth-attacks
+//!
+//! Adversary models from the paper's threat model (§II-A) and security
+//! analysis (§VIII), implemented as network-simulator taps and message
+//! rewriters:
+//!
+//! * [`ctrl_mitm`] — the compromised-switch-OS adversary: intercepts C-DP
+//!   messages between the control-plane agent and the driver (modelled as a
+//!   tap on the C-DP link) and rewrites register read responses or write
+//!   requests (the Fig. 2 / Fig. 16 attack on RouteScout).
+//! * [`link_mitm`] — the on-path network adversary: rewrites `probeUtil`
+//!   inside DP-DP in-network control messages (the Fig. 3 / Fig. 17 attack
+//!   on HULA).
+//! * [`kex_mitm`] — the key-exchange MitM of §III-B \[A3\]: key substitution
+//!   against unauthenticated modified DH (the DH-AES-P4 baseline), and the
+//!   passive pre-master-secret recovery the bare primitive admits.
+//! * [`replay`] — records sealed `writeReq` messages and replays them
+//!   (§VIII, "Replay attack").
+//! * [`bruteforce`] — digest- and key-guessing adversaries with the §VIII
+//!   success-probability analysis.
+//! * [`dos`] — request/alert flooding toward the controller (§VIII,
+//!   "Denial-of-service attack").
+//! * [`tls_gap`] — why TLS-protected P4Runtime is insufficient (§III-B
+//!   \[A1\]): the backdoor shim rewrites call arguments below the TLS
+//!   termination point; P4Auth's end-to-end digest survives it.
+//! * [`scenarios`] — Table I in miniature: one register-tampering scenario
+//!   per in-network system class (fast reroute, load balancing, IDS,
+//!   in-network cache, telemetry), showing the impact of each unauthorized
+//!   modification and P4Auth's detection of it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bruteforce;
+pub mod ctrl_mitm;
+pub mod dos;
+pub mod kex_mitm;
+pub mod link_mitm;
+pub mod replay;
+pub mod scenarios;
+pub mod tls_gap;

@@ -1,0 +1,219 @@
+//! The TLS gap (§I / §III-B): why securing the controller↔switch-agent
+//! channel with SSL/TLS (as P4Runtime does) is *not sufficient* against
+//! the §II-A adversary.
+//!
+//! A register write traverses several software layers on its way to the
+//! data plane:
+//!
+//! ```text
+//! controller ──TLS──> gRPC agent ──> SDK ──> driver ──> data plane
+//!                        (switch control plane, compromised)
+//! ```
+//!
+//! TLS terminates at the gRPC agent. The backdoor (an `LD_PRELOAD`-style
+//! shim between the agent and the SDK/driver) sees and rewrites the
+//! *plaintext* arguments of the register-write call — after TLS has
+//! already "succeeded". P4Auth survives the same adversary because its
+//! digest is computed by the controller and checked by the *data plane*:
+//! no intermediate layer holds the key or can recompute the digest.
+//!
+//! This module models the layered delivery path so both claims are
+//! executable.
+
+use p4auth_core::agent::{AgentEvent, P4AuthSwitch};
+use p4auth_wire::body::{Body, RegisterOp};
+use p4auth_wire::ids::PortId;
+use p4auth_wire::Message;
+
+/// What the compromised layer does to a register-write call's arguments.
+pub type ShimRewrite = Box<dyn Fn(&mut Message)>;
+
+/// The switch software stack between the TLS endpoint and the data plane.
+pub struct SwitchSoftwareStack {
+    /// Whether the controller↔agent channel is TLS protected. (It makes no
+    /// difference against this adversary — that is the point — but the
+    /// model keeps it explicit so tests can say so.)
+    pub tls_on_the_wire: bool,
+    /// The preloaded backdoor between the agent and the driver, if any.
+    shim: Option<ShimRewrite>,
+}
+
+impl std::fmt::Debug for SwitchSoftwareStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwitchSoftwareStack")
+            .field("tls_on_the_wire", &self.tls_on_the_wire)
+            .field("compromised", &self.shim.is_some())
+            .finish()
+    }
+}
+
+impl SwitchSoftwareStack {
+    /// A healthy stack.
+    pub fn healthy(tls: bool) -> Self {
+        SwitchSoftwareStack {
+            tls_on_the_wire: tls,
+            shim: None,
+        }
+    }
+
+    /// A stack with a backdoor shim installed (§II-A: `LD_PRELOAD`, CVE
+    /// exploitation, or insider install).
+    pub fn compromised(tls: bool, shim: ShimRewrite) -> Self {
+        SwitchSoftwareStack {
+            tls_on_the_wire: tls,
+            shim: Some(shim),
+        }
+    }
+
+    /// Delivers a controller message through the stack to the data plane
+    /// and returns what the data plane did.
+    ///
+    /// TLS (when on) protects the wire segment — the message arrives at
+    /// the gRPC agent intact. The shim then rewrites the now-plaintext
+    /// call arguments *below* the TLS termination point.
+    pub fn deliver(
+        &self,
+        switch: &mut P4AuthSwitch,
+        now_ns: u64,
+        msg: &Message,
+    ) -> p4auth_core::agent::AgentOutput {
+        // Wire segment: with TLS, tampering on the wire is not possible;
+        // without it, this model still delivers intact (the §II-A
+        // adversary sits in the stack, not on the wire).
+        let mut delivered = msg.clone();
+        // Agent → SDK → driver segment: the shim rewrites arguments.
+        if let Some(shim) = &self.shim {
+            shim(&mut delivered);
+        }
+        switch.on_packet(now_ns, PortId::CPU, &delivered.encode())
+    }
+}
+
+/// A shim that overwrites the value of every register write (the
+/// "alter the parameters of function calls related to register
+/// operations" capability of §II-A).
+pub fn rewrite_value_shim(new_value: u64) -> ShimRewrite {
+    Box::new(move |msg: &mut Message| {
+        if let Body::Register(RegisterOp::WriteReq { reg, index, .. }) = *msg.body() {
+            *msg.body_mut() = Body::Register(RegisterOp::WriteReq {
+                reg,
+                index,
+                value: new_value,
+            });
+        }
+    })
+}
+
+/// Convenience: whether a delivery outcome indicates the write landed.
+pub fn write_landed(out: &p4auth_core::agent::AgentOutput) -> Option<u64> {
+    out.events.iter().find_map(|e| match e {
+        AgentEvent::RegisterWritten { value, .. } => Some(*value),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4auth_core::agent::AgentConfig;
+    use p4auth_core::auth::RejectReason;
+    use p4auth_dataplane::register::RegisterArray;
+    use p4auth_primitives::mac::HalfSipHashMac;
+    use p4auth_primitives::Key64;
+    use p4auth_wire::ids::{RegId, SeqNum, SwitchId};
+
+    const REG: RegId = RegId::new(42);
+    const K_LOCAL: Key64 = Key64::new(0x0000_10ca_14e4);
+
+    fn switch(p4auth: bool) -> P4AuthSwitch {
+        let config =
+            AgentConfig::new(SwitchId::new(1), 2, Key64::new(0x5eed)).map_register(REG, "state");
+        let config = if p4auth {
+            config
+        } else {
+            config.insecure_baseline()
+        };
+        let mut sw = P4AuthSwitch::new(config, None);
+        sw.chassis_mut()
+            .declare_register(RegisterArray::new("state", 4, 64));
+        sw.install_key(PortId::CPU, K_LOCAL);
+        sw
+    }
+
+    fn write_req(value: u64, sealed: bool) -> Message {
+        let msg = Message::register_request(
+            SwitchId::CONTROLLER,
+            SeqNum::new(1),
+            RegisterOp::write_req(REG, 0, value),
+        );
+        if sealed {
+            msg.sealed(&HalfSipHashMac::default(), K_LOCAL)
+        } else {
+            msg
+        }
+    }
+
+    #[test]
+    fn healthy_stack_delivers_faithfully() {
+        for tls in [false, true] {
+            let mut sw = switch(false);
+            let stack = SwitchSoftwareStack::healthy(tls);
+            let out = stack.deliver(&mut sw, 0, &write_req(7, false));
+            assert_eq!(write_landed(&out), Some(7));
+        }
+    }
+
+    #[test]
+    fn tls_does_not_stop_the_shim() {
+        // P4Runtime-with-TLS baseline: the wire is protected, the write is
+        // unsigned, and the shim rewrites it below the TLS termination.
+        let mut sw = switch(false);
+        let stack = SwitchSoftwareStack::compromised(true, rewrite_value_shim(666));
+        let out = stack.deliver(&mut sw, 0, &write_req(7, false));
+        assert_eq!(write_landed(&out), Some(666), "TLS alone cannot help");
+        assert_eq!(
+            sw.chassis().register("state").unwrap().read(0).unwrap(),
+            666
+        );
+    }
+
+    #[test]
+    fn p4auth_stops_the_shim_that_tls_cannot() {
+        // Same adversary, same stack — but the digest is end-to-end
+        // (controller to data plane), so the rewritten call fails
+        // verification *below* the compromised layer.
+        let mut sw = switch(true);
+        let stack = SwitchSoftwareStack::compromised(true, rewrite_value_shim(666));
+        let out = stack.deliver(&mut sw, 0, &write_req(7, true));
+        assert!(out
+            .events
+            .contains(&AgentEvent::Rejected(RejectReason::BadDigest)));
+        assert_eq!(write_landed(&out), None);
+        assert_eq!(sw.chassis().register("state").unwrap().read(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn p4auth_still_delivers_legitimate_writes_through_a_healthy_stack() {
+        let mut sw = switch(true);
+        let stack = SwitchSoftwareStack::healthy(true);
+        let out = stack.deliver(&mut sw, 0, &write_req(7, true));
+        assert_eq!(write_landed(&out), Some(7));
+    }
+
+    #[test]
+    fn shim_leaves_reads_alone_but_could_equally_target_them() {
+        let mut sw = switch(false);
+        let stack = SwitchSoftwareStack::compromised(true, rewrite_value_shim(666));
+        let read = Message::register_request(
+            SwitchId::CONTROLLER,
+            SeqNum::new(1),
+            RegisterOp::read_req(REG, 0),
+        );
+        let out = stack.deliver(&mut sw, 0, &read);
+        // This particular shim only rewrites writes; the read proceeds.
+        assert!(out
+            .events
+            .iter()
+            .any(|e| matches!(e, AgentEvent::RegisterRead { .. })));
+    }
+}

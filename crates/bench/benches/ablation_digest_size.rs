@@ -1,0 +1,35 @@
+//! §XI ablation — digest width vs. hardware cost and security: as the
+//! digest grows from 32 to 256 bits, hash-unit usage multiplies, extra
+//! pipeline stages force recirculation, and the forgery probability
+//! collapses.
+
+use criterion::{criterion_group, Criterion};
+use p4auth_primitives::mac::{DigestWidth, HalfSipHashMac, WideMac};
+use p4auth_primitives::Key64;
+
+fn print_table() {
+    p4auth_bench::report::ablation_digest();
+}
+
+fn bench(c: &mut Criterion) {
+    let key = Key64::new(0x00ab_1a7e);
+    let payload = vec![0xa5u8; 30];
+    let mut group = c.benchmark_group("digest_width");
+    for width in DigestWidth::ALL {
+        let mac = WideMac::new(HalfSipHashMac::default(), width);
+        group.bench_function(format!("compute/{}bit", width.bits()), |b| {
+            b.iter(|| mac.compute_wide(key, &[&payload]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

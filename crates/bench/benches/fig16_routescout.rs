@@ -1,0 +1,31 @@
+//! Fig. 16 — "P4Auth prevents imbalance": RouteScout traffic distribution
+//! across two paths under a control-plane MitM.
+
+use criterion::{criterion_group, Criterion};
+use p4auth_systems::experiments::fig16::{run, Fig16Config};
+use p4auth_systems::experiments::Scenario;
+
+fn print_figure() {
+    p4auth_bench::report::fig16();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16");
+    group.sample_size(10);
+    for scenario in Scenario::ALL {
+        group.bench_function(scenario.label(), |b| {
+            b.iter(|| run(scenario, Fig16Config::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,31 @@
+//! Fig. 17 — "Preventing congestion on Path 3": HULA traffic distribution
+//! across the three S1→S5 paths under an on-link MitM.
+
+use criterion::{criterion_group, Criterion};
+use p4auth_systems::experiments::fig17::{run, Fig17Config};
+use p4auth_systems::experiments::Scenario;
+
+fn print_figure() {
+    p4auth_bench::report::fig17();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17");
+    group.sample_size(10);
+    for scenario in Scenario::ALL {
+        group.bench_function(scenario.label(), |b| {
+            b.iter(|| run(scenario, Fig17Config::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,69 @@
+//! Fig. 18 — register read/write request completion time (RCT) for
+//! P4Runtime, DP-Reg-RW and P4Auth, plus a live timing benchmark of the
+//! P4Auth data-plane request path itself.
+
+use criterion::{criterion_group, Criterion};
+use p4auth_core::agent::{AgentConfig, P4AuthSwitch};
+use p4auth_dataplane::register::RegisterArray;
+use p4auth_primitives::mac::HalfSipHashMac;
+use p4auth_primitives::Key64;
+use p4auth_wire::body::RegisterOp;
+use p4auth_wire::ids::{PortId, RegId, SeqNum, SwitchId};
+use p4auth_wire::Message;
+
+fn print_figure() {
+    p4auth_bench::report::fig18();
+}
+
+/// Times the actual emulated data-plane request handling (verify + table
+/// lookup + register op + response seal) — the part of the RCT the data
+/// plane contributes.
+fn bench(c: &mut Criterion) {
+    let reg = RegId::new(7);
+    let key = Key64::new(0xbe4c_4e11);
+    let mac = HalfSipHashMac::default();
+
+    let build = |auth: bool| {
+        let config = AgentConfig::new(SwitchId::new(1), 2, Key64::new(1)).map_register(reg, "r");
+        let config = if auth {
+            config
+        } else {
+            config.insecure_baseline()
+        };
+        let mut sw = P4AuthSwitch::new(config, None);
+        sw.chassis_mut()
+            .declare_register(RegisterArray::new("r", 4, 64));
+        sw.install_key(PortId::CPU, key);
+        sw
+    };
+
+    let mut group = c.benchmark_group("fig18_dataplane_path");
+    for (name, auth) in [("dp-reg-rw", false), ("p4auth", true)] {
+        for (dir, op) in [
+            ("read", RegisterOp::read_req(reg, 0)),
+            ("write", RegisterOp::write_req(reg, 0, 42)),
+        ] {
+            let mut sw = build(auth);
+            let mut seq = 0u32;
+            group.bench_function(format!("{name}/{dir}"), |b| {
+                b.iter(|| {
+                    seq += 1;
+                    let msg = Message::register_request(SwitchId::CONTROLLER, SeqNum::new(seq), op)
+                        .sealed(&mac, key);
+                    sw.on_packet(0, PortId::CPU, &msg.encode())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,24 @@
+//! Fig. 19 — register read/write throughput (requests/s) for P4Runtime,
+//! DP-Reg-RW and P4Auth, with the paper's two headline ratios printed.
+
+use criterion::{criterion_group, Criterion};
+
+fn print_figure() {
+    p4auth_bench::report::fig19();
+}
+
+/// Benchmarks the throughput computation sweep itself (the model is cheap;
+/// this mostly guards against regressions in the cost functions).
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig19/rw_rows", |b| b.iter(p4auth_bench::rw_rows));
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

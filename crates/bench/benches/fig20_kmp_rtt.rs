@@ -1,0 +1,26 @@
+//! Fig. 20 — key management protocol RTTs, measured on the simulated
+//! network (local/port key initialization and update).
+
+use criterion::{criterion_group, Criterion};
+use p4auth_systems::experiments::fig20::measure_default;
+
+fn print_figure() {
+    p4auth_bench::report::fig20();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig20");
+    group.sample_size(20);
+    group.bench_function("full_kmp_measurement", |b| b.iter(measure_default));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,33 @@
+//! Fig. 21 — in-network control-message processing time as the probe path
+//! grows from 2 to 10 hops, with and without P4Auth (BMv2 profile).
+
+use criterion::{criterion_group, Criterion};
+use p4auth_systems::experiments::fig21::probe_traversal_ns;
+
+fn print_figure() {
+    p4auth_bench::report::fig21();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig21");
+    group.sample_size(10);
+    for (label, n, auth) in [
+        ("chain3/baseline", 3, false),
+        ("chain3/p4auth", 3, true),
+        ("chain11/baseline", 11, false),
+        ("chain11/p4auth", 11, true),
+    ] {
+        group.bench_function(label, |b| b.iter(|| probe_traversal_ns(n, auth)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

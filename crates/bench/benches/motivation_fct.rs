@@ -1,0 +1,31 @@
+//! §II motivation — flow completion time inflation under the HULA probe
+//! attack, measured through real queueing at a simulated bottleneck.
+
+use criterion::{criterion_group, Criterion};
+use p4auth_systems::experiments::fct::{run, FctConfig};
+use p4auth_systems::experiments::Scenario;
+
+fn print_figure() {
+    p4auth_bench::report::motivation_fct();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fct");
+    group.sample_size(10);
+    for scenario in Scenario::ALL {
+        group.bench_function(scenario.label(), |b| {
+            b.iter(|| run(scenario, FctConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,27 @@
+//! Table I — the impact of altering C-DP update/report messages on five
+//! classes of in-network system, and P4Auth's prevention of each.
+
+use criterion::{criterion_group, Criterion};
+use p4auth_attacks::scenarios::{run_scenario, SystemClass};
+
+fn print_table() {
+    p4auth_bench::report::table1();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    for class in SystemClass::ALL {
+        group.bench_function(class.label(), |b| b.iter(|| run_scenario(class)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

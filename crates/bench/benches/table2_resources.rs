@@ -1,0 +1,35 @@
+//! Table II — hardware resource utilization of the baseline L3 program
+//! with and without P4Auth's data-plane modules, from the calibrated
+//! Tofino resource model.
+
+use criterion::{criterion_group, Criterion};
+use p4auth_dataplane::resources::{DeviceCapacity, ProgramResources};
+use p4auth_primitives::mac::DigestWidth;
+
+fn print_table() {
+    p4auth_bench::report::table2();
+}
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceCapacity::tofino();
+    c.bench_function("table2/utilization", |b| {
+        b.iter(|| {
+            let prog = ProgramResources::baseline_l3().plus(ProgramResources::p4auth_modules(
+                32,
+                1,
+                DigestWidth::W32,
+            ));
+            prog.utilization(&device)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,42 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation
+//! in one run, without Criterion's timing loops.
+//!
+//! ```sh
+//! cargo run -p p4auth-bench --bin repro            # everything
+//! cargo run -p p4auth-bench --bin repro -- fig17   # one experiment
+//! ```
+
+use p4auth_bench::report;
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
+
+    let experiments: [(&str, fn()); 10] = [
+        ("table1", report::table1),
+        ("fig16", report::fig16),
+        ("fig17", report::fig17),
+        ("fig18", report::fig18),
+        ("fig19", report::fig19),
+        ("fig20", report::fig20),
+        ("fig21", report::fig21),
+        ("table2", report::table2),
+        ("table3", report::table3),
+        ("fct", report::motivation_fct),
+    ];
+    let mut ran = 0;
+    for (name, run) in experiments {
+        if want(name) {
+            run();
+            ran += 1;
+        }
+    }
+    if want("ablation") {
+        report::ablation_digest();
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("no experiment matches {filter:?}; available: table1 fig16 fig17 fig18 fig19 fig20 fig21 table2 table3 fct ablation");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,373 @@
+//! Paper-style report printers, shared by the Criterion benches and the
+//! `repro` binary.
+
+use crate::{banner, rw_rows};
+use p4auth_attacks::bruteforce;
+use p4auth_attacks::scenarios;
+use p4auth_controller::ControllerConfig;
+use p4auth_core::kmp::{KeyOperation, NetworkScale, ShardedDeployment};
+use p4auth_dataplane::cost::AccessMethod;
+use p4auth_dataplane::resources::{DeviceCapacity, ProgramResources};
+use p4auth_netsim::topology::Topology;
+use p4auth_primitives::mac::DigestWidth;
+use p4auth_systems::experiments::{fct, fig16, fig17, fig20, fig21};
+use p4auth_systems::harness::Network;
+
+/// Fig. 16 — RouteScout traffic distribution.
+pub fn fig16() {
+    banner(
+        "Fig. 16 — RouteScout traffic distribution",
+        "paper §IX-A, Fig. 16",
+    );
+    let config = fig16::Fig16Config::default();
+    println!(
+        "{:<22} {:>14} {:>14} {:>10} {:>12}",
+        "scenario", "path1 (fast) %", "path2 (slow) %", "split→p1", "detections"
+    );
+    for r in fig16::run_all(config) {
+        println!(
+            "{:<22} {:>14.1} {:>14.1} {:>10} {:>12}",
+            r.scenario.label(),
+            100.0 * r.post_attack_share[0],
+            100.0 * r.post_attack_share[1],
+            r.final_split,
+            r.tamper_detections,
+        );
+    }
+    println!("\npaper shape: no-adv splits by delay; adversary diverts ~70% to path2;");
+    println!("P4Auth detects every tampered epoch and retains the original ratio.");
+}
+
+/// Fig. 17 — HULA traffic distribution.
+pub fn fig17() {
+    banner(
+        "Fig. 17 — HULA traffic distribution",
+        "paper §IX-A, Fig. 17",
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "scenario", "S1-S2 %", "S1-S3 %", "S1-S4 %", "dropped", "alerts"
+    );
+    for r in fig17::run_all(fig17::Fig17Config::default()) {
+        println!(
+            "{:<22} {:>10.1} {:>10.1} {:>10.1} {:>10} {:>8}",
+            r.scenario.label(),
+            100.0 * r.path_share[0],
+            100.0 * r.path_share[1],
+            100.0 * r.path_share[2],
+            r.probes_dropped,
+            r.alerts,
+        );
+    }
+    println!("\npaper shape: equal thirds clean; >70% onto S1-S4 under attack;");
+    println!("with P4Auth the compromised link carries nothing and alerts fire.");
+}
+
+/// Fig. 18 — register read/write RCT.
+pub fn fig18() {
+    banner("Fig. 18 — register read/write RCT", "paper §IX-B, Fig. 18");
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "method", "read RCT (ms)", "write RCT (ms)"
+    );
+    for row in rw_rows() {
+        println!(
+            "{:<12} {:>14.3} {:>14.3}",
+            row.method.label(),
+            row.read_rct_ns as f64 / 1e6,
+            row.write_rct_ns as f64 / 1e6,
+        );
+    }
+    println!("\npaper shape: P4Runtime writes cost ~1.7x reads; P4Auth adds only a");
+    println!("small digest overhead on top of DP-Reg-RW.");
+}
+
+/// Fig. 19 — register read/write throughput.
+pub fn fig19() {
+    banner(
+        "Fig. 19 — register read/write throughput",
+        "paper §IX-B, Fig. 19",
+    );
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "method", "read (req/s)", "write (req/s)"
+    );
+    let rows = rw_rows();
+    for row in &rows {
+        println!(
+            "{:<12} {:>14.1} {:>14.1}",
+            row.method.label(),
+            row.read_rps(),
+            row.write_rps(),
+        );
+    }
+    let p4rt = rows
+        .iter()
+        .find(|r| r.method == AccessMethod::P4Runtime)
+        .unwrap();
+    let dp = rows
+        .iter()
+        .find(|r| r.method == AccessMethod::DpRegRw)
+        .unwrap();
+    let auth = rows
+        .iter()
+        .find(|r| r.method == AccessMethod::P4Auth)
+        .unwrap();
+    println!(
+        "\nP4Runtime read/write throughput ratio: {:.2}x   (paper: ~1.7x)",
+        p4rt.read_rps() / p4rt.write_rps()
+    );
+    println!(
+        "P4Auth vs DP-Reg-RW: read {:+.1}%, write {:+.1}%   (paper: -4.2% / -2.1%)",
+        100.0 * (auth.read_rps() / dp.read_rps() - 1.0),
+        100.0 * (auth.write_rps() / dp.write_rps() - 1.0),
+    );
+}
+
+/// Fig. 20 — key management RTT.
+pub fn fig20() {
+    banner("Fig. 20 — key management RTT", "paper §IX-B, Fig. 20");
+    let r = fig20::measure_default();
+    println!(
+        "{:<20} {:>10} {:>10} {:>10}",
+        "operation", "RTT (ms)", "#msgs", "#bytes"
+    );
+    let ops = [
+        (KeyOperation::LocalInit, r.local_init_ns),
+        (KeyOperation::LocalUpdate, r.local_update_ns),
+        (KeyOperation::PortInit, r.port_init_ns),
+        (KeyOperation::PortUpdate, r.port_update_ns),
+    ];
+    for (op, ns) in ops {
+        println!(
+            "{:<20} {:>10.3} {:>10} {:>10}",
+            op.label(),
+            ns as f64 / 1e6,
+            op.message_count(),
+            op.byte_count(),
+        );
+    }
+    println!("\npaper shape: 1-2ms for initialization, <1ms for updates; port init");
+    println!("slowest (controller redirection), port update fastest (direct DP-DP).");
+}
+
+/// Fig. 21 — probe traversal time vs. hops.
+pub fn fig21() {
+    banner(
+        "Fig. 21 — probe traversal time vs. hops",
+        "paper §IX-C, Fig. 21",
+    );
+    println!(
+        "{:>5} {:>15} {:>15} {:>10}",
+        "hops", "baseline (ms)", "P4Auth (ms)", "overhead"
+    );
+    for p in fig21::sweep(10) {
+        println!(
+            "{:>5} {:>15.3} {:>15.3} {:>9.2}%",
+            p.hops,
+            p.baseline_ns as f64 / 1e6,
+            p.p4auth_ns as f64 / 1e6,
+            p.overhead_pct(),
+        );
+    }
+    println!("\npaper shape: overhead grows with hop count and stays single-digit");
+    println!("(paper: 0.95% at 2 hops, 5.9% at 10 hops).");
+}
+
+/// Table I — attack impact per system class.
+pub fn table1() {
+    banner(
+        "Table I — impact of altering C-DP messages",
+        "paper §II, Table I",
+    );
+    println!(
+        "{:<30} {:<13} {:<11} {:<7}  impact",
+        "system", "baseline", "P4Auth", "alert"
+    );
+    for r in scenarios::run_all() {
+        println!(
+            "{:<30} {:<13} {:<11} {:<7}  {}",
+            r.class.label(),
+            if r.baseline_compromised {
+                "compromised"
+            } else {
+                "safe"
+            },
+            if r.p4auth_blocked {
+                "protected"
+            } else {
+                "FAILED"
+            },
+            if r.alert_raised { "yes" } else { "no" },
+            r.impact,
+        );
+    }
+}
+
+/// Table II — hardware resource overhead.
+pub fn table2() {
+    banner(
+        "Table II — hardware resource overhead",
+        "paper §IX-B, Table II",
+    );
+    let device = DeviceCapacity::tofino();
+    let baseline = ProgramResources::baseline_l3();
+    let with_p4auth = baseline.plus(ProgramResources::p4auth_modules(32, 1, DigestWidth::W32));
+
+    println!(
+        "{:<14} {:>8} {:>8} {:>12} {:>8}",
+        "program", "TCAM", "SRAM", "Hash Units", "PHV"
+    );
+    for (label, prog) in [("Baseline", baseline), ("With P4Auth", with_p4auth)] {
+        let u = prog.utilization(&device);
+        println!(
+            "{:<14} {:>7.1}% {:>7.1}% {:>11.1}% {:>7.1}%",
+            label, u.tcam_pct, u.sram_pct, u.hash_units_pct, u.phv_pct
+        );
+    }
+    println!("\npaper:      Baseline  8.3% / 2.5% /  1.4% / 11.0%");
+    println!("paper:      P4Auth    8.3% / 3.6% / 51.4% / 23.1%");
+
+    println!("\nSRAM scaling (key register 64*(M+1) bits; mapping table 2K x 40 bits):");
+    for (ports, registers) in [(8u32, 1u32), (32, 8), (64, 64)] {
+        let m = ProgramResources::p4auth_modules(ports, registers, DigestWidth::W32);
+        println!(
+            "  M={ports:<3} K={registers:<3} -> {} SRAM blocks, {} hash units (constant)",
+            m.sram_blocks, m.hash_units
+        );
+    }
+}
+
+/// Table III — KMP scalability, including the §XI sharded-deployment
+/// analysis and a simulated cross-check.
+pub fn table3() {
+    banner("Table III — KMP scalability", "paper §XI, Table III");
+    println!("{:<20} {:>8} {:>8}", "operation", "#msgs", "#bytes");
+    for op in KeyOperation::ALL {
+        println!(
+            "{:<20} {:>8} {:>8}",
+            op.label(),
+            op.message_count(),
+            op.byte_count()
+        );
+    }
+
+    println!("\naggregate controller load for m switches, n links:");
+    println!("  key initialization: 4m + 5n messages, 104m + 138n bytes");
+    println!("  key update:         2m + 3n messages,  60m +  78n bytes");
+
+    let s = NetworkScale::ONOS_PER_CONTROLLER;
+    println!("\nONOS example (m=25, n=50 per controller):");
+    println!(
+        "  init:   {} messages, {:.1} KB   (paper: 350 messages, 9.5 KB)",
+        s.init_messages(),
+        s.init_bytes() as f64 / 1000.0
+    );
+    println!(
+        "  update: {} messages, {:.1} KB   (paper prints 125 messages / 5.4 KB;",
+        s.update_messages(),
+        s.update_bytes() as f64 / 1000.0
+    );
+    println!("          its own 2m+3n formula gives 200 — see EXPERIMENTS.md)");
+
+    let wan = ShardedDeployment::ONOS_WAN;
+    println!("\n§XI sharded deployment (205 switches, 414 links, 8 controllers):");
+    println!(
+        "  worst controller: {} init messages, {:.1} KB",
+        wan.init_messages_per_controller(),
+        wan.init_bytes_per_controller() as f64 / 1000.0
+    );
+    println!(
+        "  sequential init @2ms/op: {:.0} ms   (paper: ~150 ms)",
+        wan.sequential_init_ns(2_000_000) as f64 / 1e6
+    );
+    println!(
+        "  sequential update @1ms/op: {:.0} ms   (paper: ~75 ms)",
+        wan.sequential_update_ns(1_000_000) as f64 / 1e6
+    );
+    println!(
+        "  batched init (8-wide): {:.0} ms   (\"improves significantly in parallel\")",
+        wan.batched_init_ns(2_000_000, 8) as f64 / 1e6
+    );
+
+    // Cross-check the analytic model against a real simulated bootstrap.
+    let mut net = Network::build(
+        Topology::chain(4, 50_000, 200_000),
+        ControllerConfig::default(),
+        0x7ab3,
+        |_| None,
+        |_, c| c,
+    );
+    let before = net.sim.stats().frames_delivered;
+    net.bootstrap_keys();
+    let frames = net.sim.stats().frames_delivered - before;
+    let expected = NetworkScale {
+        switches: 4,
+        links: 3,
+    }
+    .init_messages();
+    println!("\nsimulated bootstrap on a 4-switch chain (m=4, n=3):");
+    println!("  frames on the wire: {frames}   analytic 4m+5n: {expected}");
+}
+
+/// §II motivation quantified: FCT inflation under the HULA attack.
+pub fn motivation_fct() {
+    banner(
+        "§II motivation — flow completion time under the HULA attack",
+        "paper §II-A, \"inflates flow completion time (FCT)\"",
+    );
+    let cfg = fct::FctConfig::default();
+    println!(
+        "{} flows over the Fig. 3 topology; mid->S5 bottlenecks at {:.1} Mbit/s\n",
+        cfg.flows,
+        cfg.bottleneck_bps as f64 / 1e6
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>18}",
+        "scenario", "mean FCT", "p95 FCT", "completed", "S4 traffic share"
+    );
+    for r in fct::run_all(cfg) {
+        println!(
+            "{:<22} {:>9.2} ms {:>9.2} ms {:>9}/{:<3} {:>17.1}%",
+            r.scenario.label(),
+            r.mean_fct_ns / 1e6,
+            r.p95_fct_ns as f64 / 1e6,
+            r.completed,
+            r.total,
+            100.0 * r.path_share[2],
+        );
+    }
+    println!("\nthe forged probes congest one bottleneck (~6x mean FCT); P4Auth drops");
+    println!("them and completion times return to the clean operating point.");
+}
+
+/// §XI digest-width ablation.
+pub fn ablation_digest() {
+    banner(
+        "§XI ablation — digest width vs. cost",
+        "paper §XI discussion",
+    );
+    let device = DeviceCapacity::tofino();
+    let narrow = ProgramResources::p4auth_modules(32, 1, DigestWidth::W32);
+    println!(
+        "{:>6} {:>12} {:>8} {:>8} {:>14} {:>22}",
+        "bits", "hash units", "Δhash", "stages", "recirculations", "P(forge in 1M tries)"
+    );
+    for width in DigestWidth::ALL {
+        let prog = ProgramResources::p4auth_modules(32, 1, width);
+        let full = ProgramResources::baseline_l3().plus(prog);
+        let delta =
+            100.0 * (prog.hash_units as f64 - narrow.hash_units as f64) / narrow.hash_units as f64;
+        println!(
+            "{:>6} {:>12} {:>7.0}% {:>8} {:>14} {:>22.3e}",
+            width.bits(),
+            prog.hash_units,
+            delta,
+            prog.stages,
+            full.recirculations(&device),
+            bruteforce::digest_guess_success_probability(1_000_000, width.bits() as u32),
+        );
+    }
+    println!("\npaper: a 256-bit digest needs ~560% more hash-distribution units and");
+    println!("+100% stages, forcing recirculations (100s of ns each).");
+}

@@ -1,0 +1,196 @@
+//! Authenticated DH exchange and Key Derivation (ADHKD), Fig. 12.
+//!
+//! ADHKD generates a master secret (`K_local` or `K_port`):
+//!
+//! 1. The initiator draws a random private key `R1` and salt `S1`, computes
+//!    `PK1 = DH′(P, G, R1)` and sends `(PK1, S1)`.
+//! 2. The responder draws `R2`, `S2`, computes `PK2`, derives
+//!    `K_pms = DH″(P, R2, PK1)` and the master secret
+//!    `K = KDF(K_pms, S1 || S2)`, and replies `(PK2, S2)`.
+//! 3. The initiator derives `K_pms = DH″(P, R1, PK2)` and the same `K`.
+//!
+//! *Authentication of the exchange messages themselves* is the caller's
+//! job (that is the "A" in ADHKD and the paper's fix over DH-AES-P4): the
+//! agent and controller seal every ADHKD message under the appropriate key
+//! (`K_auth`, `K_local` or `K_port` — §VI-C) before it touches the wire.
+
+use p4auth_primitives::dh::{DhParams, DhPrivate, DhPublic};
+use p4auth_primitives::kdf::Kdf;
+use p4auth_primitives::rng::RandomSource;
+use p4auth_primitives::{Key64, Salt64};
+
+/// Initiator-side half-open exchange: holds the private key until the
+/// answer arrives.
+pub struct AdhkdInitiator {
+    params: DhParams,
+    private: DhPrivate,
+    s1: u32,
+}
+
+impl std::fmt::Debug for AdhkdInitiator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdhkdInitiator")
+            .field("s1", &self.s1)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The `(PK, S)` pair carried by an ADHKD offer or answer message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AdhkdPayload {
+    /// Modified-DH public key.
+    pub public_key: DhPublic,
+    /// 32-bit half-salt.
+    pub salt: u32,
+}
+
+impl AdhkdInitiator {
+    /// Step 1: draw `R1`, `S1` and produce the offer payload.
+    pub fn start(params: DhParams, rng: &mut dyn RandomSource) -> (Self, AdhkdPayload) {
+        let private = DhPrivate::new(rng.gen_secret());
+        let s1 = rng.gen_half_salt();
+        let pk1 = private.public_key(&params);
+        (
+            AdhkdInitiator {
+                params,
+                private,
+                s1,
+            },
+            AdhkdPayload {
+                public_key: pk1,
+                salt: s1,
+            },
+        )
+    }
+
+    /// Step 5: consume the answer and derive the master secret.
+    pub fn finish(self, answer: AdhkdPayload, kdf: &Kdf) -> Key64 {
+        let k_pms = self.private.pre_master(&self.params, answer.public_key);
+        kdf.derive(k_pms.into(), Salt64::combine(self.s1, answer.salt))
+    }
+}
+
+/// Responder side (steps 3–4): consume the offer, produce the answer and
+/// the derived master secret in one shot.
+pub fn respond(
+    params: DhParams,
+    offer: AdhkdPayload,
+    rng: &mut dyn RandomSource,
+    kdf: &Kdf,
+) -> (AdhkdPayload, Key64) {
+    let private = DhPrivate::new(rng.gen_secret());
+    let s2 = rng.gen_half_salt();
+    let pk2 = private.public_key(&params);
+    let k_pms = private.pre_master(&params, offer.public_key);
+    let master = kdf.derive(k_pms.into(), Salt64::combine(offer.salt, s2));
+    (
+        AdhkdPayload {
+            public_key: pk2,
+            salt: s2,
+        },
+        master,
+    )
+}
+
+/// Number of PRF passes one complete ADHKD run costs each endpoint (for
+/// hash-unit metering): the KDF's extract+expand invocations.
+pub fn kdf_passes(kdf: &Kdf) -> u32 {
+    p4auth_primitives::kdf::prf_invocations(kdf.config())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4auth_primitives::kdf::KdfConfig;
+    use p4auth_primitives::rng::{ScriptedSource, SplitMix64};
+
+    fn kdf() -> Kdf {
+        Kdf::default()
+    }
+
+    fn params() -> DhParams {
+        DhParams::recommended()
+    }
+
+    #[test]
+    fn both_ends_derive_the_same_master() {
+        let mut rng_i = SplitMix64::new(10);
+        let mut rng_r = SplitMix64::new(20);
+        let (init, offer) = AdhkdInitiator::start(params(), &mut rng_i);
+        let (answer, k_responder) = respond(params(), offer, &mut rng_r, &kdf());
+        let k_initiator = init.finish(answer, &kdf());
+        assert_eq!(k_initiator, k_responder);
+    }
+
+    #[test]
+    fn distinct_exchanges_produce_distinct_keys() {
+        let mut rng = SplitMix64::new(33);
+        let run = |rng: &mut SplitMix64| {
+            let (init, offer) = AdhkdInitiator::start(params(), rng);
+            let (answer, _) = respond(params(), offer, rng, &kdf());
+            init.finish(answer, &kdf())
+        };
+        assert_ne!(run(&mut rng), run(&mut rng));
+    }
+
+    #[test]
+    fn master_secret_is_not_the_premaster() {
+        // The KDF must post-process K_pms (§XI: the PRNG may be weak, the
+        // KDF strengthens the secret).
+        let mut rng = ScriptedSource::new([0xaaaa, 0x1111, 0xbbbb, 0x2222]);
+        let (init, offer) = AdhkdInitiator::start(params(), &mut rng);
+        let (answer, _) = respond(params(), offer, &mut rng, &kdf());
+        let p = params();
+        let premaster = (answer.public_key.to_raw() & 0xaaaa) ^ p.p();
+        let master = init.finish(answer, &kdf());
+        assert_ne!(master.expose(), premaster);
+    }
+
+    #[test]
+    fn tampered_public_key_breaks_agreement() {
+        // Without message authentication a MitM could do this silently —
+        // which is exactly the DH-AES-P4 weakness (§III-B [A3]). Here it
+        // manifests as key disagreement.
+        let mut rng_i = SplitMix64::new(1);
+        let mut rng_r = SplitMix64::new(2);
+        let (init, offer) = AdhkdInitiator::start(params(), &mut rng_i);
+        let tampered = AdhkdPayload {
+            public_key: DhPublic::from_raw(offer.public_key.to_raw() ^ 0xffff),
+            salt: offer.salt,
+        };
+        let (answer, k_responder) = respond(params(), tampered, &mut rng_r, &kdf());
+        let k_initiator = init.finish(answer, &kdf());
+        assert_ne!(k_initiator, k_responder);
+    }
+
+    #[test]
+    fn tampered_salt_breaks_agreement() {
+        let mut rng_i = SplitMix64::new(3);
+        let mut rng_r = SplitMix64::new(4);
+        let (init, offer) = AdhkdInitiator::start(params(), &mut rng_i);
+        let (answer, k_responder) = respond(params(), offer, &mut rng_r, &kdf());
+        let tampered = AdhkdPayload {
+            salt: answer.salt ^ 1,
+            ..answer
+        };
+        assert_ne!(init.finish(tampered, &kdf()), k_responder);
+    }
+
+    #[test]
+    fn kdf_pass_accounting() {
+        assert_eq!(kdf_passes(&Kdf::new(KdfConfig { rounds: 1 })), 4);
+        assert_eq!(kdf_passes(&Kdf::new(KdfConfig { rounds: 2 })), 6);
+    }
+
+    #[test]
+    fn deterministic_given_scripted_randomness() {
+        let run = || {
+            let mut rng_i = ScriptedSource::new([111, 222]);
+            let mut rng_r = ScriptedSource::new([333, 444]);
+            let (init, offer) = AdhkdInitiator::start(params(), &mut rng_i);
+            let (answer, _) = respond(params(), offer, &mut rng_r, &kdf());
+            init.finish(answer, &kdf())
+        };
+        assert_eq!(run(), run());
+    }
+}

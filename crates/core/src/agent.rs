@@ -1,0 +1,1351 @@
+//! The P4Auth data-plane agent: the emulated "P4 program".
+//!
+//! [`P4AuthSwitch`] is everything the paper instruments into the switch
+//! pipeline (§V, §VII):
+//!
+//! * parses incoming P4Auth messages (PacketOut register requests, DP-DP
+//!   in-network control messages, key-exchange messages);
+//! * verifies the digest of each message entirely in the data plane using
+//!   the key selected by `(port, keyVersion)`;
+//! * executes authenticated register reads/writes through the
+//!   `reg_id_to_name_mapping` table (Fig. 15), answering `ack`/`nAck`;
+//! * rejects replays via per-peer sequence windows and rate-limits alerts
+//!   (§VIII);
+//! * answers EAK and ADHKD exchanges and maintains the key register (§VI);
+//! * authenticates and re-seals in-network control messages hop by hop for
+//!   whatever [`InNetworkApp`] (HULA, RouteScout's data plane, …) is
+//!   mounted on the switch.
+//!
+//! With `auth_enabled = false` the same agent degrades to the insecure
+//! baselines the evaluation compares against (DP-Reg-RW, vanilla HULA).
+
+use crate::adhkd::{self, AdhkdInitiator, AdhkdPayload};
+use crate::auth::{AlertDecision, AlertLimiter, RejectReason, ReplayWindow};
+use crate::eak;
+use crate::keys::KeyStore;
+use p4auth_dataplane::chassis::{Chassis, ChassisConfig, ChassisError, PacketContext};
+use p4auth_dataplane::cost::TargetProfile;
+use p4auth_dataplane::packet::Packet;
+use p4auth_dataplane::table::{ActionEntry, MatchKey, MatchTable, TableKind};
+use p4auth_primitives::dh::{DhParams, DhPublic};
+use p4auth_primitives::kdf::{Kdf, KdfConfig};
+use p4auth_primitives::rng::SplitMix64;
+use p4auth_primitives::Key64;
+use p4auth_wire::body::{
+    AdhkdRole, Alert, AlertKind, Body, EakStep, InNetwork, KexContext, KeyExchange, NackReason,
+    RegisterOp,
+};
+use p4auth_wire::ids::{PortId, RegId, SeqNum, SwitchId};
+use p4auth_wire::Message;
+use std::collections::HashMap;
+
+/// Name of the Fig. 15 mapping table on the chassis.
+pub const REG_MAPPING_TABLE: &str = "reg_id_to_name_mapping";
+
+/// Qualifier values in the mapping table (read/write discriminator).
+const QUAL_READ: u8 = 1;
+const QUAL_WRITE: u8 = 2;
+
+/// An in-network system (e.g. HULA) mounted on the agent. The agent
+/// authenticates DP-DP control messages *before* the app sees them and
+/// re-seals whatever the app forwards (§V, "Authentication of DP-DP
+/// control messages").
+pub trait InNetworkApp: Send {
+    /// The `msgType` byte identifying this system's control messages.
+    fn system_id(&self) -> u8;
+
+    /// Declare the app's registers/tables on the chassis (run once at
+    /// agent construction — the P4 instantiation step).
+    fn setup(&mut self, chassis: &mut Chassis);
+
+    /// Handle an *authenticated* in-network control payload; returns
+    /// `(egress port, payload)` pairs to forward (the agent seals them).
+    ///
+    /// # Errors
+    ///
+    /// Chassis errors abort processing of this packet.
+    fn on_control(
+        &mut self,
+        ctx: &mut PacketContext<'_>,
+        ingress: PortId,
+        payload: &[u8],
+    ) -> Result<Vec<(PortId, Vec<u8>)>, ChassisError>;
+
+    /// Handle a data packet (bytes that are not P4Auth traffic).
+    ///
+    /// # Errors
+    ///
+    /// Chassis errors abort processing of this packet.
+    fn on_data(
+        &mut self,
+        ctx: &mut PacketContext<'_>,
+        ingress: PortId,
+        bytes: &[u8],
+    ) -> Result<Vec<(PortId, Vec<u8>)>, ChassisError>;
+}
+
+/// Agent configuration.
+pub struct AgentConfig {
+    /// This switch's identity.
+    pub switch_id: SwitchId,
+    /// Number of data ports.
+    pub num_ports: u8,
+    /// The pre-shared boot secret baked into the switch binary (§VI-A).
+    pub k_seed: Key64,
+    /// Target cost profile.
+    pub profile: TargetProfile,
+    /// `false` runs the insecure baselines (DP-Reg-RW / vanilla apps).
+    pub auth_enabled: bool,
+    /// Alert rate limit: max alerts per period (§VIII DoS defence).
+    pub alert_max: u32,
+    /// Alert rate-limit period in nanoseconds.
+    pub alert_period_ns: u64,
+    /// Controller-visible register ids mapped to data-plane register names
+    /// (populates the Fig. 15 table, two entries per register).
+    pub register_map: Vec<(RegId, String)>,
+    /// Consistent key updates (§VI-C): keep old+new key generations and
+    /// select by the message's version tag. Disable only for the ablation
+    /// that measures what unversioned rollover costs.
+    pub consistent_updates: bool,
+    /// KDF configuration (paper: 1 round, §VII).
+    pub kdf_config: KdfConfig,
+    /// Modified-DH public parameters (shared network-wide).
+    pub dh_params: DhParams,
+    /// RNG seed for this switch's `random()` extern.
+    pub rng_seed: u64,
+}
+
+impl AgentConfig {
+    /// A Tofino-profile agent with authentication enabled and sensible
+    /// defaults.
+    pub fn new(switch_id: SwitchId, num_ports: u8, k_seed: Key64) -> Self {
+        AgentConfig {
+            switch_id,
+            num_ports,
+            k_seed,
+            profile: TargetProfile::Tofino,
+            auth_enabled: true,
+            alert_max: 64,
+            alert_period_ns: 1_000_000_000,
+            consistent_updates: true,
+            register_map: Vec::new(),
+            kdf_config: KdfConfig::PAPER,
+            dh_params: DhParams::recommended(),
+            rng_seed: switch_id.value() as u64 + 0x9e37_79b9,
+        }
+    }
+
+    /// Disables authentication (baseline mode).
+    #[must_use]
+    pub fn insecure_baseline(mut self) -> Self {
+        self.auth_enabled = false;
+        self
+    }
+
+    /// Disables versioned (consistent) key updates — ablation only.
+    #[must_use]
+    pub fn unversioned_updates(mut self) -> Self {
+        self.consistent_updates = false;
+        self
+    }
+
+    /// Uses the BMv2 cost profile.
+    #[must_use]
+    pub fn bmv2(mut self) -> Self {
+        self.profile = TargetProfile::Bmv2;
+        self
+    }
+
+    /// Adds a register-id mapping entry.
+    #[must_use]
+    pub fn map_register(mut self, id: RegId, name: impl Into<String>) -> Self {
+        self.register_map.push((id, name.into()));
+        self
+    }
+}
+
+/// Observable things the agent did while processing a packet (for tests,
+/// experiment harnesses and the controller's bookkeeping).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AgentEvent {
+    /// An incoming message verified successfully.
+    VerifiedOk,
+    /// An incoming message was rejected.
+    Rejected(RejectReason),
+    /// A register was read via an authenticated request.
+    RegisterRead {
+        /// The register's data-plane name.
+        name: String,
+        /// Index read.
+        index: u32,
+        /// Value returned.
+        value: u64,
+    },
+    /// A register was written via an authenticated request.
+    RegisterWritten {
+        /// The register's data-plane name.
+        name: String,
+        /// Index written.
+        index: u32,
+        /// Value stored.
+        value: u64,
+    },
+    /// `K_auth` was derived (EAK completed).
+    AuthKeyDerived,
+    /// A key was installed for `port` (initialization).
+    KeyInstalled {
+        /// Slot port (CPU = local key).
+        port: PortId,
+    },
+    /// A key rolled over for `port` (update).
+    KeyRolled {
+        /// Slot port (CPU = local key).
+        port: PortId,
+    },
+    /// An in-network control message was forwarded to the app.
+    ProbeAccepted,
+    /// An in-network control message was dropped (failed verification).
+    ProbeDropped,
+    /// An alert message was emitted toward the controller.
+    AlertSent(AlertKind),
+    /// An alert was suppressed by the rate limiter.
+    AlertSuppressed,
+}
+
+/// Counters across the agent's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AgentStats {
+    /// Messages that verified.
+    pub verified_ok: u64,
+    /// Digest failures.
+    pub digest_failures: u64,
+    /// Replay rejections.
+    pub replays: u64,
+    /// Acks sent.
+    pub acks: u64,
+    /// Nacks sent.
+    pub nacks: u64,
+    /// Alerts sent to the controller.
+    pub alerts_sent: u64,
+    /// Probes accepted and handed to the app.
+    pub probes_accepted: u64,
+    /// Probes dropped.
+    pub probes_dropped: u64,
+}
+
+/// Result of processing one packet.
+#[derive(Debug, Default)]
+pub struct AgentOutput {
+    /// Frames to transmit: `(egress port, bytes)`.
+    pub outputs: Vec<(PortId, Vec<u8>)>,
+    /// Data-plane processing time (ns).
+    pub cost_ns: u64,
+    /// Hash-unit passes consumed.
+    pub hash_passes: u32,
+    /// Recirculations forced.
+    pub recirculations: u32,
+    /// What happened (in order).
+    pub events: Vec<AgentEvent>,
+}
+
+impl AgentOutput {
+    /// Convenience: whether any event equals `event`.
+    pub fn has_event(&self, event: &AgentEvent) -> bool {
+        self.events.contains(event)
+    }
+}
+
+/// The P4Auth data-plane agent.
+pub struct P4AuthSwitch {
+    config: AgentConfig,
+    chassis: Chassis,
+    keys: KeyStore,
+    k_auth: Option<Key64>,
+    kdf: Kdf,
+    rng: SplitMix64,
+    replay: ReplayWindow,
+    limiter: AlertLimiter,
+    seq_out: HashMap<PortId, SeqNum>,
+    pending_kex: HashMap<(KexContext, PortId), AdhkdInitiator>,
+    app: Option<Box<dyn InNetworkApp>>,
+    reg_names: Vec<String>,
+    stats: AgentStats,
+}
+
+impl std::fmt::Debug for P4AuthSwitch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("P4AuthSwitch")
+            .field("switch_id", &self.config.switch_id)
+            .field("auth_enabled", &self.config.auth_enabled)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl P4AuthSwitch {
+    /// Builds the agent, declares its tables/registers on a fresh chassis,
+    /// and mounts `app` (if any).
+    pub fn new(config: AgentConfig, app: Option<Box<dyn InNetworkApp>>) -> Self {
+        let chassis_config = ChassisConfig {
+            switch_id: config.switch_id,
+            profile: config.profile,
+            num_ports: config.num_ports,
+            stage_budget: match config.profile {
+                TargetProfile::Tofino => 12,
+                TargetProfile::Bmv2 => 32,
+            },
+        };
+        let mut chassis = Chassis::new(chassis_config);
+
+        // Fig. 15: the register mapping table, two entries per register.
+        let capacity = (config.register_map.len() as u32 * 2).max(2);
+        let mut table = MatchTable::new(REG_MAPPING_TABLE, TableKind::ExactSram, capacity, 40);
+        let mut reg_names = Vec::new();
+        for (reg_id, name) in &config.register_map {
+            let action_index = reg_names.len() as u64;
+            reg_names.push(name.clone());
+            table
+                .insert(
+                    MatchKey::new(reg_id.value() as u64, QUAL_READ),
+                    ActionEntry::new(QUAL_READ as u32, action_index, 0),
+                )
+                .expect("mapping table sized for the register map");
+            table
+                .insert(
+                    MatchKey::new(reg_id.value() as u64, QUAL_WRITE),
+                    ActionEntry::new(QUAL_WRITE as u32, action_index, 0),
+                )
+                .expect("mapping table sized for the register map");
+        }
+        chassis.declare_table(table);
+
+        let mut app = app;
+        if let Some(a) = app.as_mut() {
+            a.setup(&mut chassis);
+        }
+
+        P4AuthSwitch {
+            keys: KeyStore::new(config.num_ports),
+            k_auth: None,
+            kdf: Kdf::new(config.kdf_config),
+            rng: SplitMix64::new(config.rng_seed),
+            replay: ReplayWindow::new(),
+            limiter: AlertLimiter::new(config.alert_max, config.alert_period_ns),
+            seq_out: HashMap::new(),
+            pending_kex: HashMap::new(),
+            app,
+            reg_names,
+            chassis,
+            stats: AgentStats::default(),
+            config,
+        }
+    }
+
+    /// This switch's id.
+    pub fn switch_id(&self) -> SwitchId {
+        self.config.switch_id
+    }
+
+    /// The key store (inspection).
+    pub fn keys(&self) -> &KeyStore {
+        &self.keys
+    }
+
+    /// Whether `K_auth` has been derived.
+    pub fn has_auth_key(&self) -> bool {
+        self.k_auth.is_some()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> AgentStats {
+        self.stats
+    }
+
+    /// The chassis (inspection of app registers, hash meter, …).
+    pub fn chassis(&self) -> &Chassis {
+        &self.chassis
+    }
+
+    /// Mutable chassis access — this is the *driver surface* the §II-A
+    /// adversary abuses: direct register manipulation that bypasses
+    /// P4Auth's checks entirely (used by the attack models).
+    pub fn chassis_mut(&mut self) -> &mut Chassis {
+        &mut self.chassis
+    }
+
+    /// The mounted app (downcast by the caller).
+    pub fn app(&self) -> Option<&dyn InNetworkApp> {
+        self.app.as_deref()
+    }
+
+    /// Mutable app access.
+    pub fn app_mut(&mut self) -> Option<&mut (dyn InNetworkApp + '_)> {
+        match self.app.as_mut() {
+            Some(a) => Some(a.as_mut()),
+            None => None,
+        }
+    }
+
+    /// Installs a key directly (strawman static-key provisioning, and test
+    /// fixtures). Real deployments use EAK/ADHKD.
+    pub fn install_key(&mut self, port: PortId, key: Key64) {
+        self.keys.install(port, key);
+    }
+
+    /// Rolls a key to a new generation directly (static-key provisioning
+    /// counterpart of [`Self::install_key`]; real deployments roll via the
+    /// KMP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no key was installed for `port`.
+    pub fn rollover_key(&mut self, port: PortId, key: Key64) {
+        self.keys.rollover(port, key);
+    }
+
+    /// Selects the verification key for `port` honouring the
+    /// consistent-updates setting.
+    fn channel_verify_key(&self, port: PortId, msg: &Message) -> Option<Key64> {
+        if self.config.consistent_updates {
+            self.keys.verifying_key(port, msg.header().key_version)
+        } else {
+            self.keys.verifying_key_unversioned(port)
+        }
+    }
+
+    fn next_seq(&mut self, port: PortId) -> SeqNum {
+        let e = self.seq_out.entry(port).or_insert(SeqNum::new(0));
+        *e = e.next();
+        *e
+    }
+
+    /// Builds and seals an outgoing in-network control message for `port`
+    /// (the sender side of §V's DP-DP authentication). Returns `None` if no
+    /// key is installed for the port and auth is enabled.
+    pub fn seal_probe(&mut self, port: PortId, system: u8, payload: Vec<u8>) -> Option<Vec<u8>> {
+        let seq = self.next_seq(port);
+        let mut msg = Message::in_network(
+            self.config.switch_id,
+            port,
+            seq,
+            InNetwork::new(system, payload),
+        );
+        if self.config.auth_enabled {
+            let (key, version) = self.keys.sealing_key(port)?;
+            msg = msg.with_key_version(version);
+            msg.seal(self.chassis.hash_mac(), key);
+        }
+        Some(msg.encode())
+    }
+
+    fn chassis_mac(&self) -> &dyn p4auth_primitives::mac::Mac {
+        self.chassis.hash_mac()
+    }
+
+    /// Processes one packet and returns outputs plus accounting.
+    pub fn on_packet(&mut self, now_ns: u64, ingress: PortId, bytes: &[u8]) -> AgentOutput {
+        let packet = Packet::from_bytes(ingress, bytes.to_vec());
+        let msg = match packet.parse_message() {
+            Ok(m) => m,
+            Err(_) => return self.handle_data(ingress, bytes),
+        };
+
+        match msg.body().clone() {
+            Body::Register(op) => self.handle_register(now_ns, ingress, &msg, op),
+            Body::KeyExchange(kex) => self.handle_key_exchange(now_ns, ingress, &msg, kex),
+            Body::InNetwork(inner) => self.handle_in_network(now_ns, ingress, &msg, &inner),
+            Body::Alert(_) => AgentOutput::default(),
+        }
+    }
+
+    fn handle_data(&mut self, ingress: PortId, bytes: &[u8]) -> AgentOutput {
+        let Some(mut app) = self.app.take() else {
+            return AgentOutput::default();
+        };
+        let packet = Packet::from_bytes(ingress, bytes.to_vec());
+        let result = self.chassis.process(&packet, |ctx, pkt| {
+            let outs = app.on_data(ctx, ingress, &pkt.bytes)?;
+            Ok(outs
+                .into_iter()
+                .map(|(p, b)| (p, Packet::from_bytes(p, b)))
+                .collect())
+        });
+        self.app = Some(app);
+        match result {
+            Ok(outcome) => AgentOutput {
+                outputs: outcome
+                    .outputs
+                    .into_iter()
+                    .map(|(p, pkt)| (p, pkt.bytes))
+                    .collect(),
+                cost_ns: outcome.cost_ns,
+                hash_passes: outcome.hash_passes,
+                recirculations: outcome.recirculations,
+                events: Vec::new(),
+            },
+            Err(_) => AgentOutput::default(),
+        }
+    }
+
+    /// Verify a message inside the pipeline; returns the reject reason on
+    /// failure. `key` is the channel key selected by the caller.
+    fn verify_in_ctx(
+        ctx: &mut PacketContext<'_>,
+        replay: &mut ReplayWindow,
+        key: Option<Key64>,
+        channel: PortId,
+        msg: &Message,
+    ) -> Result<(), RejectReason> {
+        let key = key.ok_or(RejectReason::NoKey)?;
+        let input = msg.digest_input();
+        if !ctx.verify_digest(key, &[&input], msg.digest()) {
+            return Err(RejectReason::BadDigest);
+        }
+        replay.check_and_advance(msg.header().sender, channel, msg.header().seq_num)
+    }
+
+    fn record_reject(&mut self, reason: RejectReason) {
+        match reason {
+            RejectReason::Replayed { .. } => self.stats.replays += 1,
+            _ => self.stats.digest_failures += 1,
+        }
+    }
+
+    /// Emits an alert toward the controller, subject to rate limiting.
+    fn raise_alert(
+        &mut self,
+        now_ns: u64,
+        alert: Alert,
+        outputs: &mut Vec<(PortId, Vec<u8>)>,
+        events: &mut Vec<AgentEvent>,
+    ) {
+        let decision = self.limiter.on_alert(now_ns);
+        let alert = match decision {
+            AlertDecision::Emit => alert,
+            AlertDecision::EmitRateLimitMarker => Alert {
+                kind: AlertKind::RateLimited,
+                offending_seq: alert.offending_seq,
+                detail: alert.detail,
+            },
+            AlertDecision::Suppress => {
+                events.push(AgentEvent::AlertSuppressed);
+                return;
+            }
+        };
+        let seq = self.next_seq(PortId::CPU);
+        let mut msg = Message::alert(self.config.switch_id, seq, alert);
+        if let Some((key, version)) = self.keys.sealing_key(PortId::CPU) {
+            msg = msg.with_key_version(version);
+            msg.seal(self.chassis_mac(), key);
+        }
+        outputs.push((PortId::CPU, msg.encode()));
+        self.stats.alerts_sent += 1;
+        events.push(AgentEvent::AlertSent(alert.kind));
+    }
+
+    fn handle_register(
+        &mut self,
+        now_ns: u64,
+        _ingress: PortId,
+        msg: &Message,
+        op: RegisterOp,
+    ) -> AgentOutput {
+        // Responses are controller-bound; a DP receiving one ignores it.
+        if !op.is_request() {
+            return AgentOutput::default();
+        }
+
+        let auth = self.config.auth_enabled;
+        let mut events = Vec::new();
+        let mut reject: Option<RejectReason> = None;
+        let mut reply_op: Option<RegisterOp> = None;
+
+        let packet = Packet::from_bytes(PortId::CPU, msg.encode());
+        let channel_key = self.channel_verify_key(PortId::CPU, msg);
+        let replay = &mut self.replay;
+        let reg_names = &self.reg_names;
+        let outcome = self
+            .chassis
+            .process(&packet, |ctx, _| {
+                if auth {
+                    match Self::verify_in_ctx(ctx, replay, channel_key, PortId::CPU, msg) {
+                        Ok(()) => events.push(AgentEvent::VerifiedOk),
+                        Err(reason) => {
+                            events.push(AgentEvent::Rejected(reason));
+                            reject = Some(reason);
+                            return Ok(vec![]);
+                        }
+                    }
+                }
+                let (reg, index, qualifier, value) = match op {
+                    RegisterOp::ReadReq { reg, index } => (reg, index, QUAL_READ, 0),
+                    RegisterOp::WriteReq { reg, index, value } => (reg, index, QUAL_WRITE, value),
+                    _ => unreachable!("responses filtered above"),
+                };
+                let Some(entry) = ctx.lookup(
+                    REG_MAPPING_TABLE,
+                    MatchKey::new(reg.value() as u64, qualifier),
+                )?
+                else {
+                    reply_op = Some(RegisterOp::Nack {
+                        reg,
+                        index,
+                        reason: NackReason::UnknownRegister,
+                    });
+                    return Ok(vec![]);
+                };
+                let name = &reg_names[entry.data0 as usize];
+                match qualifier {
+                    QUAL_READ => match ctx.read_register(name, index) {
+                        Ok(v) => {
+                            events.push(AgentEvent::RegisterRead {
+                                name: name.clone(),
+                                index,
+                                value: v,
+                            });
+                            reply_op = Some(RegisterOp::Ack {
+                                reg,
+                                index,
+                                value: v,
+                            });
+                        }
+                        Err(ChassisError::Register(_)) => {
+                            reply_op = Some(RegisterOp::Nack {
+                                reg,
+                                index,
+                                reason: NackReason::IndexOutOfRange,
+                            });
+                        }
+                        Err(e) => return Err(e),
+                    },
+                    _ => match ctx.write_register(name, index, value) {
+                        Ok(()) => {
+                            events.push(AgentEvent::RegisterWritten {
+                                name: name.clone(),
+                                index,
+                                value,
+                            });
+                            reply_op = Some(RegisterOp::Ack {
+                                reg,
+                                index,
+                                value: 0,
+                            });
+                        }
+                        Err(ChassisError::Register(_)) => {
+                            reply_op = Some(RegisterOp::Nack {
+                                reg,
+                                index,
+                                reason: NackReason::IndexOutOfRange,
+                            });
+                        }
+                        Err(e) => return Err(e),
+                    },
+                }
+                Ok(vec![])
+            })
+            .expect("register handling uses declared tables only");
+
+        let mut outputs = Vec::new();
+
+        if let Some(reason) = reject {
+            self.record_reject(reason);
+            // nAck + alert (Fig. 8/9 workflow).
+            let nack = RegisterOp::Nack {
+                reg: match op {
+                    RegisterOp::ReadReq { reg, .. } | RegisterOp::WriteReq { reg, .. } => reg,
+                    _ => RegId::new(0),
+                },
+                index: 0,
+                reason: match reason {
+                    RejectReason::Replayed { .. } => NackReason::SeqMismatch,
+                    _ => NackReason::DigestMismatch,
+                },
+            };
+            self.push_register_reply(msg, nack, &mut outputs);
+            self.stats.nacks += 1;
+            self.raise_alert(
+                now_ns,
+                reason.to_alert(msg.header().seq_num, 0),
+                &mut outputs,
+                &mut events,
+            );
+        } else if let Some(reply) = reply_op {
+            if auth {
+                self.stats.verified_ok += 1;
+            }
+            match reply {
+                RegisterOp::Ack { .. } => self.stats.acks += 1,
+                _ => self.stats.nacks += 1,
+            }
+            self.push_register_reply(msg, reply, &mut outputs);
+        }
+
+        AgentOutput {
+            outputs,
+            cost_ns: outcome.cost_ns,
+            hash_passes: outcome.hash_passes,
+            recirculations: outcome.recirculations,
+            events,
+        }
+    }
+
+    /// Builds and seals a register response carrying the request's seqNum
+    /// (so the controller can map responses to requests).
+    fn push_register_reply(
+        &mut self,
+        request: &Message,
+        op: RegisterOp,
+        outputs: &mut Vec<(PortId, Vec<u8>)>,
+    ) {
+        let mut reply = Message::new(
+            self.config.switch_id,
+            PortId::CPU,
+            request.header().seq_num,
+            Body::Register(op),
+        );
+        if self.config.auth_enabled {
+            if let Some((key, version)) = self.keys.sealing_key(PortId::CPU) {
+                reply = reply.with_key_version(version);
+                reply.seal(self.chassis_mac(), key);
+            }
+        }
+        outputs.push((PortId::CPU, reply.encode()));
+    }
+
+    /// Selects the verification key for a key-exchange message per §VI-C.
+    fn kex_verify_key(&self, ingress: PortId, msg: &Message, kex: &KeyExchange) -> Option<Key64> {
+        match kex {
+            KeyExchange::EakSalt { .. } => Some(self.config.k_seed),
+            KeyExchange::Adhkd { context, .. } => match context {
+                KexContext::LocalInit => self.k_auth,
+                KexContext::LocalUpdate | KexContext::PortInitRedirect => {
+                    self.channel_verify_key(PortId::CPU, msg)
+                }
+                KexContext::PortUpdateDirect => self.channel_verify_key(ingress, msg),
+            },
+            KeyExchange::PortKeyInit { .. } | KeyExchange::PortKeyUpdate { .. } => {
+                self.channel_verify_key(PortId::CPU, msg)
+            }
+        }
+    }
+
+    fn handle_key_exchange(
+        &mut self,
+        now_ns: u64,
+        ingress: PortId,
+        msg: &Message,
+        kex: KeyExchange,
+    ) -> AgentOutput {
+        if !self.config.auth_enabled {
+            return AgentOutput::default();
+        }
+        let mut events = Vec::new();
+        let mut outputs = Vec::new();
+
+        // Every key-exchange message is authenticated (the "A" in ADHKD).
+        let key = self.kex_verify_key(ingress, msg, &kex);
+        let verify_result = {
+            let keyed = key;
+            let mac = self.chassis_mac();
+            match keyed {
+                None => Err(RejectReason::NoKey),
+                Some(k) => {
+                    if msg.verify(mac, k) {
+                        self.replay.check_and_advance(
+                            msg.header().sender,
+                            ingress,
+                            msg.header().seq_num,
+                        )
+                    } else {
+                        Err(RejectReason::BadDigest)
+                    }
+                }
+            }
+        };
+        if let Err(reason) = verify_result {
+            self.record_reject(reason);
+            events.push(AgentEvent::Rejected(reason));
+            self.raise_alert(
+                now_ns,
+                Alert {
+                    kind: AlertKind::KeyExchangeFailure,
+                    offending_seq: msg.header().seq_num,
+                    detail: ingress.value() as u32,
+                },
+                &mut outputs,
+                &mut events,
+            );
+            return AgentOutput {
+                outputs,
+                events,
+                ..AgentOutput::default()
+            };
+        }
+        self.stats.verified_ok += 1;
+        events.push(AgentEvent::VerifiedOk);
+
+        match kex {
+            KeyExchange::EakSalt {
+                step: EakStep::Salt1,
+                salt,
+            } => {
+                let (s2, k_auth) = eak::respond(self.config.k_seed, salt, &mut self.rng, &self.kdf);
+                self.k_auth = Some(k_auth);
+                events.push(AgentEvent::AuthKeyDerived);
+                let seq = self.next_seq(PortId::CPU);
+                let mut reply = Message::key_exchange(
+                    self.config.switch_id,
+                    PortId::CPU,
+                    seq,
+                    KeyExchange::EakSalt {
+                        step: EakStep::Salt2,
+                        salt: s2,
+                    },
+                );
+                reply.seal(self.chassis_mac(), self.config.k_seed);
+                outputs.push((PortId::CPU, reply.encode()));
+            }
+            KeyExchange::EakSalt {
+                step: EakStep::Salt2,
+                ..
+            } => {
+                // The DP never initiates EAK; ignore.
+            }
+            KeyExchange::Adhkd {
+                role: AdhkdRole::Offer,
+                context,
+                public_key,
+                salt,
+            } => {
+                let offer = AdhkdPayload {
+                    public_key: DhPublic::from_raw(public_key),
+                    salt,
+                };
+                let (answer, master) =
+                    adhkd::respond(self.config.dh_params, offer, &mut self.rng, &self.kdf);
+                // Which slot does this exchange target?
+                let slot = match context {
+                    KexContext::LocalInit | KexContext::LocalUpdate => PortId::CPU,
+                    KexContext::PortInitRedirect => msg.header().port,
+                    KexContext::PortUpdateDirect => ingress,
+                };
+                match context {
+                    KexContext::LocalInit | KexContext::PortInitRedirect => {
+                        self.keys.install(slot, master);
+                        events.push(AgentEvent::KeyInstalled { port: slot });
+                    }
+                    KexContext::LocalUpdate | KexContext::PortUpdateDirect => {
+                        self.keys.rollover(slot, master);
+                        events.push(AgentEvent::KeyRolled { port: slot });
+                    }
+                }
+                // Answer, sealed with the same channel key that verified
+                // the offer (the pre-update key for rollovers).
+                let reply_port = if context == KexContext::PortUpdateDirect {
+                    ingress
+                } else {
+                    PortId::CPU
+                };
+                let seq = self.next_seq(reply_port);
+                let mut reply = Message::new(
+                    self.config.switch_id,
+                    msg.header().port,
+                    seq,
+                    Body::KeyExchange(KeyExchange::Adhkd {
+                        role: AdhkdRole::Answer,
+                        context,
+                        public_key: answer.public_key.to_raw(),
+                        salt: answer.salt,
+                    }),
+                );
+                reply.header_mut().key_version = msg.header().key_version;
+                let seal_key = key.expect("verified above");
+                reply.seal(self.chassis_mac(), seal_key);
+                outputs.push((reply_port, reply.encode()));
+            }
+            KeyExchange::Adhkd {
+                role: AdhkdRole::Answer,
+                context,
+                public_key,
+                salt,
+            } => {
+                let slot = match context {
+                    KexContext::LocalInit | KexContext::LocalUpdate => PortId::CPU,
+                    KexContext::PortInitRedirect => msg.header().port,
+                    KexContext::PortUpdateDirect => ingress,
+                };
+                if let Some(initiator) = self.pending_kex.remove(&(context, slot)) {
+                    let master = initiator.finish(
+                        AdhkdPayload {
+                            public_key: DhPublic::from_raw(public_key),
+                            salt,
+                        },
+                        &self.kdf,
+                    );
+                    match context {
+                        KexContext::LocalInit | KexContext::PortInitRedirect => {
+                            self.keys.install(slot, master);
+                            events.push(AgentEvent::KeyInstalled { port: slot });
+                        }
+                        KexContext::LocalUpdate | KexContext::PortUpdateDirect => {
+                            self.keys.rollover(slot, master);
+                            events.push(AgentEvent::KeyRolled { port: slot });
+                        }
+                    }
+                }
+            }
+            KeyExchange::PortKeyInit { peer: _, peer_port } => {
+                // Fig. 14(c): become the ADHKD initiator; the offer is
+                // redirected via the controller, sealed with K_local.
+                let (initiator, offer) =
+                    AdhkdInitiator::start(self.config.dh_params, &mut self.rng);
+                self.pending_kex
+                    .insert((KexContext::PortInitRedirect, peer_port), initiator);
+                let seq = self.next_seq(PortId::CPU);
+                let mut out = Message::new(
+                    self.config.switch_id,
+                    peer_port,
+                    seq,
+                    Body::KeyExchange(KeyExchange::Adhkd {
+                        role: AdhkdRole::Offer,
+                        context: KexContext::PortInitRedirect,
+                        public_key: offer.public_key.to_raw(),
+                        salt: offer.salt,
+                    }),
+                );
+                if let Some((k, v)) = self.keys.sealing_key(PortId::CPU) {
+                    out = out.with_key_version(v);
+                    out.seal(self.chassis_mac(), k);
+                }
+                outputs.push((PortId::CPU, out.encode()));
+            }
+            KeyExchange::PortKeyUpdate { peer: _, peer_port } => {
+                // Fig. 14(d): direct DP-DP ADHKD under the current K_port.
+                let (initiator, offer) =
+                    AdhkdInitiator::start(self.config.dh_params, &mut self.rng);
+                self.pending_kex
+                    .insert((KexContext::PortUpdateDirect, peer_port), initiator);
+                let seq = self.next_seq(peer_port);
+                let mut out = Message::new(
+                    self.config.switch_id,
+                    peer_port,
+                    seq,
+                    Body::KeyExchange(KeyExchange::Adhkd {
+                        role: AdhkdRole::Offer,
+                        context: KexContext::PortUpdateDirect,
+                        public_key: offer.public_key.to_raw(),
+                        salt: offer.salt,
+                    }),
+                );
+                if let Some((k, v)) = self.keys.sealing_key(peer_port) {
+                    out = out.with_key_version(v);
+                    out.seal(self.chassis_mac(), k);
+                }
+                outputs.push((peer_port, out.encode()));
+            }
+        }
+
+        AgentOutput {
+            outputs,
+            events,
+            ..AgentOutput::default()
+        }
+    }
+
+    fn handle_in_network(
+        &mut self,
+        now_ns: u64,
+        ingress: PortId,
+        msg: &Message,
+        inner: &InNetwork,
+    ) -> AgentOutput {
+        let mut events = Vec::new();
+        let auth = self.config.auth_enabled;
+
+        let Some(mut app) = self.app.take() else {
+            return AgentOutput::default();
+        };
+        if app.system_id() != inner.system {
+            self.app = Some(app);
+            return AgentOutput::default();
+        }
+
+        let packet = Packet::from_bytes(ingress, msg.encode());
+        let channel_key = self.channel_verify_key(ingress, msg);
+        let keys = &self.keys;
+        let replay = &mut self.replay;
+        let seq_out = &mut self.seq_out;
+        let switch_id = self.config.switch_id;
+        let system = inner.system;
+        let mut reject: Option<RejectReason> = None;
+        let mut sealed_outputs: Vec<(PortId, Vec<u8>)> = Vec::new();
+
+        let outcome = self.chassis.process(&packet, |ctx, _| {
+            if auth {
+                if let Err(reason) = Self::verify_in_ctx(ctx, replay, channel_key, ingress, msg) {
+                    reject = Some(reason);
+                    return Ok(vec![]);
+                }
+            }
+            // Forwarded control messages are re-sealed with each egress
+            // port's key *inside* the pipeline pass, so the digest
+            // computation is metered and costed like the hardware would.
+            for (port, payload) in app.on_control(ctx, ingress, &inner.payload)? {
+                let seq = {
+                    let e = seq_out.entry(port).or_insert(SeqNum::new(0));
+                    *e = e.next();
+                    *e
+                };
+                let mut fwd =
+                    Message::in_network(switch_id, port, seq, InNetwork::new(system, payload));
+                if auth {
+                    let Some((key, version)) = keys.sealing_key(port) else {
+                        continue; // no key for this egress; drop
+                    };
+                    fwd.header_mut().key_version = version;
+                    let input = fwd.digest_input();
+                    let digest = ctx.compute_digest(key, &[&input]);
+                    fwd.header_mut().digest = digest;
+                }
+                sealed_outputs.push((port, fwd.encode()));
+            }
+            Ok(vec![])
+        });
+        self.app = Some(app);
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(_) => return AgentOutput::default(),
+        };
+
+        let mut outputs = Vec::new();
+        if let Some(reason) = reject {
+            // §IX-A: the switch ignores the tampered probe and raises an
+            // alert to the controller.
+            self.record_reject(reason);
+            self.stats.probes_dropped += 1;
+            events.push(AgentEvent::Rejected(reason));
+            events.push(AgentEvent::ProbeDropped);
+            self.raise_alert(
+                now_ns,
+                reason.to_alert(msg.header().seq_num, ingress.value() as u32),
+                &mut outputs,
+                &mut events,
+            );
+        } else {
+            if auth {
+                self.stats.verified_ok += 1;
+                events.push(AgentEvent::VerifiedOk);
+            }
+            self.stats.probes_accepted += 1;
+            events.push(AgentEvent::ProbeAccepted);
+            outputs.extend(sealed_outputs);
+        }
+
+        AgentOutput {
+            outputs,
+            cost_ns: outcome.cost_ns,
+            hash_passes: outcome.hash_passes,
+            recirculations: outcome.recirculations,
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4auth_dataplane::register::RegisterArray;
+    use p4auth_primitives::mac::HalfSipHashMac;
+
+    const SEED: Key64 = Key64::new(0x5eed_0000_5eed_0000);
+
+    fn mac() -> HalfSipHashMac {
+        HalfSipHashMac::default()
+    }
+
+    fn agent() -> P4AuthSwitch {
+        let config = AgentConfig::new(SwitchId::new(1), 4, SEED)
+            .map_register(RegId::new(1234), "path_latency");
+        let mut sw = P4AuthSwitch::new(config, None);
+        sw.chassis_mut()
+            .declare_register(RegisterArray::new("path_latency", 8, 64));
+        sw
+    }
+
+    fn sealed_write(key: Key64, seq: u32, index: u32, value: u64) -> Vec<u8> {
+        Message::register_request(
+            SwitchId::CONTROLLER,
+            SeqNum::new(seq),
+            RegisterOp::write_req(RegId::new(1234), index, value),
+        )
+        .sealed(&mac(), key)
+        .encode()
+    }
+
+    fn install_local(sw: &mut P4AuthSwitch, key: Key64) {
+        sw.install_key(PortId::CPU, key);
+    }
+
+    #[test]
+    fn authenticated_write_then_read() {
+        let mut sw = agent();
+        let k = Key64::new(42);
+        install_local(&mut sw, k);
+
+        let out = sw.on_packet(0, PortId::CPU, &sealed_write(k, 1, 3, 777));
+        assert!(out.has_event(&AgentEvent::VerifiedOk));
+        assert!(out.has_event(&AgentEvent::RegisterWritten {
+            name: "path_latency".into(),
+            index: 3,
+            value: 777
+        }));
+        // The ack response verifies under the local key and echoes the seq.
+        let reply = Message::decode(&out.outputs[0].1).unwrap();
+        assert!(reply.verify(&mac(), k));
+        assert_eq!(reply.header().seq_num, SeqNum::new(1));
+        assert!(matches!(
+            reply.body(),
+            Body::Register(RegisterOp::Ack { value: 0, .. })
+        ));
+
+        let read = Message::register_request(
+            SwitchId::CONTROLLER,
+            SeqNum::new(2),
+            RegisterOp::read_req(RegId::new(1234), 3),
+        )
+        .sealed(&mac(), k)
+        .encode();
+        let out = sw.on_packet(0, PortId::CPU, &read);
+        let reply = Message::decode(&out.outputs[0].1).unwrap();
+        assert!(matches!(
+            reply.body(),
+            Body::Register(RegisterOp::Ack { value: 777, .. })
+        ));
+        assert_eq!(sw.stats().acks, 2);
+    }
+
+    #[test]
+    fn tampered_write_rejected_with_nack_and_alert() {
+        let mut sw = agent();
+        let k = Key64::new(42);
+        install_local(&mut sw, k);
+
+        // Adversary alters the value after sealing (the §II-A scenario).
+        let mut msg = Message::register_request(
+            SwitchId::CONTROLLER,
+            SeqNum::new(1),
+            RegisterOp::write_req(RegId::new(1234), 0, 10),
+        )
+        .sealed(&mac(), k);
+        *msg.body_mut() = Body::Register(RegisterOp::write_req(RegId::new(1234), 0, 999_999));
+        let out = sw.on_packet(0, PortId::CPU, &msg.encode());
+
+        assert!(out.has_event(&AgentEvent::Rejected(RejectReason::BadDigest)));
+        assert!(out.has_event(&AgentEvent::AlertSent(AlertKind::DigestMismatch)));
+        // No write happened.
+        assert_eq!(
+            sw.chassis()
+                .register("path_latency")
+                .unwrap()
+                .read(0)
+                .unwrap(),
+            0
+        );
+        // nAck + alert on the CPU port.
+        assert_eq!(out.outputs.len(), 2);
+        let nack = Message::decode(&out.outputs[0].1).unwrap();
+        assert!(matches!(
+            nack.body(),
+            Body::Register(RegisterOp::Nack {
+                reason: NackReason::DigestMismatch,
+                ..
+            })
+        ));
+        assert_eq!(sw.stats().digest_failures, 1);
+    }
+
+    #[test]
+    fn replayed_request_rejected() {
+        let mut sw = agent();
+        let k = Key64::new(42);
+        install_local(&mut sw, k);
+
+        let bytes = sealed_write(k, 5, 0, 1);
+        let first = sw.on_packet(0, PortId::CPU, &bytes);
+        assert!(first.has_event(&AgentEvent::VerifiedOk));
+        let replayed = sw.on_packet(10, PortId::CPU, &bytes);
+        assert!(
+            replayed.has_event(&AgentEvent::Rejected(RejectReason::Replayed {
+                last_accepted: SeqNum::new(5)
+            }))
+        );
+        assert!(replayed.has_event(&AgentEvent::AlertSent(AlertKind::SeqMismatch)));
+        assert_eq!(sw.stats().replays, 1);
+    }
+
+    #[test]
+    fn unknown_register_nacked() {
+        let mut sw = agent();
+        let k = Key64::new(42);
+        install_local(&mut sw, k);
+        let req = Message::register_request(
+            SwitchId::CONTROLLER,
+            SeqNum::new(1),
+            RegisterOp::read_req(RegId::new(9999), 0),
+        )
+        .sealed(&mac(), k)
+        .encode();
+        let out = sw.on_packet(0, PortId::CPU, &req);
+        let reply = Message::decode(&out.outputs[0].1).unwrap();
+        assert!(matches!(
+            reply.body(),
+            Body::Register(RegisterOp::Nack {
+                reason: NackReason::UnknownRegister,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_index_nacked() {
+        let mut sw = agent();
+        let k = Key64::new(42);
+        install_local(&mut sw, k);
+        let out = sw.on_packet(0, PortId::CPU, &sealed_write(k, 1, 999, 5));
+        let reply = Message::decode(&out.outputs[0].1).unwrap();
+        assert!(matches!(
+            reply.body(),
+            Body::Register(RegisterOp::Nack {
+                reason: NackReason::IndexOutOfRange,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn baseline_mode_skips_verification() {
+        let config = AgentConfig::new(SwitchId::new(1), 2, SEED)
+            .map_register(RegId::new(7), "r")
+            .insecure_baseline();
+        let mut sw = P4AuthSwitch::new(config, None);
+        sw.chassis_mut()
+            .declare_register(RegisterArray::new("r", 2, 64));
+        // Unsigned request: accepted in baseline mode (this is DP-Reg-RW —
+        // and exactly what the adversary exploits).
+        let req = Message::register_request(
+            SwitchId::CONTROLLER,
+            SeqNum::new(1),
+            RegisterOp::write_req(RegId::new(7), 0, 123),
+        )
+        .encode();
+        let out = sw.on_packet(0, PortId::CPU, &req);
+        assert!(out.has_event(&AgentEvent::RegisterWritten {
+            name: "r".into(),
+            index: 0,
+            value: 123
+        }));
+        assert_eq!(sw.chassis().register("r").unwrap().read(0).unwrap(), 123);
+    }
+
+    #[test]
+    fn eak_exchange_derives_k_auth() {
+        let mut sw = agent();
+        let salt1 = Message::key_exchange(
+            SwitchId::CONTROLLER,
+            PortId::CPU,
+            SeqNum::new(1),
+            KeyExchange::EakSalt {
+                step: EakStep::Salt1,
+                salt: 0xaaaa,
+            },
+        )
+        .sealed(&mac(), SEED)
+        .encode();
+        let out = sw.on_packet(0, PortId::CPU, &salt1);
+        assert!(sw.has_auth_key());
+        assert!(out.has_event(&AgentEvent::AuthKeyDerived));
+        let reply = Message::decode(&out.outputs[0].1).unwrap();
+        assert!(reply.verify(&mac(), SEED));
+        assert!(matches!(
+            reply.body(),
+            Body::KeyExchange(KeyExchange::EakSalt {
+                step: EakStep::Salt2,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn eak_with_wrong_seed_rejected() {
+        let mut sw = agent();
+        let salt1 = Message::key_exchange(
+            SwitchId::CONTROLLER,
+            PortId::CPU,
+            SeqNum::new(1),
+            KeyExchange::EakSalt {
+                step: EakStep::Salt1,
+                salt: 1,
+            },
+        )
+        .sealed(&mac(), Key64::new(0xbad))
+        .encode();
+        let out = sw.on_packet(0, PortId::CPU, &salt1);
+        assert!(!sw.has_auth_key());
+        assert!(out.has_event(&AgentEvent::AlertSent(AlertKind::KeyExchangeFailure)));
+    }
+
+    #[test]
+    fn probe_sealing_requires_port_key() {
+        let mut sw = agent();
+        assert!(sw.seal_probe(PortId::new(1), 1, vec![1, 2]).is_none());
+        sw.install_key(PortId::new(1), Key64::new(9));
+        let bytes = sw.seal_probe(PortId::new(1), 1, vec![1, 2]).unwrap();
+        let msg = Message::decode(&bytes).unwrap();
+        assert!(msg.verify(&mac(), Key64::new(9)));
+    }
+
+    #[test]
+    fn alert_rate_limiting_kicks_in() {
+        let config = AgentConfig {
+            alert_max: 2,
+            alert_period_ns: 1_000_000,
+            ..AgentConfig::new(SwitchId::new(1), 2, SEED)
+        }
+        .map_register(RegId::new(1), "r");
+        let mut sw = P4AuthSwitch::new(config, None);
+        sw.chassis_mut()
+            .declare_register(RegisterArray::new("r", 1, 64));
+        sw.install_key(PortId::CPU, Key64::new(5));
+
+        let forged = |seq: u32| {
+            Message::register_request(
+                SwitchId::CONTROLLER,
+                SeqNum::new(seq),
+                RegisterOp::write_req(RegId::new(1), 0, 1),
+            )
+            .sealed(&mac(), Key64::new(0xbad))
+            .encode()
+        };
+        let o1 = sw.on_packet(0, PortId::CPU, &forged(1));
+        let o2 = sw.on_packet(1, PortId::CPU, &forged(2));
+        let o3 = sw.on_packet(2, PortId::CPU, &forged(3));
+        let o4 = sw.on_packet(3, PortId::CPU, &forged(4));
+        assert!(o1.has_event(&AgentEvent::AlertSent(AlertKind::DigestMismatch)));
+        assert!(o2.has_event(&AgentEvent::AlertSent(AlertKind::DigestMismatch)));
+        assert!(o3.has_event(&AgentEvent::AlertSent(AlertKind::RateLimited)));
+        assert!(o4.has_event(&AgentEvent::AlertSuppressed));
+        // A new window re-opens alerting.
+        let o5 = sw.on_packet(2_000_000, PortId::CPU, &forged(5));
+        assert!(o5.has_event(&AgentEvent::AlertSent(AlertKind::DigestMismatch)));
+    }
+
+    #[test]
+    fn digest_work_is_metered_on_the_chassis() {
+        let mut sw = agent();
+        let k = Key64::new(42);
+        install_local(&mut sw, k);
+        let before = sw.chassis().hash_meter().verifies;
+        let _ = sw.on_packet(0, PortId::CPU, &sealed_write(k, 1, 0, 5));
+        assert!(sw.chassis().hash_meter().verifies > before);
+    }
+}

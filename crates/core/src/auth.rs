@@ -1,0 +1,358 @@
+//! The authentication engine: digest handling, replay defence and alert
+//! rate limiting.
+//!
+//! This is the shared verification logic both endpoints of a P4Auth channel
+//! run. The data-plane agent uses it inside the pipeline context; the
+//! controller uses it directly.
+
+use p4auth_primitives::mac::Mac;
+use p4auth_primitives::Key64;
+use p4auth_wire::body::{Alert, AlertKind};
+use p4auth_wire::ids::{PortId, SeqNum, SwitchId};
+use p4auth_wire::Message;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Why an incoming message was rejected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RejectReason {
+    /// Digest verification failed — content or origin was tampered with.
+    BadDigest,
+    /// No key installed / unknown key version for this channel.
+    NoKey,
+    /// Sequence number at or below the last accepted one (replay, §VIII).
+    Replayed {
+        /// Last accepted sequence number on this channel.
+        last_accepted: SeqNum,
+    },
+}
+
+impl RejectReason {
+    /// The alert this rejection raises toward the controller.
+    pub fn to_alert(self, offending_seq: SeqNum, detail: u32) -> Alert {
+        let kind = match self {
+            RejectReason::BadDigest | RejectReason::NoKey => AlertKind::DigestMismatch,
+            RejectReason::Replayed { .. } => AlertKind::SeqMismatch,
+        };
+        Alert {
+            kind,
+            offending_seq,
+            detail,
+        }
+    }
+}
+
+/// Tracks the last accepted sequence number per `(peer, channel)`,
+/// enforcing strictly-increasing sequence numbers (the paper's replay
+/// defence). The channel is the receiver-side port the message's key is
+/// bound to: senders keep an independent sequence counter per key channel
+/// (one per egress port plus the CPU channel), so the windows must be
+/// independent too.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ReplayWindow {
+    last: HashMap<(SwitchId, PortId), SeqNum>,
+}
+
+impl ReplayWindow {
+    /// Creates an empty window.
+    pub fn new() -> Self {
+        ReplayWindow::default()
+    }
+
+    /// Checks and records `seq` from `peer` on `channel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RejectReason::Replayed`] if `seq` does not advance past
+    /// the last accepted value.
+    pub fn check_and_advance(
+        &mut self,
+        peer: SwitchId,
+        channel: PortId,
+        seq: SeqNum,
+    ) -> Result<(), RejectReason> {
+        match self.last.get(&(peer, channel)) {
+            Some(&last) if seq.value() <= last.value() => Err(RejectReason::Replayed {
+                last_accepted: last,
+            }),
+            _ => {
+                self.last.insert((peer, channel), seq);
+                Ok(())
+            }
+        }
+    }
+
+    /// Last accepted sequence number from `peer` on `channel`.
+    pub fn last_accepted(&self, peer: SwitchId, channel: PortId) -> Option<SeqNum> {
+        self.last.get(&(peer, channel)).copied()
+    }
+
+    /// Forgets all state for a peer (e.g. after the peer reboots and its
+    /// keys are re-initialized).
+    pub fn reset_peer(&mut self, peer: SwitchId) {
+        self.last.retain(|(p, _), _| *p != peer);
+    }
+}
+
+/// Alert-rate limiter: the §VIII DoS mitigation. At most `max_alerts`
+/// alerts are emitted per `period_ns`; excess failures are counted and a
+/// single [`AlertKind::RateLimited`] alert marks the suppression.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AlertLimiter {
+    max_alerts: u32,
+    period_ns: u64,
+    window_start_ns: u64,
+    emitted_in_window: u32,
+    suppressed_total: u64,
+    rate_limit_alert_sent: bool,
+}
+
+/// What the limiter decides for one would-be alert.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AlertDecision {
+    /// Emit the alert normally.
+    Emit,
+    /// Emit a single rate-limited marker alert instead.
+    EmitRateLimitMarker,
+    /// Suppress silently (already marked this window).
+    Suppress,
+}
+
+impl AlertLimiter {
+    /// Creates a limiter allowing `max_alerts` per `period_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_alerts` is 0 or `period_ns` is 0.
+    pub fn new(max_alerts: u32, period_ns: u64) -> Self {
+        assert!(
+            max_alerts > 0 && period_ns > 0,
+            "limiter parameters must be positive"
+        );
+        AlertLimiter {
+            max_alerts,
+            period_ns,
+            window_start_ns: 0,
+            emitted_in_window: 0,
+            suppressed_total: 0,
+            rate_limit_alert_sent: false,
+        }
+    }
+
+    /// Registers an alert-worthy event at time `now_ns` and decides what to
+    /// emit.
+    pub fn on_alert(&mut self, now_ns: u64) -> AlertDecision {
+        if now_ns.saturating_sub(self.window_start_ns) >= self.period_ns {
+            self.window_start_ns = now_ns;
+            self.emitted_in_window = 0;
+            self.rate_limit_alert_sent = false;
+        }
+        if self.emitted_in_window < self.max_alerts {
+            self.emitted_in_window += 1;
+            AlertDecision::Emit
+        } else if !self.rate_limit_alert_sent {
+            self.rate_limit_alert_sent = true;
+            self.suppressed_total += 1;
+            AlertDecision::EmitRateLimitMarker
+        } else {
+            self.suppressed_total += 1;
+            AlertDecision::Suppress
+        }
+    }
+
+    /// Total alerts suppressed across all windows.
+    pub fn suppressed_total(&self) -> u64 {
+        self.suppressed_total
+    }
+}
+
+/// Verifies a sealed message against a key and a replay window in one step.
+///
+/// Order matters: the digest is checked first (an attacker must not be able
+/// to probe sequence state with forged messages), then the sequence number
+/// advances.
+///
+/// # Errors
+///
+/// Returns the [`RejectReason`] on failure; on success the window advances.
+pub fn verify_and_advance(
+    mac: &dyn Mac,
+    key: Option<Key64>,
+    window: &mut ReplayWindow,
+    channel: PortId,
+    msg: &Message,
+) -> Result<(), RejectReason> {
+    let key = key.ok_or(RejectReason::NoKey)?;
+    if !msg.verify(mac, key) {
+        return Err(RejectReason::BadDigest);
+    }
+    window.check_and_advance(msg.header().sender, channel, msg.header().seq_num)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4auth_primitives::mac::HalfSipHashMac;
+    use p4auth_wire::body::RegisterOp;
+    use p4auth_wire::ids::RegId;
+
+    fn mac() -> HalfSipHashMac {
+        HalfSipHashMac::default()
+    }
+
+    fn msg(seq: u32) -> Message {
+        Message::register_request(
+            SwitchId::CONTROLLER,
+            SeqNum::new(seq),
+            RegisterOp::read_req(RegId::new(1), 0),
+        )
+    }
+
+    #[test]
+    fn accepts_valid_sequence() {
+        let key = Key64::new(5);
+        let mut w = ReplayWindow::new();
+        for seq in 1..=5 {
+            let m = msg(seq).sealed(&mac(), key);
+            verify_and_advance(&mac(), Some(key), &mut w, PortId::CPU, &m).unwrap();
+        }
+        assert_eq!(
+            w.last_accepted(SwitchId::CONTROLLER, PortId::CPU),
+            Some(SeqNum::new(5))
+        );
+    }
+
+    #[test]
+    fn rejects_replay() {
+        let key = Key64::new(5);
+        let mut w = ReplayWindow::new();
+        let m = msg(3).sealed(&mac(), key);
+        verify_and_advance(&mac(), Some(key), &mut w, PortId::CPU, &m).unwrap();
+        // Same message again: replay.
+        let err = verify_and_advance(&mac(), Some(key), &mut w, PortId::CPU, &m).unwrap_err();
+        assert_eq!(
+            err,
+            RejectReason::Replayed {
+                last_accepted: SeqNum::new(3)
+            }
+        );
+        // Older seq: also replay.
+        let old = msg(2).sealed(&mac(), key);
+        assert!(verify_and_advance(&mac(), Some(key), &mut w, PortId::CPU, &old).is_err());
+    }
+
+    #[test]
+    fn gaps_are_allowed() {
+        // Lost messages must not wedge the channel: strictly-increasing,
+        // not strictly-consecutive.
+        let key = Key64::new(5);
+        let mut w = ReplayWindow::new();
+        verify_and_advance(
+            &mac(),
+            Some(key),
+            &mut w,
+            PortId::CPU,
+            &msg(1).sealed(&mac(), key),
+        )
+        .unwrap();
+        verify_and_advance(
+            &mac(),
+            Some(key),
+            &mut w,
+            PortId::CPU,
+            &msg(10).sealed(&mac(), key),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_digest_before_touching_window() {
+        let key = Key64::new(5);
+        let mut w = ReplayWindow::new();
+        let forged = msg(1); // never sealed
+        let err = verify_and_advance(&mac(), Some(key), &mut w, PortId::CPU, &forged).unwrap_err();
+        assert_eq!(err, RejectReason::BadDigest);
+        assert_eq!(w.last_accepted(SwitchId::CONTROLLER, PortId::CPU), None);
+    }
+
+    #[test]
+    fn rejects_when_no_key() {
+        let mut w = ReplayWindow::new();
+        let m = msg(1).sealed(&mac(), Key64::new(1));
+        let err = verify_and_advance(&mac(), None, &mut w, PortId::CPU, &m).unwrap_err();
+        assert_eq!(err, RejectReason::NoKey);
+    }
+
+    #[test]
+    fn per_peer_windows_are_independent() {
+        let mut w = ReplayWindow::new();
+        w.check_and_advance(SwitchId::new(1), PortId::CPU, SeqNum::new(5))
+            .unwrap();
+        w.check_and_advance(SwitchId::new(2), PortId::CPU, SeqNum::new(1))
+            .unwrap();
+        assert!(w
+            .check_and_advance(SwitchId::new(1), PortId::CPU, SeqNum::new(5))
+            .is_err());
+        w.check_and_advance(SwitchId::new(2), PortId::CPU, SeqNum::new(2))
+            .unwrap();
+        // Same peer, different channel: independent window.
+        w.check_and_advance(SwitchId::new(1), PortId::new(3), SeqNum::new(1))
+            .unwrap();
+    }
+
+    #[test]
+    fn reset_peer_reopens_channel() {
+        let mut w = ReplayWindow::new();
+        w.check_and_advance(SwitchId::new(1), PortId::CPU, SeqNum::new(9))
+            .unwrap();
+        w.check_and_advance(SwitchId::new(1), PortId::new(2), SeqNum::new(4))
+            .unwrap();
+        w.reset_peer(SwitchId::new(1));
+        w.check_and_advance(SwitchId::new(1), PortId::CPU, SeqNum::new(1))
+            .unwrap();
+        w.check_and_advance(SwitchId::new(1), PortId::new(2), SeqNum::new(1))
+            .unwrap();
+    }
+
+    #[test]
+    fn reject_reasons_map_to_alert_kinds() {
+        let a = RejectReason::BadDigest.to_alert(SeqNum::new(4), 7);
+        assert_eq!(a.kind, AlertKind::DigestMismatch);
+        assert_eq!(a.offending_seq, SeqNum::new(4));
+        assert_eq!(a.detail, 7);
+        let a = RejectReason::Replayed {
+            last_accepted: SeqNum::new(1),
+        }
+        .to_alert(SeqNum::new(1), 0);
+        assert_eq!(a.kind, AlertKind::SeqMismatch);
+        let a = RejectReason::NoKey.to_alert(SeqNum::new(0), 0);
+        assert_eq!(a.kind, AlertKind::DigestMismatch);
+    }
+
+    #[test]
+    fn limiter_emits_up_to_cap_then_marks_then_suppresses() {
+        let mut l = AlertLimiter::new(3, 1_000);
+        assert_eq!(l.on_alert(0), AlertDecision::Emit);
+        assert_eq!(l.on_alert(10), AlertDecision::Emit);
+        assert_eq!(l.on_alert(20), AlertDecision::Emit);
+        assert_eq!(l.on_alert(30), AlertDecision::EmitRateLimitMarker);
+        assert_eq!(l.on_alert(40), AlertDecision::Suppress);
+        assert_eq!(l.suppressed_total(), 2);
+    }
+
+    #[test]
+    fn limiter_window_resets() {
+        let mut l = AlertLimiter::new(1, 1_000);
+        assert_eq!(l.on_alert(0), AlertDecision::Emit);
+        assert_eq!(l.on_alert(1), AlertDecision::EmitRateLimitMarker);
+        // New window.
+        assert_eq!(l.on_alert(1_000), AlertDecision::Emit);
+        assert_eq!(l.on_alert(1_001), AlertDecision::EmitRateLimitMarker);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn limiter_rejects_zero_cap() {
+        let _ = AlertLimiter::new(0, 100);
+    }
+}

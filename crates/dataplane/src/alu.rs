@@ -1,0 +1,231 @@
+//! The restricted per-packet ALU.
+//!
+//! A PISA stage ALU supports only simple integer operations; there is no
+//! multiply, divide, modulo or exponentiation and no loops. Representing
+//! the permitted operations as a closed enum makes the restriction
+//! *structural*: code built on [`AluOp`] cannot express the operations the
+//! paper says are infeasible (§III-B \[A2\], §V), which is exactly the design
+//! pressure that leads to modified DH + HMAC.
+
+use serde::{Deserialize, Serialize};
+
+/// One ALU operation on 64-bit operands.
+///
+/// This set mirrors what Tofino ALUs expose to P4: bitwise logic,
+/// addition/subtraction (wrapping, as hardware does), shifts and rotates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AluOp {
+    /// `a & b`
+    And,
+    /// `a | b`
+    Or,
+    /// `a ^ b`
+    Xor,
+    /// `!a` (b ignored)
+    Not,
+    /// `a + b` (wrapping)
+    Add,
+    /// `a - b` (wrapping)
+    Sub,
+    /// `a << (b % 64)`
+    ShiftLeft,
+    /// `a >> (b % 64)` (logical)
+    ShiftRight,
+    /// `a.rotate_left(b % 64)`
+    RotateLeft,
+    /// `a.rotate_right(b % 64)`
+    RotateRight,
+    /// `b` (move/set)
+    Set,
+    /// `min(a, b)` — Tofino ALUs support saturating min/max.
+    Min,
+    /// `max(a, b)`
+    Max,
+}
+
+impl AluOp {
+    /// Applies the operation.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Not => !a,
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::ShiftLeft => a << (b % 64),
+            AluOp::ShiftRight => a >> (b % 64),
+            AluOp::RotateLeft => a.rotate_left((b % 64) as u32),
+            AluOp::RotateRight => a.rotate_right((b % 64) as u32),
+            AluOp::Set => b,
+            AluOp::Min => a.min(b),
+            AluOp::Max => a.max(b),
+        }
+    }
+
+    /// All operations (for exhaustive tests and fuzzing).
+    pub const ALL: [AluOp; 13] = [
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Not,
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::ShiftLeft,
+        AluOp::ShiftRight,
+        AluOp::RotateLeft,
+        AluOp::RotateRight,
+        AluOp::Set,
+        AluOp::Min,
+        AluOp::Max,
+    ];
+}
+
+/// Evaluates a short straight-line ALU program (no loops — the instruction
+/// list is traversed exactly once, like actions in a match-action stage).
+///
+/// Each instruction reads two slots of the register window and writes one.
+/// This is how compiled P4 action bodies look after the frontend lowers
+/// them.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AluProgram {
+    instructions: Vec<Instruction>,
+}
+
+/// One lowered action instruction: `window[dst] = op(window[a], window[b])`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Operation to apply.
+    pub op: AluOp,
+    /// Destination slot.
+    pub dst: usize,
+    /// First operand slot.
+    pub a: usize,
+    /// Second operand slot.
+    pub b: usize,
+}
+
+impl AluProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        AluProgram::default()
+    }
+
+    /// Appends an instruction, builder style.
+    #[must_use]
+    pub fn then(mut self, op: AluOp, dst: usize, a: usize, b: usize) -> Self {
+        self.instructions.push(Instruction { op, dst, a, b });
+        self
+    }
+
+    /// Number of instructions (≈ ALU slots consumed).
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Runs the program over a mutable register window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an instruction references a slot outside `window` — that is
+    /// a program bug, the moral equivalent of a P4 compile error.
+    pub fn run(&self, window: &mut [u64]) {
+        for inst in &self.instructions {
+            let a = window[inst.a];
+            let b = window[inst.b];
+            window[inst.dst] = inst.op.apply(a, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Not.apply(0, 99), u64::MAX);
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u64::MAX);
+        assert_eq!(AluOp::Set.apply(123, 7), 7);
+        assert_eq!(AluOp::Min.apply(3, 9), 3);
+        assert_eq!(AluOp::Max.apply(3, 9), 9);
+    }
+
+    #[test]
+    fn shifts_and_rotates_mask_amount() {
+        assert_eq!(AluOp::ShiftLeft.apply(1, 65), 2);
+        assert_eq!(AluOp::ShiftRight.apply(4, 66), 1);
+        assert_eq!(AluOp::RotateLeft.apply(1 << 63, 65), 1);
+        assert_eq!(AluOp::RotateRight.apply(1, 65), 1 << 63);
+    }
+
+    #[test]
+    fn rotate_is_lossless_unlike_shift() {
+        let x = 0xdead_beef_0000_0001_u64;
+        assert_eq!(
+            AluOp::RotateLeft.apply(AluOp::RotateRight.apply(x, 13), 13),
+            x
+        );
+        assert_ne!(
+            AluOp::ShiftLeft.apply(AluOp::ShiftRight.apply(x, 13), 13),
+            x
+        );
+    }
+
+    #[test]
+    fn straight_line_program_runs_once() {
+        // window[2] = (window[0] ^ window[1]); window[2] = window[2] + window[0]
+        let prog = AluProgram::new()
+            .then(AluOp::Xor, 2, 0, 1)
+            .then(AluOp::Add, 2, 2, 0);
+        let mut w = [5, 3, 0];
+        prog.run(&mut w);
+        assert_eq!(w[2], (5 ^ 3) + 5);
+        assert_eq!(prog.len(), 2);
+        assert!(!prog.is_empty());
+    }
+
+    #[test]
+    fn modified_dh_is_expressible_in_the_alu() {
+        // The whole point of the restricted ALU: DH' = (G & R) ^ (P & R)
+        // compiles to three instructions.
+        let g = 0x1234_5678_9abc_def0_u64;
+        let p = !g;
+        let r = 0xfeed_face_dead_beef_u64;
+        // slots: 0=G, 1=P, 2=R, 3=G&R, 4=P&R -> 3 = pk
+        let prog = AluProgram::new()
+            .then(AluOp::And, 3, 0, 2)
+            .then(AluOp::And, 4, 1, 2)
+            .then(AluOp::Xor, 3, 3, 4);
+        let mut w = [g, p, r, 0, 0];
+        prog.run(&mut w);
+        assert_eq!(w[3], (g & r) ^ (p & r));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_window_slot_is_a_program_bug() {
+        let prog = AluProgram::new().then(AluOp::Add, 5, 0, 0);
+        let mut w = [0u64; 2];
+        prog.run(&mut w);
+    }
+
+    #[test]
+    fn all_ops_are_total() {
+        for op in AluOp::ALL {
+            // No panic for any operand pattern.
+            let _ = op.apply(u64::MAX, u64::MAX);
+            let _ = op.apply(0, u64::MAX);
+            let _ = op.apply(u64::MAX, 0);
+        }
+    }
+}

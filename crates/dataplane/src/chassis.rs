@@ -1,0 +1,551 @@
+//! The emulated switch chassis: registers, tables, hash units, ports and
+//! budget-enforced per-packet execution contexts.
+
+use crate::cost::CostModel;
+pub use crate::cost::TargetProfile;
+use crate::hash::{HashEngine, HashMeter};
+use crate::packet::Packet;
+use crate::register::{IndexOutOfRangeError, RegisterArray};
+use crate::table::{ActionEntry, MatchKey, MatchTable};
+use p4auth_primitives::mac::{HalfSipHashMac, Mac};
+use p4auth_primitives::{Digest32, Key64};
+use p4auth_wire::ids::{PortId, SwitchId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Chassis configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChassisConfig {
+    /// This switch's identity.
+    pub switch_id: SwitchId,
+    /// Cost-model profile (Tofino or BMv2).
+    pub profile: TargetProfile,
+    /// Number of data ports (1..=N; port 0 is the CPU port).
+    pub num_ports: u8,
+    /// Pipeline stages available per traversal; exceeding this forces a
+    /// recirculation.
+    pub stage_budget: u32,
+}
+
+impl ChassisConfig {
+    /// A Tofino-profile switch with `num_ports` data ports.
+    pub fn tofino(switch_id: SwitchId, num_ports: u8) -> Self {
+        ChassisConfig {
+            switch_id,
+            profile: TargetProfile::Tofino,
+            num_ports,
+            stage_budget: 12,
+        }
+    }
+
+    /// A BMv2-profile switch with `num_ports` data ports.
+    pub fn bmv2(switch_id: SwitchId, num_ports: u8) -> Self {
+        ChassisConfig {
+            switch_id,
+            profile: TargetProfile::Bmv2,
+            num_ports,
+            stage_budget: 32,
+        }
+    }
+}
+
+/// Errors surfaced by chassis operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ChassisError {
+    /// No register array with that name was declared.
+    NoSuchRegister(String),
+    /// No table with that name was declared.
+    NoSuchTable(String),
+    /// A register access was out of bounds.
+    Register(IndexOutOfRangeError),
+    /// A packet was emitted to a port the switch does not have.
+    NoSuchPort(PortId),
+}
+
+impl fmt::Display for ChassisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChassisError::NoSuchRegister(name) => write!(f, "no register named {name}"),
+            ChassisError::NoSuchTable(name) => write!(f, "no table named {name}"),
+            ChassisError::Register(e) => write!(f, "{e}"),
+            ChassisError::NoSuchPort(p) => write!(f, "no port {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ChassisError {}
+
+impl From<IndexOutOfRangeError> for ChassisError {
+    fn from(e: IndexOutOfRangeError) -> Self {
+        ChassisError::Register(e)
+    }
+}
+
+/// Result of processing one packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcessOutcome {
+    /// Packets to transmit, with their egress ports ([`PortId::CPU`] means
+    /// a PacketIn toward the controller).
+    pub outputs: Vec<(PortId, Packet)>,
+    /// Data-plane processing time of this packet (ns, from the cost model).
+    pub cost_ns: u64,
+    /// Stages consumed (across recirculations).
+    pub stages_used: u32,
+    /// Hash-unit passes consumed.
+    pub hash_passes: u32,
+    /// Recirculations forced by the stage budget.
+    pub recirculations: u32,
+}
+
+/// The emulated switch.
+pub struct Chassis {
+    config: ChassisConfig,
+    cost: CostModel,
+    registers: HashMap<String, RegisterArray>,
+    tables: HashMap<String, MatchTable>,
+    hash: HashEngine,
+}
+
+impl fmt::Debug for Chassis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Chassis")
+            .field("switch_id", &self.config.switch_id)
+            .field("profile", &self.config.profile)
+            .field("registers", &self.registers.len())
+            .field("tables", &self.tables.len())
+            .finish()
+    }
+}
+
+impl Chassis {
+    /// Creates a chassis with the default (HalfSipHash) hash engine.
+    pub fn new(config: ChassisConfig) -> Self {
+        Chassis::with_mac(config, Box::new(HalfSipHashMac::default()))
+    }
+
+    /// Creates a chassis with an explicit MAC in its hash engine.
+    pub fn with_mac(config: ChassisConfig, mac: Box<dyn Mac>) -> Self {
+        Chassis {
+            config,
+            cost: CostModel::for_profile(config.profile),
+            registers: HashMap::new(),
+            tables: HashMap::new(),
+            hash: HashEngine::new(mac),
+        }
+    }
+
+    /// This switch's id.
+    pub fn switch_id(&self) -> SwitchId {
+        self.config.switch_id
+    }
+
+    /// The chassis configuration.
+    pub fn config(&self) -> &ChassisConfig {
+        &self.config
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Declares a register array (P4 `register<...>(N)` instantiation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a register with the same name already exists — duplicate
+    /// instantiation is a program bug.
+    pub fn declare_register(&mut self, reg: RegisterArray) {
+        let name = reg.name().to_string();
+        let prev = self.registers.insert(name.clone(), reg);
+        assert!(prev.is_none(), "register {name} declared twice");
+    }
+
+    /// Declares a match-action table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate table names.
+    pub fn declare_table(&mut self, table: MatchTable) {
+        let name = table.name().to_string();
+        let prev = self.tables.insert(name.clone(), table);
+        assert!(prev.is_none(), "table {name} declared twice");
+    }
+
+    /// Direct (control-plane-side) register access, as the switch driver
+    /// performs it. This is the surface the §II-A adversary tampers with.
+    pub fn register(&self, name: &str) -> Result<&RegisterArray, ChassisError> {
+        self.registers
+            .get(name)
+            .ok_or_else(|| ChassisError::NoSuchRegister(name.to_string()))
+    }
+
+    /// Mutable register access (driver writes).
+    pub fn register_mut(&mut self, name: &str) -> Result<&mut RegisterArray, ChassisError> {
+        self.registers
+            .get_mut(name)
+            .ok_or_else(|| ChassisError::NoSuchRegister(name.to_string()))
+    }
+
+    /// Table access for rule installation.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut MatchTable, ChassisError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| ChassisError::NoSuchTable(name.to_string()))
+    }
+
+    /// Immutable table access.
+    pub fn table(&self, name: &str) -> Result<&MatchTable, ChassisError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| ChassisError::NoSuchTable(name.to_string()))
+    }
+
+    /// Whether `port` exists on this chassis.
+    pub fn has_port(&self, port: PortId) -> bool {
+        port.is_cpu() || port.value() <= self.config.num_ports
+    }
+
+    /// All data ports.
+    pub fn ports(&self) -> impl Iterator<Item = PortId> + '_ {
+        (1..=self.config.num_ports).map(PortId::new)
+    }
+
+    /// The MAC installed in this chassis' hash engine. Protocol code uses
+    /// it to seal messages produced outside a packet context (e.g.
+    /// controller-bound replies assembled after the pipeline pass).
+    pub fn hash_mac(&self) -> &dyn Mac {
+        self.hash.mac()
+    }
+
+    /// Cumulative hash meter (resource accounting).
+    pub fn hash_meter(&self) -> HashMeter {
+        self.hash.meter()
+    }
+
+    /// Resets the hash meter.
+    pub fn reset_hash_meter(&mut self) {
+        self.hash.reset_meter();
+    }
+
+    /// Runs a data-plane program body over one packet inside a
+    /// budget-enforced context and returns the outcome.
+    ///
+    /// The closure is the "P4 program": it sees the packet and a
+    /// [`PacketContext`] through which all stateful work flows, so stage
+    /// and hash budgets are enforced uniformly.
+    pub fn process<F>(
+        &mut self,
+        packet: &Packet,
+        program: F,
+    ) -> Result<ProcessOutcome, ChassisError>
+    where
+        F: FnOnce(&mut PacketContext<'_>, &Packet) -> Result<Vec<(PortId, Packet)>, ChassisError>,
+    {
+        let mut ctx = PacketContext {
+            chassis: self,
+            stages_used: 0,
+            hash_passes: 0,
+            recirculations: 0,
+            stages_this_pass: 0,
+        };
+        let outputs = program(&mut ctx, packet)?;
+        let (stages_used, hash_passes, recirculations) =
+            (ctx.stages_used, ctx.hash_passes, ctx.recirculations);
+        for (port, _) in &outputs {
+            if !self.has_port(*port) {
+                return Err(ChassisError::NoSuchPort(*port));
+            }
+        }
+        let cost_ns = self.cost.packet_ns(hash_passes, recirculations);
+        Ok(ProcessOutcome {
+            outputs,
+            cost_ns,
+            stages_used,
+            hash_passes,
+            recirculations,
+        })
+    }
+}
+
+/// Per-packet execution context handed to data-plane programs.
+///
+/// Every stateful operation consumes a pipeline stage; crossing the
+/// configured stage budget forces a recirculation (which the cost model
+/// charges at "100s of ns", §XI).
+pub struct PacketContext<'c> {
+    chassis: &'c mut Chassis,
+    stages_used: u32,
+    hash_passes: u32,
+    recirculations: u32,
+    stages_this_pass: u32,
+}
+
+impl<'c> PacketContext<'c> {
+    fn consume_stage(&mut self) {
+        self.stages_used += 1;
+        self.stages_this_pass += 1;
+        if self.stages_this_pass > self.chassis.config.stage_budget {
+            self.recirculations += 1;
+            self.stages_this_pass = 1;
+        }
+    }
+
+    /// This switch's id.
+    pub fn switch_id(&self) -> SwitchId {
+        self.chassis.config.switch_id
+    }
+
+    /// Reads `register[index]` (one stage).
+    ///
+    /// # Errors
+    ///
+    /// Unknown register name or out-of-range index.
+    pub fn read_register(&mut self, name: &str, index: u32) -> Result<u64, ChassisError> {
+        self.consume_stage();
+        Ok(self.chassis.register(name)?.read(index)?)
+    }
+
+    /// Writes `register[index] = value` (one stage).
+    ///
+    /// # Errors
+    ///
+    /// Unknown register name or out-of-range index.
+    pub fn write_register(
+        &mut self,
+        name: &str,
+        index: u32,
+        value: u64,
+    ) -> Result<(), ChassisError> {
+        self.consume_stage();
+        Ok(self.chassis.register_mut(name)?.write(index, value)?)
+    }
+
+    /// Read-modify-write of `register[index]` in one stateful-ALU pass
+    /// (one stage).
+    ///
+    /// # Errors
+    ///
+    /// Unknown register name or out-of-range index.
+    pub fn update_register(
+        &mut self,
+        name: &str,
+        index: u32,
+        f: impl FnOnce(u64) -> u64,
+    ) -> Result<u64, ChassisError> {
+        self.consume_stage();
+        Ok(self.chassis.register_mut(name)?.update(index, f)?)
+    }
+
+    /// Looks `key` up in `table` (one stage).
+    ///
+    /// # Errors
+    ///
+    /// Unknown table name.
+    pub fn lookup(
+        &mut self,
+        table: &str,
+        key: MatchKey,
+    ) -> Result<Option<ActionEntry>, ChassisError> {
+        self.consume_stage();
+        Ok(self.chassis.table(table)?.lookup(key))
+    }
+
+    /// Computes a keyed digest (metered hash passes + one stage).
+    pub fn compute_digest(&mut self, key: Key64, parts: &[&[u8]]) -> Digest32 {
+        self.consume_stage();
+        self.hash_passes += 1;
+        self.chassis.hash.compute(key, parts)
+    }
+
+    /// Verifies a keyed digest in constant time (metered + one stage).
+    pub fn verify_digest(&mut self, key: Key64, parts: &[&[u8]], digest: Digest32) -> bool {
+        self.consume_stage();
+        self.hash_passes += 1;
+        self.chassis.hash.verify(key, parts, digest)
+    }
+
+    /// Records KDF PRF passes performed by protocol code (metered).
+    pub fn record_kdf_passes(&mut self, passes: u32) {
+        self.hash_passes += passes;
+        self.chassis.hash.record_kdf_passes(passes);
+        // KDF chains occupy stages too.
+        for _ in 0..passes.div_ceil(2) {
+            self.consume_stage();
+        }
+    }
+
+    /// The MAC configured on this chassis (for sealing wire messages).
+    pub fn mac(&self) -> &dyn Mac {
+        self.chassis.hash.mac()
+    }
+
+    /// Stages consumed so far.
+    pub fn stages_used(&self) -> u32 {
+        self.stages_used
+    }
+
+    /// Hash passes consumed so far.
+    pub fn hash_passes(&self) -> u32 {
+        self.hash_passes
+    }
+
+    /// Recirculations forced so far.
+    pub fn recirculations(&self) -> u32 {
+        self.recirculations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableKind;
+
+    fn chassis() -> Chassis {
+        let mut c = Chassis::new(ChassisConfig::tofino(SwitchId::new(1), 4));
+        c.declare_register(RegisterArray::new("util", 8, 64));
+        c.declare_table(MatchTable::new("map", TableKind::ExactSram, 4, 40));
+        c
+    }
+
+    #[test]
+    fn process_counts_stages_and_cost() {
+        let mut c = chassis();
+        let pkt = Packet::from_bytes(PortId::new(1), vec![1, 2, 3]);
+        let out = c
+            .process(&pkt, |ctx, p| {
+                ctx.write_register("util", 0, 42)?;
+                let v = ctx.read_register("util", 0)?;
+                assert_eq!(v, 42);
+                Ok(vec![(PortId::new(2), p.clone())])
+            })
+            .unwrap();
+        assert_eq!(out.stages_used, 2);
+        assert_eq!(out.hash_passes, 0);
+        assert_eq!(out.recirculations, 0);
+        assert_eq!(out.cost_ns, c.cost_model().pipeline_ns);
+        assert_eq!(out.outputs.len(), 1);
+    }
+
+    #[test]
+    fn digest_work_is_metered_and_costed() {
+        let mut c = chassis();
+        let pkt = Packet::from_bytes(PortId::new(1), vec![0]);
+        let key = Key64::new(7);
+        let out = c
+            .process(&pkt, |ctx, _| {
+                let d = ctx.compute_digest(key, &[b"probe"]);
+                assert!(ctx.verify_digest(key, &[b"probe"], d));
+                Ok(vec![])
+            })
+            .unwrap();
+        assert_eq!(out.hash_passes, 2);
+        assert_eq!(
+            out.cost_ns,
+            c.cost_model().pipeline_ns + 2 * c.cost_model().hash_pass_ns
+        );
+        let meter = c.hash_meter();
+        assert_eq!(meter.computes, 1);
+        assert_eq!(meter.verifies, 1);
+    }
+
+    #[test]
+    fn stage_budget_forces_recirculation() {
+        let mut cfg = ChassisConfig::tofino(SwitchId::new(1), 2);
+        cfg.stage_budget = 3;
+        let mut c = Chassis::new(cfg);
+        c.declare_register(RegisterArray::new("r", 1, 64));
+        let pkt = Packet::from_bytes(PortId::new(1), vec![]);
+        let out = c
+            .process(&pkt, |ctx, _| {
+                for _ in 0..7 {
+                    ctx.update_register("r", 0, |v| v + 1)?;
+                }
+                Ok(vec![])
+            })
+            .unwrap();
+        assert_eq!(out.stages_used, 7);
+        // 7 stages at budget 3: passes of 3,3,1 → 2 recirculations.
+        assert_eq!(out.recirculations, 2);
+        assert_eq!(
+            out.cost_ns,
+            c.cost_model().pipeline_ns + 2 * c.cost_model().recirculation_ns
+        );
+        assert_eq!(c.register("r").unwrap().read(0).unwrap(), 7);
+    }
+
+    #[test]
+    fn unknown_register_and_table_errors() {
+        let mut c = chassis();
+        let pkt = Packet::from_bytes(PortId::new(1), vec![]);
+        let err = c
+            .process(&pkt, |ctx, _| {
+                ctx.read_register("nope", 0)?;
+                Ok(vec![])
+            })
+            .unwrap_err();
+        assert_eq!(err.to_string(), "no register named nope");
+        let err = c
+            .process(&pkt, |ctx, _| {
+                ctx.lookup("missing", MatchKey::new(0, 0))?;
+                Ok(vec![])
+            })
+            .unwrap_err();
+        assert!(matches!(err, ChassisError::NoSuchTable(_)));
+    }
+
+    #[test]
+    fn out_of_range_register_access_propagates() {
+        let mut c = chassis();
+        let pkt = Packet::from_bytes(PortId::new(1), vec![]);
+        let err = c
+            .process(&pkt, |ctx, _| {
+                ctx.read_register("util", 99)?;
+                Ok(vec![])
+            })
+            .unwrap_err();
+        assert!(matches!(err, ChassisError::Register(_)));
+    }
+
+    #[test]
+    fn emitting_to_missing_port_rejected() {
+        let mut c = chassis();
+        let pkt = Packet::from_bytes(PortId::new(1), vec![]);
+        let err = c
+            .process(&pkt, |_, p| Ok(vec![(PortId::new(99), p.clone())]))
+            .unwrap_err();
+        assert_eq!(err, ChassisError::NoSuchPort(PortId::new(99)));
+    }
+
+    #[test]
+    fn port_enumeration() {
+        let c = chassis();
+        assert!(c.has_port(PortId::CPU));
+        assert!(c.has_port(PortId::new(4)));
+        assert!(!c.has_port(PortId::new(5)));
+        assert_eq!(c.ports().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_register_panics() {
+        let mut c = chassis();
+        c.declare_register(RegisterArray::new("util", 1, 64));
+    }
+
+    #[test]
+    fn kdf_passes_consume_hash_units_and_stages() {
+        let mut c = chassis();
+        let pkt = Packet::from_bytes(PortId::CPU, vec![]);
+        let out = c
+            .process(&pkt, |ctx, _| {
+                ctx.record_kdf_passes(4);
+                Ok(vec![])
+            })
+            .unwrap();
+        assert_eq!(out.hash_passes, 4);
+        assert_eq!(out.stages_used, 2);
+        assert_eq!(c.hash_meter().kdf_passes, 4);
+    }
+}

@@ -1,0 +1,371 @@
+//! The Packet Header Vector (PHV) and parser model.
+//!
+//! A PISA pipeline parses packets into a fixed pool of header/metadata
+//! containers — the PHV — and match-action stages operate only on PHV
+//! fields. The PHV is a scarce resource (Table II charges P4Auth +12.1
+//! percentage points of PHV for its header, key-exchange fields and hash
+//! scratch state); this module models field allocation against a
+//! container budget so programs can be checked for PHV feasibility the
+//! way the Tofino compiler would reject over-allocation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A declared PHV field: name and bit width.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FieldDecl {
+    /// Field name (`"ipv4.dst"`, `"p4auth.digest"`, …).
+    pub name: String,
+    /// Width in bits (1..=64 per field; wider data spans several fields).
+    pub width_bits: u8,
+}
+
+impl FieldDecl {
+    /// Creates a declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bits` is 0 or greater than 64.
+    pub fn new(name: impl Into<String>, width_bits: u8) -> Self {
+        assert!(
+            (1..=64).contains(&width_bits),
+            "field width must be 1..=64 bits"
+        );
+        FieldDecl {
+            name: name.into(),
+            width_bits,
+        }
+    }
+}
+
+/// Error when allocating PHV fields.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PhvError {
+    /// The container budget is exhausted.
+    Exhausted {
+        /// Bits requested by the failing allocation.
+        requested: u32,
+        /// Bits still available.
+        available: u32,
+    },
+    /// A field with this name already exists.
+    Duplicate(String),
+    /// Access to an undeclared field.
+    Unknown(String),
+}
+
+impl fmt::Display for PhvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhvError::Exhausted {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "PHV exhausted: requested {requested} bits, {available} available"
+                )
+            }
+            PhvError::Duplicate(name) => write!(f, "field {name} declared twice"),
+            PhvError::Unknown(name) => write!(f, "unknown field {name}"),
+        }
+    }
+}
+
+impl std::error::Error for PhvError {}
+
+/// A PHV instance: declared fields, their values, and the bit budget.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Phv {
+    budget_bits: u32,
+    used_bits: u32,
+    fields: HashMap<String, (u8, u64)>,
+}
+
+impl Phv {
+    /// A PHV with `budget_bits` of container capacity (Tofino-like: 4 000).
+    pub fn new(budget_bits: u32) -> Self {
+        Phv {
+            budget_bits,
+            used_bits: 0,
+            fields: HashMap::new(),
+        }
+    }
+
+    /// Total capacity in bits.
+    pub fn budget_bits(&self) -> u32 {
+        self.budget_bits
+    }
+
+    /// Bits allocated so far.
+    pub fn used_bits(&self) -> u32 {
+        self.used_bits
+    }
+
+    /// Utilization as a percentage.
+    pub fn utilization_pct(&self) -> f64 {
+        100.0 * self.used_bits as f64 / self.budget_bits as f64
+    }
+
+    /// Declares a field, consuming budget.
+    ///
+    /// # Errors
+    ///
+    /// [`PhvError::Exhausted`] if the budget cannot fit the field;
+    /// [`PhvError::Duplicate`] on name reuse.
+    pub fn declare(&mut self, decl: FieldDecl) -> Result<(), PhvError> {
+        if self.fields.contains_key(&decl.name) {
+            return Err(PhvError::Duplicate(decl.name));
+        }
+        let width = decl.width_bits as u32;
+        if self.used_bits + width > self.budget_bits {
+            return Err(PhvError::Exhausted {
+                requested: width,
+                available: self.budget_bits - self.used_bits,
+            });
+        }
+        self.used_bits += width;
+        self.fields.insert(decl.name, (decl.width_bits, 0));
+        Ok(())
+    }
+
+    /// Declares a whole header (a list of fields).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing declaration.
+    pub fn declare_header(
+        &mut self,
+        fields: impl IntoIterator<Item = FieldDecl>,
+    ) -> Result<(), PhvError> {
+        for f in fields {
+            self.declare(f)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a field.
+    ///
+    /// # Errors
+    ///
+    /// [`PhvError::Unknown`] if undeclared.
+    pub fn get(&self, name: &str) -> Result<u64, PhvError> {
+        self.fields
+            .get(name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| PhvError::Unknown(name.to_string()))
+    }
+
+    /// Writes a field (truncated to its width).
+    ///
+    /// # Errors
+    ///
+    /// [`PhvError::Unknown`] if undeclared.
+    pub fn set(&mut self, name: &str, value: u64) -> Result<(), PhvError> {
+        let (width, slot) = self
+            .fields
+            .get_mut(name)
+            .ok_or_else(|| PhvError::Unknown(name.to_string()))?;
+        let mask = if *width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << *width) - 1
+        };
+        *slot = value & mask;
+        Ok(())
+    }
+
+    /// Number of declared fields.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+/// Standard header layouts used by the evaluation programs, with the same
+/// bit totals the Table II PHV accounting uses.
+pub mod layouts {
+    use super::FieldDecl;
+
+    /// Ethernet: 112 bits.
+    pub fn ethernet() -> Vec<FieldDecl> {
+        vec![
+            FieldDecl::new("eth.dst", 48),
+            FieldDecl::new("eth.src", 48),
+            FieldDecl::new("eth.type", 16),
+        ]
+    }
+
+    /// IPv4 (the fields the L3 program parses): 160 bits.
+    pub fn ipv4() -> Vec<FieldDecl> {
+        vec![
+            FieldDecl::new("ipv4.ver_ihl", 8),
+            FieldDecl::new("ipv4.dscp", 8),
+            FieldDecl::new("ipv4.len", 16),
+            FieldDecl::new("ipv4.id", 16),
+            FieldDecl::new("ipv4.frag", 16),
+            FieldDecl::new("ipv4.ttl", 8),
+            FieldDecl::new("ipv4.proto", 8),
+            FieldDecl::new("ipv4.csum", 16),
+            FieldDecl::new("ipv4.src", 32),
+            FieldDecl::new("ipv4.dst", 32),
+        ]
+    }
+
+    /// Standard ingress/egress metadata: 168 bits.
+    pub fn standard_metadata() -> Vec<FieldDecl> {
+        vec![
+            FieldDecl::new("meta.ingress_port", 16),
+            FieldDecl::new("meta.egress_port", 16),
+            FieldDecl::new("meta.egress_spec", 16),
+            FieldDecl::new("meta.pkt_length", 32),
+            FieldDecl::new("meta.timestamp", 48),
+            FieldDecl::new("meta.queue_depth", 24),
+            FieldDecl::new("meta.clone_spec", 16),
+        ]
+    }
+
+    /// The P4Auth header (14 bytes = 112 bits, matching the wire format).
+    pub fn p4auth_header() -> Vec<FieldDecl> {
+        vec![
+            FieldDecl::new("p4auth.hdr_type", 8),
+            FieldDecl::new("p4auth.msg_type", 8),
+            FieldDecl::new("p4auth.seq_num", 32),
+            FieldDecl::new("p4auth.key_version", 8),
+            FieldDecl::new("p4auth.sender", 16),
+            FieldDecl::new("p4auth.port", 8),
+            FieldDecl::new("p4auth.digest", 32),
+        ]
+    }
+
+    /// Key-exchange payload fields (128 bits).
+    pub fn p4auth_kex() -> Vec<FieldDecl> {
+        vec![
+            FieldDecl::new("kex.public_key_hi", 32),
+            FieldDecl::new("kex.public_key_lo", 32),
+            FieldDecl::new("kex.salt", 32),
+            FieldDecl::new("kex.context", 8),
+            FieldDecl::new("kex.reserved", 24),
+        ]
+    }
+
+    /// Hash scratch state for digest/KDF computation (244 bits: four
+    /// 32-bit HalfSipHash state words, the 64-bit key halves, a block
+    /// register and flags).
+    pub fn p4auth_scratch() -> Vec<FieldDecl> {
+        vec![
+            FieldDecl::new("scratch.v0", 32),
+            FieldDecl::new("scratch.v1", 32),
+            FieldDecl::new("scratch.v2", 32),
+            FieldDecl::new("scratch.v3", 32),
+            FieldDecl::new("scratch.key_hi", 32),
+            FieldDecl::new("scratch.key_lo", 32),
+            FieldDecl::new("scratch.block", 32),
+            FieldDecl::new("scratch.flags", 20),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(fields: &[FieldDecl]) -> u32 {
+        fields.iter().map(|f| f.width_bits as u32).sum()
+    }
+
+    #[test]
+    fn layout_bit_totals_match_table_ii_accounting() {
+        assert_eq!(bits(&layouts::ethernet()), 112);
+        assert_eq!(bits(&layouts::ipv4()), 160);
+        assert_eq!(bits(&layouts::standard_metadata()), 168);
+        assert_eq!(bits(&layouts::p4auth_header()), 112);
+        assert_eq!(bits(&layouts::p4auth_kex()), 128);
+        assert_eq!(bits(&layouts::p4auth_scratch()), 244);
+    }
+
+    #[test]
+    fn baseline_program_phv_utilization_is_11_pct() {
+        let mut phv = Phv::new(4_000);
+        phv.declare_header(layouts::ethernet()).unwrap();
+        phv.declare_header(layouts::ipv4()).unwrap();
+        phv.declare_header(layouts::standard_metadata()).unwrap();
+        assert_eq!(phv.used_bits(), 440);
+        assert!((phv.utilization_pct() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p4auth_program_phv_utilization_is_23_pct() {
+        let mut phv = Phv::new(4_000);
+        for header in [
+            layouts::ethernet(),
+            layouts::ipv4(),
+            layouts::standard_metadata(),
+            layouts::p4auth_header(),
+            layouts::p4auth_kex(),
+            layouts::p4auth_scratch(),
+        ] {
+            phv.declare_header(header).unwrap();
+        }
+        assert_eq!(phv.used_bits(), 924);
+        assert!((phv.utilization_pct() - 23.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn get_set_roundtrip_with_width_masking() {
+        let mut phv = Phv::new(100);
+        phv.declare(FieldDecl::new("x", 8)).unwrap();
+        phv.set("x", 0x1ff).unwrap();
+        assert_eq!(phv.get("x").unwrap(), 0xff);
+        assert_eq!(phv.field_count(), 1);
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let mut phv = Phv::new(40);
+        phv.declare(FieldDecl::new("a", 32)).unwrap();
+        let err = phv.declare(FieldDecl::new("b", 16)).unwrap_err();
+        assert_eq!(
+            err,
+            PhvError::Exhausted {
+                requested: 16,
+                available: 8
+            }
+        );
+        // An 8-bit field still fits.
+        phv.declare(FieldDecl::new("c", 8)).unwrap();
+        assert_eq!(phv.used_bits(), 40);
+    }
+
+    #[test]
+    fn duplicates_and_unknowns_rejected() {
+        let mut phv = Phv::new(100);
+        phv.declare(FieldDecl::new("f", 8)).unwrap();
+        assert_eq!(
+            phv.declare(FieldDecl::new("f", 8)).unwrap_err(),
+            PhvError::Duplicate("f".into())
+        );
+        assert_eq!(
+            phv.get("nope").unwrap_err(),
+            PhvError::Unknown("nope".into())
+        );
+        assert_eq!(
+            phv.set("nope", 1).unwrap_err().to_string(),
+            "unknown field nope"
+        );
+    }
+
+    #[test]
+    fn full_width_field() {
+        let mut phv = Phv::new(64);
+        phv.declare(FieldDecl::new("wide", 64)).unwrap();
+        phv.set("wide", u64::MAX).unwrap();
+        assert_eq!(phv.get("wide").unwrap(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_field_rejected() {
+        let _ = FieldDecl::new("bad", 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Stateful register arrays.
+//!
+//! Registers are the data-plane state P4Auth exists to protect: path
+//! latencies (RouteScout), best-hop utilization (HULA), connection state
+//! (NetWarden), query statistics (NetCache) all live in register arrays
+//! that C-DP and DP-DP messages read and write.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error for out-of-bounds register access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IndexOutOfRangeError {
+    /// Offending index.
+    pub index: u32,
+    /// Array length.
+    pub len: u32,
+}
+
+impl fmt::Display for IndexOutOfRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "register index {} out of range (len {})",
+            self.index, self.len
+        )
+    }
+}
+
+impl std::error::Error for IndexOutOfRangeError {}
+
+/// A named register array of 64-bit cells (the emulated equivalent of a P4
+/// `register<bit<64>>(N)` instance).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterArray {
+    name: String,
+    cells: Vec<u64>,
+    /// Cell width in bits — affects SRAM accounting, not storage.
+    width_bits: u8,
+}
+
+impl RegisterArray {
+    /// Creates a zero-initialized array of `len` cells of `width_bits` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bits` is 0 or greater than 64, or `len` is 0.
+    pub fn new(name: impl Into<String>, len: u32, width_bits: u8) -> Self {
+        assert!(
+            (1..=64).contains(&width_bits),
+            "register width must be 1..=64 bits"
+        );
+        assert!(len > 0, "register length must be positive");
+        RegisterArray {
+            name: name.into(),
+            cells: vec![0; len as usize],
+            width_bits,
+        }
+    }
+
+    /// The register's P4 instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> u32 {
+        self.cells.len() as u32
+    }
+
+    /// Whether the array is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Cell width in bits.
+    pub fn width_bits(&self) -> u8 {
+        self.width_bits
+    }
+
+    /// Total SRAM bits this array consumes.
+    pub fn sram_bits(&self) -> u64 {
+        self.cells.len() as u64 * self.width_bits as u64
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width_bits) - 1
+        }
+    }
+
+    /// Reads `cells[index]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexOutOfRangeError`] if `index >= len`.
+    pub fn read(&self, index: u32) -> Result<u64, IndexOutOfRangeError> {
+        self.cells
+            .get(index as usize)
+            .copied()
+            .ok_or(IndexOutOfRangeError {
+                index,
+                len: self.len(),
+            })
+    }
+
+    /// Writes `value` (truncated to the cell width) to `cells[index]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexOutOfRangeError`] if `index >= len`.
+    pub fn write(&mut self, index: u32, value: u64) -> Result<(), IndexOutOfRangeError> {
+        let mask = self.mask();
+        let len = self.len();
+        let cell = self
+            .cells
+            .get_mut(index as usize)
+            .ok_or(IndexOutOfRangeError { index, len })?;
+        *cell = value & mask;
+        Ok(())
+    }
+
+    /// Read-modify-write in one pipeline pass (what a stateful ALU does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexOutOfRangeError`] if `index >= len`.
+    pub fn update(
+        &mut self,
+        index: u32,
+        f: impl FnOnce(u64) -> u64,
+    ) -> Result<u64, IndexOutOfRangeError> {
+        let old = self.read(index)?;
+        let new = f(old) & self.mask();
+        self.cells[index as usize] = new;
+        Ok(new)
+    }
+
+    /// Clears all cells to zero (e.g. NetCache's periodic statistics reset,
+    /// Table I).
+    pub fn clear(&mut self) {
+        self.cells.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Iterates over the cells.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.cells.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut r = RegisterArray::new("path_latency", 4, 64);
+        r.write(2, 12345).unwrap();
+        assert_eq!(r.read(2).unwrap(), 12345);
+        assert_eq!(r.read(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn width_truncates_writes() {
+        let mut r = RegisterArray::new("util", 2, 8);
+        r.write(0, 0x1ff).unwrap();
+        assert_eq!(r.read(0).unwrap(), 0xff);
+    }
+
+    #[test]
+    fn full_width_not_truncated() {
+        let mut r = RegisterArray::new("key", 1, 64);
+        r.write(0, u64::MAX).unwrap();
+        assert_eq!(r.read(0).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut r = RegisterArray::new("x", 3, 32);
+        assert_eq!(
+            r.read(3).unwrap_err(),
+            IndexOutOfRangeError { index: 3, len: 3 }
+        );
+        assert!(r.write(99, 1).is_err());
+        assert!(r.update(3, |v| v).is_err());
+        assert_eq!(
+            r.read(3).unwrap_err().to_string(),
+            "register index 3 out of range (len 3)"
+        );
+    }
+
+    #[test]
+    fn update_is_read_modify_write() {
+        let mut r = RegisterArray::new("ctr", 1, 64);
+        r.write(0, 10).unwrap();
+        let new = r.update(0, |v| v + 5).unwrap();
+        assert_eq!(new, 15);
+        assert_eq!(r.read(0).unwrap(), 15);
+    }
+
+    #[test]
+    fn update_respects_width() {
+        let mut r = RegisterArray::new("small", 1, 4);
+        r.write(0, 0xf).unwrap();
+        assert_eq!(r.update(0, |v| v + 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
+        let mut r = RegisterArray::new("stats", 8, 32);
+        for i in 0..8 {
+            r.write(i, (i + 1) as u64).unwrap();
+        }
+        r.clear();
+        assert!(r.iter().all(|v| v == 0));
+    }
+
+    #[test]
+    fn sram_accounting() {
+        let r = RegisterArray::new("keys", 33, 64);
+        // N+1 key register of a 32-port switch: 64*(M+1) bits (§IX-B).
+        assert_eq!(r.sram_bits(), 64 * 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        let _ = RegisterArray::new("bad", 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn zero_len_rejected() {
+        let _ = RegisterArray::new("bad", 0, 32);
+    }
+}

@@ -1,0 +1,672 @@
+//! The discrete-event simulator core.
+
+use crate::time::SimTime;
+use crate::topology::{Endpoint, LinkId, Topology};
+use p4auth_wire::ids::{PortId, SwitchId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// What a MitM tap does to an intercepted frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TapAction {
+    /// Let the (possibly modified) frame through.
+    Forward,
+    /// Drop the frame.
+    Drop,
+}
+
+/// A frame interception hook: sees the payload (mutable — the adversary can
+/// rewrite it) and the direction `(from, to)` endpoints.
+pub type Tap = Box<dyn FnMut(SimTime, Endpoint, Endpoint, &mut Vec<u8>) -> TapAction>;
+
+/// Messages a node wants to send / timers it wants set, collected during a
+/// callback.
+#[derive(Default)]
+pub struct Outbox {
+    frames: Vec<(PortId, Vec<u8>, u64)>,
+    timers: Vec<(u64, u64)>,
+}
+
+impl Outbox {
+    /// Sends `payload` out of `port` after `processing_ns` of local
+    /// processing delay.
+    pub fn send_delayed(&mut self, port: PortId, payload: Vec<u8>, processing_ns: u64) {
+        self.frames.push((port, payload, processing_ns));
+    }
+
+    /// Sends `payload` out of `port` immediately.
+    pub fn send(&mut self, port: PortId, payload: Vec<u8>) {
+        self.send_delayed(port, payload, 0);
+    }
+
+    /// Requests a timer callback `delay_ns` from now with identifier `id`.
+    pub fn set_timer(&mut self, id: u64, delay_ns: u64) {
+        self.timers.push((id, delay_ns));
+    }
+
+    /// Number of queued frames (for tests).
+    pub fn pending_frames(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+/// A topology-change notification delivered to nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TopologyEvent {
+    /// A link came up (the paper's "port active" event, detected via LLDP).
+    LinkUp {
+        /// The link that changed.
+        link: LinkId,
+        /// First endpoint.
+        a: Endpoint,
+        /// Second endpoint.
+        b: Endpoint,
+    },
+    /// A link went down.
+    LinkDown {
+        /// The link that changed.
+        link: LinkId,
+        /// First endpoint.
+        a: Endpoint,
+        /// Second endpoint.
+        b: Endpoint,
+    },
+}
+
+/// Behaviour of a simulated node (switch, controller or host).
+pub trait SimNode {
+    /// A frame arrived on `ingress`.
+    fn on_frame(&mut self, now: SimTime, ingress: PortId, payload: Vec<u8>, out: &mut Outbox);
+
+    /// A timer set earlier fired.
+    fn on_timer(&mut self, _now: SimTime, _timer_id: u64, _out: &mut Outbox) {}
+
+    /// The topology changed (delivered to every node; most ignore it, the
+    /// controller reacts by driving key initialization).
+    fn on_topology(&mut self, _now: SimTime, _event: TopologyEvent, _out: &mut Outbox) {}
+}
+
+#[derive(Debug)]
+enum EventKind {
+    FrameArrival { dst: Endpoint, payload: Vec<u8> },
+    Timer { node: SwitchId, timer_id: u64 },
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Simulation statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Frames delivered to nodes.
+    pub frames_delivered: u64,
+    /// Frames dropped by taps.
+    pub frames_tapped_dropped: u64,
+    /// Frames modified by taps (payload changed).
+    pub frames_tapped_modified: u64,
+    /// Frames lost to down/unconnected ports.
+    pub frames_undeliverable: u64,
+    /// Timer callbacks fired.
+    pub timers_fired: u64,
+}
+
+/// The event-driven simulator.
+///
+/// Owns the topology and the nodes; runs events in timestamp order. Frames
+/// experience sender processing delay plus link latency; taps installed on
+/// a link see (and may rewrite or drop) every frame crossing it in the
+/// tapped direction.
+pub struct Simulator {
+    topology: Topology,
+    nodes: HashMap<SwitchId, Box<dyn SimNode>>,
+    queue: BinaryHeap<Reverse<Event>>,
+    now: SimTime,
+    seq: u64,
+    taps: HashMap<(LinkId, SwitchId), Tap>,
+    /// Per (link, sender) FIFO state: when the link's transmitter is next
+    /// free (bandwidth-constrained links only).
+    tx_free_at: HashMap<(LinkId, SwitchId), SimTime>,
+    stats: SimStats,
+}
+
+impl Simulator {
+    /// Creates a simulator over `topology`.
+    pub fn new(topology: Topology) -> Self {
+        Simulator {
+            topology,
+            nodes: HashMap::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            taps: HashMap::new(),
+            tx_free_at: HashMap::new(),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Registers the behaviour for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not in the topology or already registered.
+    pub fn register_node(&mut self, id: SwitchId, node: Box<dyn SimNode>) {
+        assert!(
+            self.topology.nodes().contains(&id),
+            "node {id} not in topology"
+        );
+        let prev = self.nodes.insert(id, node);
+        assert!(prev.is_none(), "node {id} registered twice");
+    }
+
+    /// Installs a MitM tap on `link` for frames *sent by* `from_node`.
+    ///
+    /// Models the §II-A adversaries: a tap on a C-DP link is the
+    /// compromised switch OS rewriting driver calls; a tap on a DP-DP link
+    /// is the in-network MitM rerouting probes through an attacker host.
+    pub fn install_tap(&mut self, link: LinkId, from_node: SwitchId, tap: Tap) {
+        self.taps.insert((link, from_node), tap);
+    }
+
+    /// Removes a tap, returning whether one was present.
+    pub fn remove_tap(&mut self, link: LinkId, from_node: SwitchId) -> bool {
+        self.taps.remove(&(link, from_node)).is_some()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// The topology (read-only).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Immutable access to a registered node (downcasting is the caller's
+    /// business via `as_any`-style patterns in higher layers).
+    pub fn node(&self, id: SwitchId) -> Option<&dyn SimNode> {
+        self.nodes.get(&id).map(|n| n.as_ref())
+    }
+
+    /// Runs `f` against a registered node, with outbox plumbing, outside a
+    /// frame delivery (used to inject work, e.g. "controller: read this
+    /// register now").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is unknown.
+    pub fn with_node<R>(
+        &mut self,
+        id: SwitchId,
+        f: impl FnOnce(&mut dyn SimNode, &mut Outbox) -> R,
+    ) -> R {
+        let mut node = self
+            .nodes
+            .remove(&id)
+            .unwrap_or_else(|| panic!("unknown node {id}"));
+        let mut out = Outbox::default();
+        let r = f(node.as_mut(), &mut out);
+        self.nodes.insert(id, node);
+        self.flush_outbox(id, out);
+        r
+    }
+
+    /// Injects a frame transmission from `src`:`port` at the current time.
+    pub fn inject_frame(&mut self, src: SwitchId, port: PortId, payload: Vec<u8>) {
+        self.inject_frame_delayed(src, port, payload, 0);
+    }
+
+    /// Injects a frame transmission from `src`:`port` after `delay_ns` of
+    /// sender-side processing (keeps injected traffic ordered with frames
+    /// the node itself emits with a processing delay).
+    pub fn inject_frame_delayed(
+        &mut self,
+        src: SwitchId,
+        port: PortId,
+        payload: Vec<u8>,
+        delay_ns: u64,
+    ) {
+        let mut out = Outbox::default();
+        out.send_delayed(port, payload, delay_ns);
+        self.flush_outbox(src, out);
+    }
+
+    /// Schedules a timer for `node` `delay_ns` from now.
+    pub fn schedule_timer(&mut self, node: SwitchId, timer_id: u64, delay_ns: u64) {
+        let at = self.now + delay_ns;
+        self.push(at, EventKind::Timer { node, timer_id });
+    }
+
+    /// Changes a link's state and notifies every registered node.
+    pub fn set_link_state(&mut self, link: LinkId, up: bool) {
+        let was_up = self.topology.set_link_state(link, up);
+        if was_up == up {
+            return;
+        }
+        let l = *self.topology.link(link).expect("valid link id");
+        let event = if up {
+            TopologyEvent::LinkUp {
+                link,
+                a: l.a,
+                b: l.b,
+            }
+        } else {
+            TopologyEvent::LinkDown {
+                link,
+                a: l.a,
+                b: l.b,
+            }
+        };
+        let ids: Vec<SwitchId> = self.nodes.keys().copied().collect();
+        for id in ids {
+            let mut node = self.nodes.remove(&id).expect("node present");
+            let mut out = Outbox::default();
+            node.on_topology(self.now, event, &mut out);
+            self.nodes.insert(id, node);
+            self.flush_outbox(id, out);
+        }
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            at,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn flush_outbox(&mut self, from: SwitchId, out: Outbox) {
+        for (port, mut payload, processing_ns) in out.frames {
+            match self.topology.deliver_target(from, port) {
+                Some((link_id, dst)) => {
+                    let src = Endpoint::new(from, port);
+                    let mut dropped = false;
+                    if let Some(tap) = self.taps.get_mut(&(link_id, from)) {
+                        let before = payload.clone();
+                        match tap(self.now, src, dst, &mut payload) {
+                            TapAction::Forward => {
+                                if payload != before {
+                                    self.stats.frames_tapped_modified += 1;
+                                }
+                            }
+                            TapAction::Drop => {
+                                dropped = true;
+                                self.stats.frames_tapped_dropped += 1;
+                            }
+                        }
+                    }
+                    if !dropped {
+                        let link = *self.topology.link(link_id).expect("valid link");
+                        let ready = self.now + processing_ns;
+                        // Bandwidth model: the frame starts serializing when
+                        // the transmitter frees up (FIFO per direction),
+                        // then propagates.
+                        let ser = link.serialization_ns(payload.len());
+                        let tx_start = if ser > 0 {
+                            let free = self
+                                .tx_free_at
+                                .get(&(link_id, from))
+                                .copied()
+                                .unwrap_or(SimTime::ZERO);
+                            if free > ready {
+                                free
+                            } else {
+                                ready
+                            }
+                        } else {
+                            ready
+                        };
+                        let tx_end = tx_start + ser;
+                        if ser > 0 {
+                            self.tx_free_at.insert((link_id, from), tx_end);
+                        }
+                        let at = tx_end + link.latency_ns;
+                        self.push(at, EventKind::FrameArrival { dst, payload });
+                    }
+                }
+                None => {
+                    self.stats.frames_undeliverable += 1;
+                }
+            }
+        }
+        for (timer_id, delay_ns) in out.timers {
+            let at = self.now + delay_ns;
+            self.push(
+                at,
+                EventKind::Timer {
+                    node: from,
+                    timer_id,
+                },
+            );
+        }
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.now, "time went backwards");
+        self.now = event.at;
+        match event.kind {
+            EventKind::FrameArrival { dst, payload } => {
+                if let Some(mut node) = self.nodes.remove(&dst.node) {
+                    let mut out = Outbox::default();
+                    node.on_frame(self.now, dst.port, payload, &mut out);
+                    self.stats.frames_delivered += 1;
+                    self.nodes.insert(dst.node, node);
+                    self.flush_outbox(dst.node, out);
+                } else {
+                    self.stats.frames_undeliverable += 1;
+                }
+            }
+            EventKind::Timer { node: id, timer_id } => {
+                if let Some(mut node) = self.nodes.remove(&id) {
+                    let mut out = Outbox::default();
+                    node.on_timer(self.now, timer_id, &mut out);
+                    self.stats.timers_fired += 1;
+                    self.nodes.insert(id, node);
+                    self.flush_outbox(id, out);
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue drains or `deadline` passes. Returns the number
+    /// of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+            processed += 1;
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        processed
+    }
+
+    /// Runs until the event queue is empty. Returns events processed.
+    pub fn run_to_completion(&mut self) -> u64 {
+        let mut processed = 0;
+        while self.step() {
+            processed += 1;
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Endpoint;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Echoes every frame back out the ingress port after 10ns, and counts
+    /// arrivals.
+    struct Echo {
+        arrivals: Arc<AtomicU64>,
+        reply: bool,
+    }
+
+    impl SimNode for Echo {
+        fn on_frame(&mut self, _now: SimTime, ingress: PortId, payload: Vec<u8>, out: &mut Outbox) {
+            self.arrivals.fetch_add(1, Ordering::Relaxed);
+            if self.reply {
+                out.send_delayed(ingress, payload, 10);
+            }
+        }
+    }
+
+    fn pair() -> (Simulator, Arc<AtomicU64>, Arc<AtomicU64>) {
+        let mut t = Topology::new();
+        t.add_node(SwitchId::new(1)).unwrap();
+        t.add_node(SwitchId::new(2)).unwrap();
+        t.add_link(
+            Endpoint::new(SwitchId::new(1), PortId::new(1)),
+            Endpoint::new(SwitchId::new(2), PortId::new(1)),
+            1_000,
+        )
+        .unwrap();
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let mut sim = Simulator::new(t);
+        sim.register_node(
+            SwitchId::new(1),
+            Box::new(Echo {
+                arrivals: a.clone(),
+                reply: false,
+            }),
+        );
+        sim.register_node(
+            SwitchId::new(2),
+            Box::new(Echo {
+                arrivals: b.clone(),
+                reply: true,
+            }),
+        );
+        (sim, a, b)
+    }
+
+    #[test]
+    fn frame_delivery_with_latency() {
+        let (mut sim, a, b) = pair();
+        sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![1, 2, 3]);
+        sim.run_to_completion();
+        // S2 received it, replied; S1 received the echo.
+        assert_eq!(b.load(Ordering::Relaxed), 1);
+        assert_eq!(a.load(Ordering::Relaxed), 1);
+        // 1000ns there + 10ns processing + 1000ns back.
+        assert_eq!(sim.now().as_ns(), 2_010);
+        assert_eq!(sim.stats().frames_delivered, 2);
+    }
+
+    #[test]
+    fn tap_can_modify_frames() {
+        let (mut sim, _a, _b) = pair();
+        let (link, _) = sim
+            .topology()
+            .link_at(SwitchId::new(1), PortId::new(1))
+            .unwrap();
+        sim.install_tap(
+            link,
+            SwitchId::new(1),
+            Box::new(|_, _, _, payload: &mut Vec<u8>| {
+                payload[0] = 0xff;
+                TapAction::Forward
+            }),
+        );
+        sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![0, 0]);
+        sim.run_to_completion();
+        assert_eq!(sim.stats().frames_tapped_modified, 1);
+    }
+
+    #[test]
+    fn tap_direction_is_respected() {
+        let (mut sim, a, _b) = pair();
+        let (link, _) = sim
+            .topology()
+            .link_at(SwitchId::new(1), PortId::new(1))
+            .unwrap();
+        // Tap only S2→S1 frames; the initial S1→S2 frame is untouched.
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = seen.clone();
+        sim.install_tap(
+            link,
+            SwitchId::new(2),
+            Box::new(move |_, _, _, _payload: &mut Vec<u8>| {
+                seen2.fetch_add(1, Ordering::Relaxed);
+                TapAction::Forward
+            }),
+        );
+        sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![9]);
+        sim.run_to_completion();
+        assert_eq!(seen.load(Ordering::Relaxed), 1); // only the echo
+        assert_eq!(a.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn tap_can_drop_frames() {
+        let (mut sim, _a, b) = pair();
+        let (link, _) = sim
+            .topology()
+            .link_at(SwitchId::new(1), PortId::new(1))
+            .unwrap();
+        sim.install_tap(
+            link,
+            SwitchId::new(1),
+            Box::new(|_, _, _, _: &mut Vec<u8>| TapAction::Drop),
+        );
+        sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![7]);
+        sim.run_to_completion();
+        assert_eq!(b.load(Ordering::Relaxed), 0);
+        assert_eq!(sim.stats().frames_tapped_dropped, 1);
+        assert!(sim.remove_tap(link, SwitchId::new(1)));
+        assert!(!sim.remove_tap(link, SwitchId::new(1)));
+    }
+
+    #[test]
+    fn frames_to_down_links_are_lost() {
+        let (mut sim, _a, b) = pair();
+        let (link, _) = sim
+            .topology()
+            .link_at(SwitchId::new(1), PortId::new(1))
+            .unwrap();
+        sim.set_link_state(link, false);
+        sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![1]);
+        sim.run_to_completion();
+        assert_eq!(b.load(Ordering::Relaxed), 0);
+        assert_eq!(sim.stats().frames_undeliverable, 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct Recorder {
+            fired: Arc<parking_lot::Mutex<Vec<u64>>>,
+        }
+        impl SimNode for Recorder {
+            fn on_frame(&mut self, _: SimTime, _: PortId, _: Vec<u8>, _: &mut Outbox) {}
+            fn on_timer(&mut self, _now: SimTime, id: u64, _out: &mut Outbox) {
+                self.fired.lock().push(id);
+            }
+        }
+        let mut t = Topology::new();
+        t.add_node(SwitchId::new(1)).unwrap();
+        let fired = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut sim = Simulator::new(t);
+        sim.register_node(
+            SwitchId::new(1),
+            Box::new(Recorder {
+                fired: fired.clone(),
+            }),
+        );
+        sim.schedule_timer(SwitchId::new(1), 3, 300);
+        sim.schedule_timer(SwitchId::new(1), 1, 100);
+        sim.schedule_timer(SwitchId::new(1), 2, 200);
+        sim.run_to_completion();
+        assert_eq!(*fired.lock(), vec![1, 2, 3]);
+        assert_eq!(sim.stats().timers_fired, 3);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let (mut sim, _a, b) = pair();
+        sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![1]);
+        // Frame arrives at t=1000; deadline at 500 must not deliver it.
+        let n = sim.run_until(SimTime::from_ns(500));
+        assert_eq!(n, 0);
+        assert_eq!(b.load(Ordering::Relaxed), 0);
+        assert_eq!(sim.now().as_ns(), 500);
+        sim.run_until(SimTime::from_ns(5_000));
+        assert_eq!(b.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn link_state_change_notifies_nodes() {
+        struct TopoWatcher {
+            events: Arc<AtomicU64>,
+        }
+        impl SimNode for TopoWatcher {
+            fn on_frame(&mut self, _: SimTime, _: PortId, _: Vec<u8>, _: &mut Outbox) {}
+            fn on_topology(&mut self, _: SimTime, _: TopologyEvent, _: &mut Outbox) {
+                self.events.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut t = Topology::new();
+        t.add_node(SwitchId::new(1)).unwrap();
+        t.add_node(SwitchId::new(2)).unwrap();
+        let link = t
+            .add_link(
+                Endpoint::new(SwitchId::new(1), PortId::new(1)),
+                Endpoint::new(SwitchId::new(2), PortId::new(1)),
+                10,
+            )
+            .unwrap();
+        let events = Arc::new(AtomicU64::new(0));
+        let mut sim = Simulator::new(t);
+        sim.register_node(
+            SwitchId::new(1),
+            Box::new(TopoWatcher {
+                events: events.clone(),
+            }),
+        );
+        sim.register_node(
+            SwitchId::new(2),
+            Box::new(TopoWatcher {
+                events: events.clone(),
+            }),
+        );
+        sim.set_link_state(link, false);
+        assert_eq!(events.load(Ordering::Relaxed), 2);
+        // No-op change does not notify.
+        sim.set_link_state(link, false);
+        assert_eq!(events.load(Ordering::Relaxed), 2);
+        sim.set_link_state(link, true);
+        assert_eq!(events.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in topology")]
+    fn registering_unknown_node_panics() {
+        let t = Topology::new();
+        let mut sim = Simulator::new(t);
+        sim.register_node(
+            SwitchId::new(1),
+            Box::new(Echo {
+                arrivals: Arc::new(AtomicU64::new(0)),
+                reply: false,
+            }),
+        );
+    }
+}

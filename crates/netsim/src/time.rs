@@ -1,0 +1,144 @@
+//! Simulated time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates a time from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since start.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since start (truncating).
+    pub const fn as_us(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds since start, as a float.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds since start, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    /// Advances by `ns` nanoseconds.
+    fn add(self, ns: u64) -> SimTime {
+        SimTime(self.0 + ns)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, ns: u64) {
+        self.0 += ns;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+
+    /// Nanoseconds between two times (saturating).
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ns", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{}us", self.as_us())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_us(5).as_ns(), 5_000);
+        assert_eq!(SimTime::from_ms(2).as_us(), 2_000);
+        assert_eq!(SimTime::from_secs(1).as_ns(), 1_000_000_000);
+        assert!((SimTime::from_ms(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((SimTime::from_us(2500).as_ms_f64() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ns(100);
+        assert_eq!((t + 50).as_ns(), 150);
+        let mut u = t;
+        u += 25;
+        assert_eq!(u.as_ns(), 125);
+        assert_eq!(u - t, 25);
+        assert_eq!(t - u, 0); // saturating
+        assert_eq!(u.since(t), 25);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::ZERO < SimTime::from_ns(1));
+        assert!(SimTime::from_ms(1) > SimTime::from_us(999));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimTime::from_ns(12).to_string(), "12ns");
+        assert_eq!(SimTime::from_us(12).to_string(), "12us");
+        assert_eq!(SimTime::from_ms(12).to_string(), "12.000ms");
+        assert_eq!(SimTime::from_secs(2).to_string(), "2.000s");
+        assert_eq!(format!("{:?}", SimTime::from_ns(7)), "t+7ns");
+    }
+}

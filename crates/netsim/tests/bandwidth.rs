@@ -1,0 +1,147 @@
+//! Tests for the link bandwidth / FIFO queueing model.
+
+use p4auth_netsim::sim::{Outbox, SimNode, Simulator};
+use p4auth_netsim::time::SimTime;
+use p4auth_netsim::topology::{Endpoint, Topology};
+use p4auth_wire::ids::{PortId, SwitchId};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct Sink {
+    arrivals: Rc<RefCell<Vec<u64>>>,
+}
+
+impl SimNode for Sink {
+    fn on_frame(&mut self, now: SimTime, _ingress: PortId, _payload: Vec<u8>, _out: &mut Outbox) {
+        self.arrivals.borrow_mut().push(now.as_ns());
+    }
+}
+
+fn pair(bandwidth_bps: Option<u64>) -> (Simulator, Rc<RefCell<Vec<u64>>>) {
+    let mut t = Topology::new();
+    t.add_node(SwitchId::new(1)).unwrap();
+    t.add_node(SwitchId::new(2)).unwrap();
+    let link = t
+        .add_link(
+            Endpoint::new(SwitchId::new(1), PortId::new(1)),
+            Endpoint::new(SwitchId::new(2), PortId::new(1)),
+            1_000,
+        )
+        .unwrap();
+    if let Some(bps) = bandwidth_bps {
+        t.set_bandwidth(link, bps);
+    }
+    let arrivals = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Simulator::new(t);
+    struct Quiet;
+    impl SimNode for Quiet {
+        fn on_frame(&mut self, _: SimTime, _: PortId, _: Vec<u8>, _: &mut Outbox) {}
+    }
+    sim.register_node(SwitchId::new(1), Box::new(Quiet));
+    sim.register_node(
+        SwitchId::new(2),
+        Box::new(Sink {
+            arrivals: arrivals.clone(),
+        }),
+    );
+    (sim, arrivals)
+}
+
+#[test]
+fn unconstrained_links_have_no_serialization_delay() {
+    let (mut sim, arrivals) = pair(None);
+    sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![0; 1000]);
+    sim.run_to_completion();
+    assert_eq!(*arrivals.borrow(), vec![1_000]); // latency only
+}
+
+#[test]
+fn serialization_delay_scales_with_frame_size_and_bandwidth() {
+    // 1 Gbit/s: 1000 bytes = 8000 bits -> 8 µs of serialization.
+    let (mut sim, arrivals) = pair(Some(1_000_000_000));
+    sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![0; 1000]);
+    sim.run_to_completion();
+    assert_eq!(*arrivals.borrow(), vec![8_000 + 1_000]);
+}
+
+#[test]
+fn simultaneous_frames_are_serialized_fifo() {
+    // Two 1000-byte frames injected at t=0 on a 1 Gbit/s link: the second
+    // waits for the first to finish serializing.
+    let (mut sim, arrivals) = pair(Some(1_000_000_000));
+    sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![0; 1000]);
+    sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![0; 1000]);
+    sim.run_to_completion();
+    assert_eq!(*arrivals.borrow(), vec![9_000, 17_000]);
+}
+
+#[test]
+fn queueing_drains_when_idle() {
+    let (mut sim, arrivals) = pair(Some(1_000_000_000));
+    sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![0; 1000]);
+    sim.run_to_completion(); // transmitter idle again at t=8000; now=9000
+                             // Much later, a second frame sees an idle transmitter. The timer is
+                             // relative to now (9_000), so it fires at 109_000.
+    sim.schedule_timer(SwitchId::new(1), 0, 100_000);
+    sim.run_to_completion();
+    assert_eq!(sim.now().as_ns(), 109_000);
+    sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![0; 1000]);
+    sim.run_to_completion();
+    let a = arrivals.borrow();
+    assert_eq!(a[0], 9_000);
+    // 109_000 (idle) + 8_000 serialization + 1_000 latency.
+    assert_eq!(a[1], 118_000);
+}
+
+#[test]
+fn directions_queue_independently() {
+    // Reverse-direction traffic must not be delayed by forward-direction
+    // serialization (full duplex).
+    let mut t = Topology::new();
+    t.add_node(SwitchId::new(1)).unwrap();
+    t.add_node(SwitchId::new(2)).unwrap();
+    let link = t
+        .add_link(
+            Endpoint::new(SwitchId::new(1), PortId::new(1)),
+            Endpoint::new(SwitchId::new(2), PortId::new(1)),
+            1_000,
+        )
+        .unwrap();
+    t.set_bandwidth(link, 1_000_000_000);
+    let fwd = Rc::new(RefCell::new(Vec::new()));
+    let rev = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Simulator::new(t);
+    sim.register_node(
+        SwitchId::new(2),
+        Box::new(Sink {
+            arrivals: fwd.clone(),
+        }),
+    );
+    sim.register_node(
+        SwitchId::new(1),
+        Box::new(Sink {
+            arrivals: rev.clone(),
+        }),
+    );
+    sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![0; 1000]);
+    sim.inject_frame(SwitchId::new(2), PortId::new(1), vec![0; 1000]);
+    sim.run_to_completion();
+    assert_eq!(*fwd.borrow(), vec![9_000]);
+    assert_eq!(*rev.borrow(), vec![9_000]);
+}
+
+#[test]
+#[should_panic(expected = "bandwidth must be positive")]
+fn zero_bandwidth_rejected() {
+    let mut t = Topology::new();
+    t.add_node(SwitchId::new(1)).unwrap();
+    t.add_node(SwitchId::new(2)).unwrap();
+    let link = t
+        .add_link(
+            Endpoint::new(SwitchId::new(1), PortId::new(1)),
+            Endpoint::new(SwitchId::new(2), PortId::new(1)),
+            0,
+        )
+        .unwrap();
+    t.set_bandwidth(link, 0);
+}

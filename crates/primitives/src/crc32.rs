@@ -1,0 +1,164 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`).
+//!
+//! Tofino exposes CRC units as its only per-packet "hash" primitive; the
+//! paper's hardware prototype uses CRC32 both as the digest algorithm and as
+//! the KDF's PRF (§VII). This is a from-scratch table-driven implementation.
+
+/// The reflected IEEE 802.3 polynomial.
+pub const POLY_REFLECTED: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY_REFLECTED
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Incremental CRC-32 hasher.
+///
+/// ```
+/// use p4auth_primitives::crc32::Crc32;
+///
+/// let mut h = Crc32::new();
+/// h.update(b"123456789");
+/// assert_eq!(h.finalize(), 0xCBF43926); // standard check value
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Creates a hasher with the standard initial state (`!0`).
+    pub const fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Creates a hasher whose initial state is seeded with `init`.
+    ///
+    /// Seeding models Tofino's configurable CRC initial value and is how the
+    /// keyed-CRC MAC binds the key into the computation.
+    pub const fn with_init(init: u32) -> Self {
+        Crc32 { state: !init }
+    }
+
+    /// Feeds `data` into the CRC.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &byte in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xff) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Returns the final CRC value.
+    pub const fn finalize(self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// One-shot CRC-32 over multiple slices, equivalent to hashing their
+/// concatenation (matches how a PISA hash unit is fed a field list).
+pub fn crc32_parts(parts: &[&[u8]]) -> u32 {
+    let mut h = Crc32::new();
+    for part in parts {
+        h.update(part);
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn known_vectors() {
+        // Widely published IEEE CRC-32 vectors.
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut h = Crc32::new();
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finalize(), crc32(b"hello world"));
+    }
+
+    #[test]
+    fn parts_equal_concatenation() {
+        assert_eq!(crc32_parts(&[b"foo", b"bar", b"baz"]), crc32(b"foobarbaz"));
+    }
+
+    #[test]
+    fn seeded_init_changes_output() {
+        let mut a = Crc32::with_init(0);
+        let mut b = Crc32::with_init(1);
+        a.update(b"data");
+        b.update(b"data");
+        assert_ne!(a.finalize(), b.finalize());
+    }
+
+    #[test]
+    fn with_init_zero_differs_from_standard_new() {
+        // new() starts at !0; with_init(0) starts at !0 too — they must agree.
+        let mut a = Crc32::new();
+        let mut b = Crc32::with_init(0);
+        a.update(b"xyz");
+        b.update(b"xyz");
+        assert_eq!(a.finalize(), b.finalize());
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let base = crc32(b"\x00\x00\x00\x00");
+        for bit in 0..32 {
+            let mut data = [0u8; 4];
+            data[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32(&data), base, "bit {bit} collision");
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Modified Diffie-Hellman exchange (DH′ / DH″).
+//!
+//! PISA pipelines cannot perform modular exponentiation, so P4Auth adopts
+//! the modified DH of DH-AES-P4 (Oliveira et al., IEEE NFV-SDN 2021) and
+//! Jeon & Gil (J. Opt. Soc. Korea 2014), which replaces exponentiation with
+//! bitwise AND (`·`) and XOR (`⊕`):
+//!
+//! ```text
+//! public key:        PK     = DH′(P, G, R)  = (G · R) ⊕ (P · R)
+//! pre-master secret: K_pms  = DH″(P, R, PK) = (PK · R) ⊕ P
+//! ```
+//!
+//! Correctness: `PK = (G ⊕ P) · R`, so both endpoints compute
+//! `((G ⊕ P) · R1 · R2) ⊕ P` — AND is commutative, hence the secrets agree.
+//!
+//! ## Security caveat — reproduction finding
+//!
+//! Because AND distributes the way it does, `PK1 & PK2 = (G⊕P) & R1 & R2`,
+//! which means the shared secret satisfies
+//! `K_pms = (PK1 & PK2) ⊕ P` — **computable by any passive eavesdropper**
+//! from the two public keys and the public parameter `P`. The bare
+//! modified-DH primitive therefore provides *no confidentiality* against
+//! passive observation (demonstrated by
+//! `tests::passive_break_of_bare_modified_dh`); its role in P4Auth is
+//! key *agreement*, while secrecy rests on the paper's other anchors: the
+//! pre-shared `K_seed` never crossing the wire, the authenticated
+//! exchange preventing active substitution, the KDF whose "custom logic
+//! is kept secret between C and DP" inside the switch binary (§VIII), and
+//! periodic rollover. The paper itself flags the primitive's weakness
+//! (§XI, "Pre-master secret key enhances security") and treats it as a
+//! pluggable slot for stronger hardware-offloaded primitives. This module
+//! is a faithful reproduction, not a recommendation.
+
+use crate::types::Key64;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Public domain parameters of the modified DH exchange: a "prime" `P` and a
+/// "generator" `G` (names kept from classic DH; here they are public 64-bit
+/// masks baked into the switch binary).
+///
+/// For the exchange to be non-degenerate, `G ⊕ P` should have high Hamming
+/// weight — bits where `G ⊕ P` is zero contribute nothing to the shared
+/// secret's entropy. [`DhParams::new`] enforces a minimum weight.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DhParams {
+    p: u64,
+    g: u64,
+}
+
+/// Error returned when DH parameters would produce a degenerate exchange.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DegenerateParamsError {
+    weight: u32,
+}
+
+impl fmt::Display for DegenerateParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "G xor P has hamming weight {} but at least {} is required",
+            self.weight,
+            DhParams::MIN_MASK_WEIGHT
+        )
+    }
+}
+
+impl std::error::Error for DegenerateParamsError {}
+
+impl DhParams {
+    /// Minimum Hamming weight required of `G ⊕ P`.
+    pub const MIN_MASK_WEIGHT: u32 = 48;
+
+    /// Creates parameters, rejecting degenerate `(P, G)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DegenerateParamsError`] if `G ⊕ P` has fewer than
+    /// [`Self::MIN_MASK_WEIGHT`] set bits.
+    pub fn new(p: u64, g: u64) -> Result<Self, DegenerateParamsError> {
+        let weight = (p ^ g).count_ones();
+        if weight < Self::MIN_MASK_WEIGHT {
+            return Err(DegenerateParamsError { weight });
+        }
+        Ok(DhParams { p, g })
+    }
+
+    /// The recommended parameter set used throughout the reproduction:
+    /// `G ⊕ P` has Hamming weight 64 (every secret bit contributes).
+    pub fn recommended() -> Self {
+        // G ^ P == !0: all 64 mask bits active.
+        DhParams {
+            p: 0xb7e1_5162_8aed_2a6a,
+            g: !0xb7e1_5162_8aed_2a6a,
+        }
+    }
+
+    /// The public "prime" mask `P`.
+    pub const fn p(&self) -> u64 {
+        self.p
+    }
+
+    /// The public "generator" mask `G`.
+    pub const fn g(&self) -> u64 {
+        self.g
+    }
+
+    /// The effective secret mask `G ⊕ P`; bits set here are the positions
+    /// where private-key bits influence the shared secret.
+    pub const fn mask(&self) -> u64 {
+        self.g ^ self.p
+    }
+}
+
+/// A public key `PK = DH′(P, G, R)`, safe to send over untrusted links.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct DhPublic(u64);
+
+impl DhPublic {
+    /// Wraps a raw public-key value received from the wire.
+    pub const fn from_raw(raw: u64) -> Self {
+        DhPublic(raw)
+    }
+
+    /// Raw wire representation.
+    pub const fn to_raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A private random secret `R`, generated fresh for every exchange.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct DhPrivate(u64);
+
+impl fmt::Debug for DhPrivate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("DhPrivate(<redacted>)")
+    }
+}
+
+impl DhPrivate {
+    /// Wraps a freshly generated random secret.
+    pub const fn new(secret: u64) -> Self {
+        DhPrivate(secret)
+    }
+
+    /// DH′: computes the public key `PK = (G · R) ⊕ (P · R)`.
+    pub fn public_key(&self, params: &DhParams) -> DhPublic {
+        DhPublic((params.g & self.0) ^ (params.p & self.0))
+    }
+
+    /// DH″: combines the peer's public key with this private secret to
+    /// produce the shared pre-master secret `K_pms = (PK · R) ⊕ P`.
+    pub fn pre_master(&self, params: &DhParams, peer: DhPublic) -> PreMasterSecret {
+        PreMasterSecret((peer.0 & self.0) ^ params.p)
+    }
+}
+
+/// The shared pre-master secret `K_pms`, input to the KDF's extract step.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct PreMasterSecret(u64);
+
+impl fmt::Debug for PreMasterSecret {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("PreMasterSecret(<redacted>)")
+    }
+}
+
+impl PreMasterSecret {
+    /// Exposes the raw secret for feeding into the KDF.
+    pub const fn expose(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<PreMasterSecret> for Key64 {
+    fn from(pms: PreMasterSecret) -> Self {
+        Key64::new(pms.0)
+    }
+}
+
+/// Runs one full (unauthenticated) exchange and returns both endpoints'
+/// derived pre-master secrets. Mostly useful in tests and documentation;
+/// real deployments must authenticate every message (paper §VI).
+pub fn exchange(
+    params: &DhParams,
+    initiator: DhPrivate,
+    responder: DhPrivate,
+) -> (PreMasterSecret, PreMasterSecret) {
+    let pk_i = initiator.public_key(params);
+    let pk_r = responder.public_key(params);
+    (
+        initiator.pre_master(params, pk_r),
+        responder.pre_master(params, pk_i),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> DhParams {
+        DhParams::recommended()
+    }
+
+    #[test]
+    fn recommended_params_use_full_mask() {
+        assert_eq!(params().mask(), u64::MAX);
+    }
+
+    #[test]
+    fn shared_secret_agrees() {
+        let a = DhPrivate::new(0x1122_3344_5566_7788);
+        let b = DhPrivate::new(0x99aa_bbcc_ddee_ff00);
+        let (ka, kb) = exchange(&params(), a, b);
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn shared_secret_matches_closed_form() {
+        // K = ((G ^ P) & R1 & R2) ^ P
+        let p = params();
+        let r1 = 0xdead_beef_0bad_f00d_u64;
+        let r2 = 0x0123_4567_89ab_cdef_u64;
+        let (k, _) = exchange(&p, DhPrivate::new(r1), DhPrivate::new(r2));
+        assert_eq!(k.expose(), (p.mask() & r1 & r2) ^ p.p());
+    }
+
+    #[test]
+    fn public_key_is_masked_private() {
+        let p = params();
+        let r = 0xfeed_face_cafe_beef_u64;
+        let pk = DhPrivate::new(r).public_key(&p);
+        assert_eq!(pk.to_raw(), p.mask() & r);
+    }
+
+    #[test]
+    fn degenerate_params_rejected() {
+        // G == P -> mask weight 0.
+        let err = DhParams::new(42, 42).unwrap_err();
+        assert!(err.to_string().contains("hamming weight 0"));
+    }
+
+    #[test]
+    fn low_weight_params_rejected() {
+        let err = DhParams::new(0, 0xff).unwrap_err();
+        assert!(err.to_string().contains("hamming weight 8"));
+    }
+
+    #[test]
+    fn valid_params_accepted() {
+        let p = DhParams::new(0, u64::MAX).unwrap();
+        assert_eq!(p.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn private_and_premaster_debug_redacted() {
+        let r = DhPrivate::new(7);
+        assert_eq!(format!("{r:?}"), "DhPrivate(<redacted>)");
+        let (k, _) = exchange(&params(), r, DhPrivate::new(9));
+        assert_eq!(format!("{k:?}"), "PreMasterSecret(<redacted>)");
+    }
+
+    #[test]
+    fn passive_break_of_bare_modified_dh() {
+        // Reproduction finding (documented in the module docs): the bare
+        // primitive leaks the pre-master secret to a passive eavesdropper,
+        // since K_pms = (PK1 & PK2) ^ P. This test *asserts the weakness*
+        // so the property is pinned and visible; P4Auth's confidentiality
+        // story rests on K_seed secrecy, authenticated exchanges and the
+        // private KDF construction, not on this primitive.
+        let p = params();
+        let a = DhPrivate::new(0x5555_aaaa_5555_aaaa);
+        let b = DhPrivate::new(0x1234_8765_4321_5678);
+        let pk_a = a.public_key(&p);
+        let pk_b = b.public_key(&p);
+        let (k, _) = exchange(&p, a, b);
+        let eve = (pk_a.to_raw() & pk_b.to_raw()) ^ p.p();
+        assert_eq!(eve, k.expose(), "the documented passive break must hold");
+    }
+}

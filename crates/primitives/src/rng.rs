@@ -1,0 +1,178 @@
+//! Deterministic random sources modelling the P4 `random()` extern.
+//!
+//! P4Auth generates private DH secrets and salts with P4's `random()` at the
+//! data plane and Python's RNG at the controller (§VII). For reproducible
+//! experiments every random source in this workspace is seedable and
+//! deterministic. The paper itself notes (§XI) that Tofino's PRNG is not
+//! guaranteed cryptographically strong — which is precisely why the KDF
+//! post-processes everything — so a fast SplitMix64 is a faithful stand-in.
+
+use crate::types::{Key64, Salt64};
+use rand::RngCore;
+
+/// A source of the random values P4Auth needs (private secrets and salts).
+///
+/// Object-safe so the data plane and controller can share an injected
+/// source in tests.
+pub trait RandomSource: Send {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// A fresh private DH secret `R`.
+    fn gen_secret(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    /// A fresh 32-bit half-salt (`S1` or `S2`).
+    fn gen_half_salt(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    /// A fresh 64-bit key (for test fixtures and pre-shared seeds).
+    fn gen_key(&mut self) -> Key64 {
+        Key64::new(self.next_u64())
+    }
+
+    /// A fresh full salt.
+    fn gen_salt(&mut self) -> Salt64 {
+        Salt64::new(self.next_u64())
+    }
+}
+
+/// SplitMix64: tiny, fast, full-period, well-distributed — the stand-in for
+/// the switch's hardware PRNG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl RandomSource for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Adapter: any `rand` RNG as a [`RandomSource`].
+pub struct RandAdapter<R>(pub R);
+
+impl<R: RngCore + Send> RandomSource for RandAdapter<R> {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A scripted source that replays a fixed sequence — used by protocol tests
+/// that need exact control over "random" secrets and salts.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedSource {
+    values: std::collections::VecDeque<u64>,
+}
+
+impl ScriptedSource {
+    /// Creates a source that yields `values` in order.
+    ///
+    /// # Panics
+    ///
+    /// [`RandomSource::next_u64`] panics when the script is exhausted, so
+    /// tests fail loudly rather than silently reusing entropy.
+    pub fn new(values: impl IntoIterator<Item = u64>) -> Self {
+        ScriptedSource {
+            values: values.into_iter().collect(),
+        }
+    }
+
+    /// Remaining scripted values.
+    pub fn remaining(&self) -> usize {
+        self.values.len()
+    }
+}
+
+impl RandomSource for ScriptedSource {
+    fn next_u64(&mut self) -> u64 {
+        self.values
+            .pop_front()
+            .expect("ScriptedSource exhausted: test consumed more randomness than scripted")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_deterministic() {
+        let mut a = SplitMix64::new(1234);
+        let mut b = SplitMix64::new(1234);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_seed_sensitivity() {
+        let mut a = SplitMix64::new(0);
+        let mut b = SplitMix64::new(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn splitmix_known_first_output_for_zero_seed() {
+        // First SplitMix64 output for seed 0 (published reference value).
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xe220_a839_7b1d_cdaf);
+    }
+
+    #[test]
+    fn splitmix_bits_balanced() {
+        let mut r = SplitMix64::new(42);
+        let n = 4096;
+        let mut ones = [0u32; 64];
+        for _ in 0..n {
+            let v = r.next_u64();
+            for (bit, count) in ones.iter_mut().enumerate() {
+                *count += ((v >> bit) & 1) as u32;
+            }
+        }
+        for (bit, &count) in ones.iter().enumerate() {
+            let frac = count as f64 / n as f64;
+            assert!((0.45..=0.55).contains(&frac), "bit {bit} biased: {frac}");
+        }
+    }
+
+    #[test]
+    fn scripted_source_replays() {
+        let mut s = ScriptedSource::new([10, 20, 30]);
+        assert_eq!(s.remaining(), 3);
+        assert_eq!(s.next_u64(), 10);
+        assert_eq!(s.gen_half_salt(), 20);
+        assert_eq!(s.gen_key(), Key64::new(30));
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn scripted_source_panics_when_empty() {
+        let mut s = ScriptedSource::new([]);
+        let _ = s.next_u64();
+    }
+
+    #[test]
+    fn rand_adapter_wraps_rand_rngs() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut a = RandAdapter(StdRng::seed_from_u64(7));
+        let mut b = RandAdapter(StdRng::seed_from_u64(7));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

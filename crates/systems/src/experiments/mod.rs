@@ -1,0 +1,52 @@
+//! Experiment runners for the paper's evaluation (§IX).
+//!
+//! Each submodule reproduces one figure's scenario end to end on the
+//! simulator and returns structured results; the benchmark harness and
+//! the integration tests both consume these, so the numbers in
+//! `EXPERIMENTS.md` and the assertions in `tests/` come from the same
+//! code path.
+
+pub mod fct;
+pub mod fig16;
+pub mod fig17;
+pub mod fig20;
+pub mod fig21;
+
+/// The three experimental arms used by Figs. 16 and 17.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scenario {
+    /// The undefended system with no attacker.
+    NoAdversary,
+    /// The undefended system under attack.
+    Adversary,
+    /// P4Auth enabled, same attack running.
+    AdversaryWithP4Auth,
+}
+
+impl Scenario {
+    /// All arms in the paper's presentation order.
+    pub const ALL: [Scenario; 3] = [
+        Scenario::NoAdversary,
+        Scenario::Adversary,
+        Scenario::AdversaryWithP4Auth,
+    ];
+
+    /// Whether P4Auth is active in this arm.
+    pub fn auth_enabled(self) -> bool {
+        matches!(self, Scenario::AdversaryWithP4Auth)
+    }
+
+    /// Whether the attacker is active in this arm.
+    pub fn adversary(self) -> bool {
+        !matches!(self, Scenario::NoAdversary)
+    }
+
+    /// Figure legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::NoAdversary => "no adversary",
+            Scenario::Adversary => "with adversary",
+            Scenario::AdversaryWithP4Auth => "adversary + P4Auth",
+        }
+    }
+}

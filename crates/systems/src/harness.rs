@@ -1,0 +1,579 @@
+//! Simulation harness: adapters that mount P4Auth agents and the
+//! controller on the network simulator, plus a network builder that runs
+//! the key-management bootstrap.
+
+use p4auth_controller::{Controller, ControllerConfig, ControllerEvent, Outgoing};
+use p4auth_core::agent::{AgentConfig, InNetworkApp, P4AuthSwitch};
+use p4auth_netsim::sim::{Outbox, SimNode, Simulator, TopologyEvent};
+use p4auth_netsim::time::SimTime;
+use p4auth_netsim::topology::Topology;
+use p4auth_primitives::Key64;
+use p4auth_wire::ids::{PortId, RegId, SwitchId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Whether a link connects two switch data planes (as opposed to touching
+/// the controller or a host).
+fn is_dp_dp_link(l: &p4auth_netsim::topology::Link) -> bool {
+    let is_switch = |id: SwitchId| !id.is_controller() && id.value() < HOST_ID_BASE;
+    is_switch(l.a.node) && is_switch(l.b.node)
+}
+
+/// Shared handle to a switch agent (the harness keeps one, the sim node
+/// keeps the other).
+pub type SharedSwitch = Rc<RefCell<P4AuthSwitch>>;
+/// Shared handle to the controller.
+pub type SharedController = Rc<RefCell<Controller>>;
+
+/// Extra controller-side processing delay per message (the Python agent of
+/// the prototype); applied by the controller node when transmitting.
+pub const CONTROLLER_PROC_NS: u64 = 150_000;
+
+/// A [`SimNode`] wrapping a [`P4AuthSwitch`]. Frames are processed by the
+/// agent; outputs are transmitted after the agent's modelled processing
+/// cost.
+///
+/// The agent addresses the control plane through its logical CPU port
+/// (port 0, a PCIe channel on real hardware); in the simulated topology the
+/// C-DP link hangs off a front-panel port (`cpu_netport`). The node
+/// translates between the two.
+pub struct SwitchNode {
+    agent: SharedSwitch,
+    cpu_netport: Option<PortId>,
+}
+
+impl SwitchNode {
+    /// Wraps a shared agent; `cpu_netport` is the topology port carrying
+    /// the C-DP channel (if any).
+    pub fn new(agent: SharedSwitch, cpu_netport: Option<PortId>) -> Self {
+        SwitchNode { agent, cpu_netport }
+    }
+}
+
+impl SimNode for SwitchNode {
+    fn on_frame(&mut self, now: SimTime, ingress: PortId, payload: Vec<u8>, out: &mut Outbox) {
+        let logical_ingress = if Some(ingress) == self.cpu_netport {
+            PortId::CPU
+        } else {
+            ingress
+        };
+        let output = self
+            .agent
+            .borrow_mut()
+            .on_packet(now.as_ns(), logical_ingress, &payload);
+        for (port, bytes) in output.outputs {
+            let physical = if port.is_cpu() {
+                match self.cpu_netport {
+                    Some(p) => p,
+                    None => continue, // no control channel attached
+                }
+            } else {
+                port
+            };
+            out.send_delayed(physical, bytes, output.cost_ns);
+        }
+    }
+}
+
+/// A scheduled periodic key-rollover plan (§VI-C: keys are updated
+/// "automatically ... at regular intervals").
+#[derive(Clone, Debug, Default)]
+pub struct RolloverPlan {
+    /// Rollover period in nanoseconds of simulated time.
+    pub period_ns: u64,
+    /// Switches whose local keys roll.
+    pub switches: Vec<SwitchId>,
+    /// DP-DP links whose port keys roll: `(initiator, initiator port,
+    /// responder)`.
+    pub links: Vec<(SwitchId, PortId, SwitchId)>,
+}
+
+/// Shared handle to the (optional) rollover plan.
+pub type SharedRollover = Rc<RefCell<Option<RolloverPlan>>>;
+
+/// Timer id the controller node uses for periodic rollover.
+pub const ROLLOVER_TIMER: u64 = 0x5011;
+
+/// Node ids at or above this value are *hosts*: the network builder does
+/// not mount a P4Auth agent on them; attach behaviour with
+/// [`Network::attach_traffic_source`] (or register a custom node).
+pub const HOST_ID_BASE: u16 = 1000;
+
+/// Timer id used by [`TrafficSource`].
+const TRAFFIC_TIMER: u64 = 0x7a1c;
+
+/// A host that transmits a pre-computed schedule of frames at their
+/// timestamps (the simulator-side equivalent of a packet replay tool).
+pub struct TrafficSource {
+    /// `(transmit time ns, egress port, frame)` sorted by time.
+    schedule: std::collections::VecDeque<(u64, PortId, Vec<u8>)>,
+}
+
+impl TrafficSource {
+    /// Creates a source from a schedule (sorted by the caller).
+    pub fn new(schedule: Vec<(u64, PortId, Vec<u8>)>) -> Self {
+        TrafficSource {
+            schedule: schedule.into(),
+        }
+    }
+
+    fn arm_next(&self, now: SimTime, out: &mut Outbox) {
+        if let Some(&(at, _, _)) = self.schedule.front() {
+            out.set_timer(TRAFFIC_TIMER, at.saturating_sub(now.as_ns()).max(1));
+        }
+    }
+}
+
+/// Callback invoked by a [`SinkHost`] for every arriving frame.
+pub type ArrivalCallback = Box<dyn FnMut(SimTime, PortId, &[u8])>;
+
+/// A host that records every arriving frame via a callback (e.g. for
+/// flow-completion measurements at the receiver side of a bottleneck).
+pub struct SinkHost {
+    on_arrival: ArrivalCallback,
+}
+
+impl SinkHost {
+    /// Creates a sink with an arrival callback.
+    pub fn new(on_arrival: ArrivalCallback) -> Self {
+        SinkHost { on_arrival }
+    }
+}
+
+impl SimNode for SinkHost {
+    fn on_frame(&mut self, now: SimTime, ingress: PortId, payload: Vec<u8>, _out: &mut Outbox) {
+        (self.on_arrival)(now, ingress, &payload);
+    }
+}
+
+impl SimNode for TrafficSource {
+    fn on_frame(&mut self, _now: SimTime, _ingress: PortId, _payload: Vec<u8>, _out: &mut Outbox) {
+        // Hosts sink whatever comes back.
+    }
+
+    fn on_timer(&mut self, now: SimTime, timer_id: u64, out: &mut Outbox) {
+        if timer_id != TRAFFIC_TIMER {
+            return;
+        }
+        while let Some(&(at, port, _)) = self.schedule.front() {
+            if at > now.as_ns() {
+                break;
+            }
+            let (_, _, frame) = self.schedule.pop_front().expect("peeked");
+            out.send(port, frame);
+        }
+        self.arm_next(now, out);
+    }
+}
+
+/// A [`SimNode`] wrapping the [`Controller`]. The controller reaches switch
+/// `i` through its own port `i - 1` (matching [`Topology::chain`] and the
+/// builder below).
+pub struct ControllerNode {
+    controller: SharedController,
+    events: Rc<RefCell<Vec<ControllerEvent>>>,
+    rollover: SharedRollover,
+}
+
+impl ControllerNode {
+    /// Wraps a shared controller; `events` accumulates everything observed.
+    pub fn new(
+        controller: SharedController,
+        events: Rc<RefCell<Vec<ControllerEvent>>>,
+        rollover: SharedRollover,
+    ) -> Self {
+        ControllerNode {
+            controller,
+            events,
+            rollover,
+        }
+    }
+
+    /// The controller-side port used to reach `switch`.
+    pub fn port_for(switch: SwitchId) -> PortId {
+        PortId::new((switch.value() - 1) as u8)
+    }
+
+    /// The switch reached through controller port `port`.
+    pub fn switch_for(port: PortId) -> SwitchId {
+        SwitchId::new(port.value() as u16 + 1)
+    }
+
+    fn transmit(out: &mut Outbox, outgoing: Vec<Outgoing>) {
+        for o in outgoing {
+            out.send_delayed(Self::port_for(o.to), o.bytes, CONTROLLER_PROC_NS);
+        }
+    }
+}
+
+impl SimNode for ControllerNode {
+    fn on_frame(&mut self, _now: SimTime, ingress: PortId, payload: Vec<u8>, out: &mut Outbox) {
+        let from = Self::switch_for(ingress);
+        let (outgoing, events) = self.controller.borrow_mut().on_message(from, &payload);
+        self.events.borrow_mut().extend(events);
+        Self::transmit(out, outgoing);
+    }
+
+    fn on_timer(&mut self, _now: SimTime, timer_id: u64, out: &mut Outbox) {
+        if timer_id != ROLLOVER_TIMER {
+            return;
+        }
+        let Some(plan) = self.rollover.borrow().clone() else {
+            return;
+        };
+        let mut controller = self.controller.borrow_mut();
+        // Also re-drive anything a lost message stalled last period.
+        let mut outgoing = controller.retry_stalled();
+        for &sw in &plan.switches {
+            if controller.has_local_key(sw) {
+                outgoing.extend(controller.local_key_update(sw));
+            }
+        }
+        for &(sw1, port1, sw2) in &plan.links {
+            outgoing.extend(controller.port_key_update(sw1, port1, sw2));
+        }
+        drop(controller);
+        Self::transmit(out, outgoing);
+        out.set_timer(ROLLOVER_TIMER, plan.period_ns);
+    }
+
+    fn on_topology(&mut self, _now: SimTime, event: TopologyEvent, out: &mut Outbox) {
+        // §VI-C: a link-up event (LLDP-detected "port active") triggers
+        // port-key initialization between the two data planes.
+        if let TopologyEvent::LinkUp { a, b, .. } = event {
+            let is_switch = |id: SwitchId| !id.is_controller() && id.value() < HOST_ID_BASE;
+            if !is_switch(a.node) || !is_switch(b.node) {
+                return;
+            }
+            let outgoing = self
+                .controller
+                .borrow_mut()
+                .port_key_init(a.node, a.port, b.node, b.port);
+            Self::transmit(out, outgoing);
+        }
+    }
+}
+
+/// A built P4Auth network: simulator + shared handles.
+pub struct Network {
+    /// The simulator (topology, taps, clock).
+    pub sim: Simulator,
+    /// Shared agent handles by switch id.
+    pub switches: HashMap<SwitchId, SharedSwitch>,
+    /// Shared controller handle.
+    pub controller: SharedController,
+    /// Controller events accumulated during the run.
+    pub events: Rc<RefCell<Vec<ControllerEvent>>>,
+    rollover: SharedRollover,
+}
+
+impl Network {
+    /// Builds a network over `topology`. `make_app` produces the in-network
+    /// app for each switch (or `None`); `configure` lets the caller adjust
+    /// each agent's config (e.g. disable auth for baselines).
+    ///
+    /// Every switch is registered with the controller using a per-switch
+    /// `K_seed` derived from `seed_base`.
+    pub fn build(
+        topology: Topology,
+        controller_config: ControllerConfig,
+        seed_base: u64,
+        mut make_app: impl FnMut(SwitchId) -> Option<Box<dyn InNetworkApp>>,
+        mut configure: impl FnMut(SwitchId, AgentConfig) -> AgentConfig,
+    ) -> Network {
+        let mut sim = Simulator::new(topology);
+        let mut switches = HashMap::new();
+        let controller = Rc::new(RefCell::new(Controller::new(controller_config)));
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let rollover: SharedRollover = Rc::new(RefCell::new(None));
+
+        let node_ids: Vec<SwitchId> = sim.topology().nodes().to_vec();
+        for id in node_ids {
+            if id.value() >= HOST_ID_BASE {
+                continue; // hosts get their behaviour attached separately
+            }
+            if id.is_controller() {
+                sim.register_node(
+                    id,
+                    Box::new(ControllerNode::new(
+                        controller.clone(),
+                        events.clone(),
+                        rollover.clone(),
+                    )),
+                );
+                continue;
+            }
+            let k_seed =
+                Key64::new(seed_base ^ (id.value() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            controller.borrow_mut().register_switch(id, k_seed);
+            let neighbors = sim.topology().neighbors(id);
+            // The front-panel port carrying the C-DP channel, if any.
+            let cpu_netport = neighbors
+                .iter()
+                .find(|(_, ep)| ep.node.is_controller())
+                .map(|(p, _)| *p);
+            // Port count: highest *data* port number used in the topology.
+            let max_port = neighbors
+                .iter()
+                .filter(|(_, ep)| !ep.node.is_controller())
+                .map(|(p, _)| p.value())
+                .max()
+                .unwrap_or(1);
+            let config = configure(id, AgentConfig::new(id, max_port, k_seed));
+            let agent = Rc::new(RefCell::new(P4AuthSwitch::new(config, make_app(id))));
+            switches.insert(id, agent.clone());
+            sim.register_node(id, Box::new(SwitchNode::new(agent, cpu_netport)));
+        }
+
+        Network {
+            sim,
+            switches,
+            controller,
+            events,
+            rollover,
+        }
+    }
+
+    /// Enables automatic periodic key rollover (§VI-C): every `period_ns`
+    /// of simulated time the controller rolls every local key and every
+    /// port key, retrying anything a lost message stalled. Call after
+    /// [`Network::bootstrap_keys`].
+    pub fn enable_periodic_rollover(&mut self, period_ns: u64) {
+        let switches: Vec<SwitchId> = {
+            let mut s: Vec<SwitchId> = self.switches.keys().copied().collect();
+            s.sort();
+            s
+        };
+        let links = self
+            .sim
+            .topology()
+            .links()
+            .iter()
+            .filter(|l| is_dp_dp_link(l))
+            .map(|l| (l.a.node, l.a.port, l.b.node))
+            .collect();
+        *self.rollover.borrow_mut() = Some(RolloverPlan {
+            period_ns,
+            switches,
+            links,
+        });
+        self.sim
+            .schedule_timer(SwitchId::CONTROLLER, ROLLOVER_TIMER, period_ns);
+    }
+
+    /// Stops periodic rollover: the pending timer fires once more as a
+    /// no-op and the chain ends (after which `run_to_completion` drains).
+    pub fn disable_periodic_rollover(&mut self) {
+        *self.rollover.borrow_mut() = None;
+    }
+
+    /// Registers a [`SinkHost`] on host node `host`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is missing from the topology or already
+    /// registered.
+    pub fn attach_sink(&mut self, host: SwitchId, on_arrival: ArrivalCallback) {
+        assert!(host.value() >= HOST_ID_BASE, "sinks live on host ids");
+        self.sim
+            .register_node(host, Box::new(SinkHost::new(on_arrival)));
+    }
+
+    /// Registers a [`TrafficSource`] on host node `host` (id ≥
+    /// [`HOST_ID_BASE`], present in the topology) and arms its first
+    /// transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is missing from the topology or already
+    /// registered.
+    pub fn attach_traffic_source(&mut self, host: SwitchId, schedule: Vec<(u64, PortId, Vec<u8>)>) {
+        assert!(
+            host.value() >= HOST_ID_BASE,
+            "traffic sources live on host ids"
+        );
+        let first = schedule.first().map(|&(at, _, _)| at);
+        self.sim
+            .register_node(host, Box::new(TrafficSource::new(schedule)));
+        if let Some(at) = first {
+            let delay = at.saturating_sub(self.sim.now().as_ns()).max(1);
+            self.sim.schedule_timer(host, TRAFFIC_TIMER, delay);
+        }
+    }
+
+    /// Runs the key-management bootstrap: local-key initialization for every
+    /// switch, then port-key initialization for every DP-DP link, driving
+    /// the simulator until all exchanges complete. Returns the simulated
+    /// time the bootstrap took.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key fails to establish (a protocol bug or an active
+    /// adversary during bootstrap).
+    pub fn bootstrap_keys(&mut self) -> SimTime {
+        let start = self.sim.now();
+        let switch_ids: Vec<SwitchId> = self.switches.keys().copied().collect();
+        for &id in &switch_ids {
+            let outgoing = self.controller.borrow_mut().local_key_init(id);
+            self.send_from_controller(outgoing);
+        }
+        self.sim.run_to_completion();
+        for &id in &switch_ids {
+            assert!(
+                self.controller.borrow().has_local_key(id),
+                "local key init failed for {id}"
+            );
+        }
+
+        // Port keys for every DP-DP link (host attachment links are not
+        // switch-to-switch and carry no port keys).
+        let links: Vec<_> = self
+            .sim
+            .topology()
+            .links()
+            .iter()
+            .filter(|l| is_dp_dp_link(l))
+            .copied()
+            .collect();
+        for link in links {
+            let outgoing = self.controller.borrow_mut().port_key_init(
+                link.a.node,
+                link.a.port,
+                link.b.node,
+                link.b.port,
+            );
+            self.send_from_controller(outgoing);
+            self.sim.run_to_completion();
+        }
+
+        for link in self.sim.topology().links() {
+            if !is_dp_dp_link(link) {
+                continue;
+            }
+            for (node, port) in [(link.a.node, link.a.port), (link.b.node, link.b.port)] {
+                assert!(
+                    self.switches[&node]
+                        .borrow()
+                        .keys()
+                        .port(port)
+                        .is_installed(),
+                    "port key init failed for {node}:{port}"
+                );
+            }
+        }
+        SimTime::from_ns(self.sim.now().since(start))
+    }
+
+    /// Transmits controller-originated messages with the controller's
+    /// processing delay, so injected traffic never overtakes frames the
+    /// controller node emitted in the same instant (sequence numbers are
+    /// per channel and FIFO).
+    pub fn send_from_controller(&mut self, outgoing: Vec<p4auth_controller::Outgoing>) {
+        for o in outgoing {
+            self.sim.inject_frame_delayed(
+                SwitchId::CONTROLLER,
+                ControllerNode::port_for(o.to),
+                o.bytes,
+                CONTROLLER_PROC_NS,
+            );
+        }
+    }
+
+    /// Sends a controller-originated register read into the network.
+    pub fn controller_read(&mut self, switch: SwitchId, reg: RegId, index: u32) {
+        let o = self
+            .controller
+            .borrow_mut()
+            .read_register(switch, reg, index);
+        self.send_from_controller(vec![o]);
+    }
+
+    /// Sends a controller-originated register write into the network.
+    pub fn controller_write(&mut self, switch: SwitchId, reg: RegId, index: u32, value: u64) {
+        let o = self
+            .controller
+            .borrow_mut()
+            .write_register(switch, reg, index, value);
+        self.send_from_controller(vec![o]);
+    }
+
+    /// Injects an in-network control message (e.g. a HULA probe) originated
+    /// by `switch` out of `port`, sealed with that port's key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sealing fails (no port key while auth is enabled).
+    pub fn originate_probe(
+        &mut self,
+        switch: SwitchId,
+        port: PortId,
+        system: u8,
+        payload: Vec<u8>,
+    ) {
+        let bytes = self.switches[&switch]
+            .borrow_mut()
+            .seal_probe(port, system, payload)
+            .expect("probe sealing requires an installed port key");
+        self.sim.inject_frame(switch, port, bytes);
+    }
+
+    /// Injects a raw data frame originated by `switch` out of `port`.
+    pub fn inject_data(&mut self, switch: SwitchId, port: PortId, bytes: Vec<u8>) {
+        self.sim.inject_frame(switch, port, bytes);
+    }
+
+    /// Drains accumulated controller events.
+    pub fn take_events(&mut self) -> Vec<ControllerEvent> {
+        std::mem::take(&mut *self.events.borrow_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4auth_netsim::topology::Topology;
+
+    fn network(n: u16) -> Network {
+        Network::build(
+            Topology::chain(n, 1_000, 200_000),
+            ControllerConfig::default(),
+            0xb007_5eed,
+            |_| None,
+            |_, c| c,
+        )
+    }
+
+    #[test]
+    fn bootstrap_establishes_all_keys() {
+        let mut net = network(3);
+        net.bootstrap_keys();
+        for (id, sw) in &net.switches {
+            assert!(
+                sw.borrow().keys().local().is_installed(),
+                "local key missing on {id}"
+            );
+        }
+        // Chain: S1:p2 <-> S2:p1, S2:p2 <-> S3:p1.
+        assert!(net.switches[&SwitchId::new(1)]
+            .borrow()
+            .keys()
+            .port(PortId::new(2))
+            .is_installed());
+        assert!(net.switches[&SwitchId::new(2)]
+            .borrow()
+            .keys()
+            .port(PortId::new(1))
+            .is_installed());
+        assert!(net.switches[&SwitchId::new(2)]
+            .borrow()
+            .keys()
+            .port(PortId::new(2))
+            .is_installed());
+        assert!(net.switches[&SwitchId::new(3)]
+            .borrow()
+            .keys()
+            .port(PortId::new(1))
+            .is_installed());
+    }
+}

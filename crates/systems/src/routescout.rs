@@ -1,0 +1,423 @@
+//! RouteScout: performance-aware path selection (Apostolaki et al., SOSR
+//! 2021), reproduced — as in the paper itself — as a software simulation.
+//!
+//! The data plane aggregates per-path latency (sum and count registers) and
+//! splits outgoing traffic between two upstream paths according to a split
+//! ratio register. The controller periodically *reads* the latency
+//! registers over C-DP messages, computes a new split ratio favouring the
+//! faster path, and *writes* it back (Fig. 2).
+//!
+//! The §II-A adversary sits in the switch OS and inflates the latency of
+//! one path inside the read-response messages; the controller then diverts
+//! traffic onto the genuinely worse path (Fig. 16's middle bars). With
+//! P4Auth the tampered responses fail digest verification, the controller
+//! keeps the current ratio and raises an alert (Fig. 9 / Fig. 16's right
+//! bars).
+
+use crate::harness::Network;
+use p4auth_controller::ControllerEvent;
+use p4auth_core::agent::InNetworkApp;
+use p4auth_dataplane::chassis::{Chassis, ChassisError, PacketContext};
+use p4auth_dataplane::register::RegisterArray;
+use p4auth_wire::ids::{PortId, SwitchId};
+
+/// System id of RouteScout frames (unused on the wire — RouteScout has no
+/// DP-DP control messages — but required by the app interface).
+pub const ROUTESCOUT_SYSTEM_ID: u8 = 2;
+
+/// First byte of RouteScout data frames.
+pub const DATA_MAGIC: u8 = 0x5C;
+
+/// Number of upstream paths (the Fig. 2 scenario uses two).
+pub const NUM_PATHS: u32 = 2;
+
+/// Controller-visible register ids.
+pub mod reg_ids {
+    use p4auth_wire::ids::RegId;
+
+    /// Per-path latency sum (µs).
+    pub const LAT_SUM: RegId = RegId::new(2001);
+    /// Per-path sample count.
+    pub const LAT_CNT: RegId = RegId::new(2002);
+    /// Percentage of traffic sent to path 0.
+    pub const SPLIT: RegId = RegId::new(2003);
+}
+
+/// Data-plane register names.
+pub mod regs {
+    /// Per-path latency sum (µs).
+    pub const LAT_SUM: &str = "rs_lat_sum";
+    /// Per-path sample count.
+    pub const LAT_CNT: &str = "rs_lat_cnt";
+    /// Percent of traffic to path 0 (single cell).
+    pub const SPLIT: &str = "rs_split";
+    /// Data packets transmitted per path (Fig. 16's measurement).
+    pub const TX_COUNT: &str = "rs_tx_count";
+}
+
+/// A RouteScout data frame: `[0x5C, flow(4), lat_path0_us(4),
+/// lat_path1_us(4)]`. The two latency fields are the trace-driven "what
+/// this packet would experience on each path right now" values, so the
+/// data plane can record the sample for whichever path it picks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RsFrame {
+    /// Flow identifier (hashed for the split decision).
+    pub flow: u32,
+    /// Current latency on path 0 in µs.
+    pub lat0_us: u32,
+    /// Current latency on path 1 in µs.
+    pub lat1_us: u32,
+}
+
+impl RsFrame {
+    /// Encodes the frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![DATA_MAGIC];
+        out.extend_from_slice(&self.flow.to_be_bytes());
+        out.extend_from_slice(&self.lat0_us.to_be_bytes());
+        out.extend_from_slice(&self.lat1_us.to_be_bytes());
+        out
+    }
+
+    /// Decodes a frame.
+    pub fn decode(bytes: &[u8]) -> Option<RsFrame> {
+        if bytes.len() != 13 || bytes[0] != DATA_MAGIC {
+            return None;
+        }
+        let u = |i: usize| u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
+        Some(RsFrame {
+            flow: u(1),
+            lat0_us: u(5),
+            lat1_us: u(9),
+        })
+    }
+}
+
+/// Flow-hash → percent bucket (multiplicative hashing; deterministic).
+pub fn flow_bucket(flow: u32) -> u64 {
+    (flow as u64).wrapping_mul(2_654_435_761) % 100
+}
+
+/// The RouteScout data-plane program.
+#[derive(Debug, Default)]
+pub struct RouteScoutApp;
+
+impl RouteScoutApp {
+    /// Boxed for mounting on the agent.
+    pub fn boxed() -> Box<dyn InNetworkApp> {
+        Box::new(RouteScoutApp)
+    }
+}
+
+impl InNetworkApp for RouteScoutApp {
+    fn system_id(&self) -> u8 {
+        ROUTESCOUT_SYSTEM_ID
+    }
+
+    fn setup(&mut self, chassis: &mut Chassis) {
+        chassis.declare_register(RegisterArray::new(regs::LAT_SUM, NUM_PATHS, 64));
+        chassis.declare_register(RegisterArray::new(regs::LAT_CNT, NUM_PATHS, 64));
+        let mut split = RegisterArray::new(regs::SPLIT, 1, 64);
+        split.write(0, 50).expect("in range"); // start balanced
+        chassis.declare_register(split);
+        chassis.declare_register(RegisterArray::new(regs::TX_COUNT, NUM_PATHS, 64));
+    }
+
+    fn on_control(
+        &mut self,
+        _ctx: &mut PacketContext<'_>,
+        _ingress: PortId,
+        _payload: &[u8],
+    ) -> Result<Vec<(PortId, Vec<u8>)>, ChassisError> {
+        Ok(vec![]) // RouteScout exchanges no DP-DP control messages
+    }
+
+    fn on_data(
+        &mut self,
+        ctx: &mut PacketContext<'_>,
+        _ingress: PortId,
+        bytes: &[u8],
+    ) -> Result<Vec<(PortId, Vec<u8>)>, ChassisError> {
+        let Some(frame) = RsFrame::decode(bytes) else {
+            return Ok(vec![]);
+        };
+        let split = ctx.read_register(regs::SPLIT, 0)?;
+        let path: u32 = if flow_bucket(frame.flow) < split {
+            0
+        } else {
+            1
+        };
+        let lat = if path == 0 {
+            frame.lat0_us
+        } else {
+            frame.lat1_us
+        } as u64;
+        ctx.update_register(regs::LAT_SUM, path, |v| v + lat)?;
+        ctx.update_register(regs::LAT_CNT, path, |v| v + 1)?;
+        ctx.update_register(regs::TX_COUNT, path, |v| v + 1)?;
+        // Path 0 egresses on port 1, path 1 on port 2.
+        Ok(vec![(PortId::new(path as u8 + 1), bytes.to_vec())])
+    }
+}
+
+/// Outcome of one controller epoch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EpochOutcome {
+    /// New split ratio installed (percent to path 0).
+    Updated {
+        /// The newly computed percentage of traffic to path 0.
+        split: u64,
+    },
+    /// Tampering detected: ratio retained, alert counted (the P4Auth
+    /// response of §IX-A).
+    TamperDetected,
+    /// Not all latency readings arrived (lost messages).
+    Incomplete,
+}
+
+/// The RouteScout controller-side epoch logic, driven on top of the P4Auth
+/// [`Controller`](p4auth_controller::Controller) through the harness.
+#[derive(Debug)]
+pub struct RouteScoutController {
+    switch: SwitchId,
+    split: u64,
+    /// Alerts observed (tamper detections).
+    pub tamper_alerts: u64,
+}
+
+impl RouteScoutController {
+    /// Creates the epoch driver for `switch`.
+    pub fn new(switch: SwitchId) -> Self {
+        RouteScoutController {
+            switch,
+            split: 50,
+            tamper_alerts: 0,
+        }
+    }
+
+    /// Current split ratio (percent to path 0).
+    pub fn split(&self) -> u64 {
+        self.split
+    }
+
+    /// Computes the new split from average path latencies: inverse-latency
+    /// weighting ("send more traffic to the best path").
+    pub fn compute_split(avg0_us: f64, avg1_us: f64) -> u64 {
+        if avg0_us <= 0.0 || avg1_us <= 0.0 {
+            return 50;
+        }
+        let w0 = 1.0 / avg0_us;
+        let w1 = 1.0 / avg1_us;
+        (100.0 * w0 / (w0 + w1)).round().clamp(0.0, 100.0) as u64
+    }
+
+    /// Runs one epoch: read latency registers, recompute the split, install
+    /// it, and clear the accumulators. If any response fails verification,
+    /// the current ratio is kept (§IX-A).
+    pub fn run_epoch(&mut self, net: &mut Network) -> EpochOutcome {
+        // Issue the four reads.
+        for path in 0..NUM_PATHS {
+            net.controller_read(self.switch, reg_ids::LAT_SUM, path);
+            net.controller_read(self.switch, reg_ids::LAT_CNT, path);
+        }
+        net.sim.run_to_completion();
+        let events = net.take_events();
+
+        let mut sums = [None::<u64>; 2];
+        let mut cnts = [None::<u64>; 2];
+        let mut tampered = false;
+        for e in &events {
+            match e {
+                ControllerEvent::ValueRead {
+                    reg, index, value, ..
+                } => {
+                    if *reg == reg_ids::LAT_SUM {
+                        sums[*index as usize] = Some(*value);
+                    } else if *reg == reg_ids::LAT_CNT {
+                        cnts[*index as usize] = Some(*value);
+                    }
+                }
+                ControllerEvent::Rejected { .. } | ControllerEvent::AlertReceived { .. } => {
+                    tampered = true;
+                }
+                _ => {}
+            }
+        }
+        if tampered {
+            self.tamper_alerts += 1;
+            return EpochOutcome::TamperDetected;
+        }
+        let (Some(s0), Some(s1), Some(c0), Some(c1)) = (sums[0], sums[1], cnts[0], cnts[1]) else {
+            return EpochOutcome::Incomplete;
+        };
+        if c0 == 0 || c1 == 0 {
+            return EpochOutcome::Incomplete;
+        }
+        self.split = Self::compute_split(s0 as f64 / c0 as f64, s1 as f64 / c1 as f64);
+
+        // Install the ratio and clear the accumulators.
+        net.controller_write(self.switch, reg_ids::SPLIT, 0, self.split);
+        for path in 0..NUM_PATHS {
+            net.controller_write(self.switch, reg_ids::LAT_SUM, path, 0);
+            net.controller_write(self.switch, reg_ids::LAT_CNT, path, 0);
+        }
+        net.sim.run_to_completion();
+        let _ = net.take_events();
+        EpochOutcome::Updated { split: self.split }
+    }
+}
+
+/// Registers the RouteScout register-id mapping on an agent config.
+pub fn map_registers(config: p4auth_core::agent::AgentConfig) -> p4auth_core::agent::AgentConfig {
+    config
+        .map_register(reg_ids::LAT_SUM, regs::LAT_SUM)
+        .map_register(reg_ids::LAT_CNT, regs::LAT_CNT)
+        .map_register(reg_ids::SPLIT, regs::SPLIT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4auth_dataplane::chassis::ChassisConfig;
+    use p4auth_dataplane::packet::Packet;
+
+    fn chassis_with_app() -> (Chassis, RouteScoutApp) {
+        let mut app = RouteScoutApp;
+        let mut chassis = Chassis::new(ChassisConfig::tofino(SwitchId::new(1), 2));
+        app.setup(&mut chassis);
+        (chassis, app)
+    }
+
+    fn run_data(
+        chassis: &mut Chassis,
+        app: &mut RouteScoutApp,
+        frame: RsFrame,
+    ) -> Vec<(PortId, Vec<u8>)> {
+        let bytes = frame.encode();
+        let pkt = Packet::from_bytes(PortId::new(1), bytes.clone());
+        let mut outs = Vec::new();
+        chassis
+            .process(&pkt, |ctx, _| {
+                outs = app.on_data(ctx, PortId::new(1), &bytes)?;
+                Ok(vec![])
+            })
+            .unwrap();
+        outs
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = RsFrame {
+            flow: 1,
+            lat0_us: 2,
+            lat1_us: 3,
+        };
+        assert_eq!(RsFrame::decode(&f.encode()), Some(f));
+        assert_eq!(RsFrame::decode(&[0u8; 13]), None);
+        assert_eq!(RsFrame::decode(&[DATA_MAGIC]), None);
+    }
+
+    #[test]
+    fn balanced_split_sends_to_both_paths() {
+        let (mut chassis, mut app) = chassis_with_app();
+        for flow in 0..200 {
+            run_data(
+                &mut chassis,
+                &mut app,
+                RsFrame {
+                    flow,
+                    lat0_us: 10,
+                    lat1_us: 10,
+                },
+            );
+        }
+        let t0 = chassis.register(regs::TX_COUNT).unwrap().read(0).unwrap();
+        let t1 = chassis.register(regs::TX_COUNT).unwrap().read(1).unwrap();
+        assert_eq!(t0 + t1, 200);
+        // 50/50 split with hashing: both paths see a healthy share.
+        assert!(t0 > 60 && t1 > 60, "t0={t0} t1={t1}");
+    }
+
+    #[test]
+    fn split_zero_sends_everything_to_path1() {
+        let (mut chassis, mut app) = chassis_with_app();
+        chassis
+            .register_mut(regs::SPLIT)
+            .unwrap()
+            .write(0, 0)
+            .unwrap();
+        for flow in 0..50 {
+            let outs = run_data(
+                &mut chassis,
+                &mut app,
+                RsFrame {
+                    flow,
+                    lat0_us: 1,
+                    lat1_us: 1,
+                },
+            );
+            assert_eq!(outs[0].0, PortId::new(2));
+        }
+        assert_eq!(
+            chassis.register(regs::TX_COUNT).unwrap().read(0).unwrap(),
+            0
+        );
+        assert_eq!(
+            chassis.register(regs::TX_COUNT).unwrap().read(1).unwrap(),
+            50
+        );
+    }
+
+    #[test]
+    fn latency_samples_accumulate_per_chosen_path() {
+        let (mut chassis, mut app) = chassis_with_app();
+        chassis
+            .register_mut(regs::SPLIT)
+            .unwrap()
+            .write(0, 100)
+            .unwrap();
+        for flow in 0..10 {
+            run_data(
+                &mut chassis,
+                &mut app,
+                RsFrame {
+                    flow,
+                    lat0_us: 20,
+                    lat1_us: 99,
+                },
+            );
+        }
+        assert_eq!(
+            chassis.register(regs::LAT_SUM).unwrap().read(0).unwrap(),
+            200
+        );
+        assert_eq!(
+            chassis.register(regs::LAT_CNT).unwrap().read(0).unwrap(),
+            10
+        );
+        assert_eq!(chassis.register(regs::LAT_CNT).unwrap().read(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn compute_split_prefers_faster_path() {
+        // Equal latency: 50/50.
+        assert_eq!(RouteScoutController::compute_split(10.0, 10.0), 50);
+        // Path 0 twice as fast: ~67% to path 0.
+        assert_eq!(RouteScoutController::compute_split(10.0, 20.0), 67);
+        // Path 0 much slower: most traffic to path 1.
+        assert!(RouteScoutController::compute_split(100.0, 10.0) <= 10);
+        // Degenerate inputs fall back to balanced.
+        assert_eq!(RouteScoutController::compute_split(0.0, 10.0), 50);
+    }
+
+    #[test]
+    fn flow_bucket_is_deterministic_and_spread() {
+        let a = flow_bucket(1);
+        assert_eq!(a, flow_bucket(1));
+        let mut buckets = std::collections::HashSet::new();
+        for flow in 0..100 {
+            buckets.insert(flow_bucket(flow));
+        }
+        assert!(buckets.len() > 40, "poor spread: {}", buckets.len());
+    }
+}

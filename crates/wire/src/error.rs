@@ -1,0 +1,86 @@
+//! Wire decoding errors.
+
+use std::fmt;
+
+/// Error returned when a byte buffer cannot be decoded as a P4Auth message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The buffer ended before the required number of bytes.
+    Truncated {
+        /// Bytes needed by the decoder.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// Unrecognized `hdrType` byte.
+    UnknownHdrType(u8),
+    /// Unrecognized `msgType` byte for the given `hdrType`.
+    UnknownMsgType {
+        /// The header family the message claimed.
+        hdr_type: u8,
+        /// The offending message type byte.
+        msg_type: u8,
+    },
+    /// A payload field held an invalid value.
+    InvalidField(&'static str),
+    /// Trailing bytes remained after a complete message was decoded.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated message: needed {needed} bytes, got {available}"
+                )
+            }
+            DecodeError::UnknownHdrType(t) => write!(f, "unknown hdrType {t}"),
+            DecodeError::UnknownMsgType { hdr_type, msg_type } => {
+                write!(f, "unknown msgType {msg_type} for hdrType {hdr_type}")
+            }
+            DecodeError::InvalidField(name) => write!(f, "invalid field: {name}"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            DecodeError::Truncated {
+                needed: 14,
+                available: 3
+            }
+            .to_string(),
+            "truncated message: needed 14 bytes, got 3"
+        );
+        assert_eq!(
+            DecodeError::UnknownHdrType(9).to_string(),
+            "unknown hdrType 9"
+        );
+        assert_eq!(
+            DecodeError::UnknownMsgType {
+                hdr_type: 1,
+                msg_type: 7
+            }
+            .to_string(),
+            "unknown msgType 7 for hdrType 1"
+        );
+        assert_eq!(
+            DecodeError::TrailingBytes(2).to_string(),
+            "2 trailing bytes after message"
+        );
+        assert_eq!(
+            DecodeError::InvalidField("salt").to_string(),
+            "invalid field: salt"
+        );
+    }
+}

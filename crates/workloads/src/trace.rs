@@ -1,0 +1,128 @@
+//! Packet-level traces expanded from flows.
+
+use crate::flows::Flow;
+use serde::{Deserialize, Serialize};
+
+/// One packet of a trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TracePacket {
+    /// Transmission time in nanoseconds.
+    pub ts_ns: u64,
+    /// Flow the packet belongs to.
+    pub flow: u32,
+    /// Destination id.
+    pub dst: u16,
+}
+
+/// Expands flows into a time-ordered packet trace. Packets of a flow are
+/// spaced `pkt_gap_ns` apart starting at the flow's arrival.
+pub fn expand(flows: &[Flow], pkt_gap_ns: u64) -> Vec<TracePacket> {
+    let mut packets: Vec<TracePacket> = flows
+        .iter()
+        .flat_map(|f| {
+            (0..f.packets).map(move |i| TracePacket {
+                ts_ns: f.arrival_ns + i as u64 * pkt_gap_ns,
+                flow: f.id,
+                dst: f.dst,
+            })
+        })
+        .collect();
+    packets.sort_by_key(|p| (p.ts_ns, p.flow));
+    packets
+}
+
+/// Caps a trace at `max_packets` (keeping the earliest), for bounded
+/// experiment run times. Returns how many were dropped.
+pub fn truncate(packets: &mut Vec<TracePacket>, max_packets: usize) -> usize {
+    let dropped = packets.len().saturating_sub(max_packets);
+    packets.truncate(max_packets);
+    dropped
+}
+
+/// Summary statistics of a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total packets.
+    pub packets: usize,
+    /// Distinct flows.
+    pub flows: usize,
+    /// Duration from first to last packet (ns).
+    pub duration_ns: u64,
+}
+
+/// Computes summary statistics.
+pub fn stats(packets: &[TracePacket]) -> TraceStats {
+    let flows = packets
+        .iter()
+        .map(|p| p.flow)
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    let duration_ns = match (packets.first(), packets.last()) {
+        (Some(f), Some(l)) => l.ts_ns - f.ts_ns,
+        _ => 0,
+    };
+    TraceStats {
+        packets: packets.len(),
+        flows,
+        duration_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flows::{FlowGen, FlowGenConfig};
+
+    fn flows() -> Vec<Flow> {
+        FlowGen::new(FlowGenConfig::default()).take_flows(50)
+    }
+
+    #[test]
+    fn expansion_preserves_packet_counts() {
+        let flows = flows();
+        let expected: u64 = flows.iter().map(|f| f.packets as u64).sum();
+        let trace = expand(&flows, 1_000);
+        assert_eq!(trace.len() as u64, expected);
+    }
+
+    #[test]
+    fn trace_is_time_ordered() {
+        let trace = expand(&flows(), 1_000);
+        for pair in trace.windows(2) {
+            assert!(pair[1].ts_ns >= pair[0].ts_ns);
+        }
+    }
+
+    #[test]
+    fn packets_within_flow_are_spaced() {
+        let flow = Flow {
+            id: 7,
+            arrival_ns: 100,
+            packets: 3,
+            dst: 1,
+        };
+        let trace = expand(&[flow], 50);
+        let ts: Vec<u64> = trace.iter().map(|p| p.ts_ns).collect();
+        assert_eq!(ts, vec![100, 150, 200]);
+    }
+
+    #[test]
+    fn truncate_caps_and_reports() {
+        let mut trace = expand(&flows(), 1_000);
+        let orig = trace.len();
+        let dropped = truncate(&mut trace, 10);
+        assert_eq!(trace.len(), 10);
+        assert_eq!(dropped, orig - 10);
+        assert_eq!(truncate(&mut trace, 100), 0);
+    }
+
+    #[test]
+    fn stats_summarise() {
+        let trace = expand(&flows(), 1_000);
+        let s = stats(&trace);
+        assert_eq!(s.packets, trace.len());
+        assert_eq!(s.flows, 50);
+        assert!(s.duration_ns > 0);
+        assert_eq!(stats(&[]).packets, 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! The Fig. 3 / Fig. 17 demonstration: a MitM on the S4–S1 link rewrites
+//! HULA `probeUtil`, dragging traffic onto the compromised path; P4Auth
+//! authenticates probes hop by hop and blocks the attack.
+//!
+//! ```sh
+//! cargo run --example hula_defense
+//! ```
+
+use p4auth::systems::experiments::fig17::{run_all, Fig17Config};
+
+fn bar(share: f64) -> String {
+    let n = (share * 40.0).round() as usize;
+    "█".repeat(n)
+}
+
+fn main() {
+    println!("HULA under a link MitM (Fig. 3 topology, Fig. 17 experiment)\n");
+    let config = Fig17Config::default();
+    println!(
+        "{} rounds, {} packets/round, adversary forges probeUtil={}\n",
+        config.rounds, config.packets_per_round, config.forged_util
+    );
+
+    for result in run_all(config) {
+        println!("── {} ──", result.scenario.label());
+        for (i, label) in ["S1-S2", "S1-S3", "S1-S4"].iter().enumerate() {
+            println!(
+                "  {label}: {:5.1}%  {}",
+                100.0 * result.path_share[i],
+                bar(result.path_share[i])
+            );
+        }
+        println!(
+            "  probes dropped: {}, alerts: {}, delivered {}/{}\n",
+            result.probes_dropped, result.alerts, result.delivered, result.injected
+        );
+    }
+
+    println!("Reading the bars:");
+    println!(" * no adversary      → feedback balances the three paths");
+    println!(" * with adversary    → the forged low utilization pulls >70% onto S1-S4");
+    println!(" * adversary + P4Auth → tampered probes fail digest checks; S1 ignores");
+    println!("   them, alerts the controller, and traffic avoids the compromised link");
+}

@@ -1,0 +1,217 @@
+//! Integration: protocol robustness under message loss and mid-exchange
+//! failures. Key exchanges are stateless enough to restart: the
+//! controller's `retry_stalled` re-drives anything pending.
+
+use p4auth::controller::{ControllerConfig, ControllerEvent};
+use p4auth::netsim::sim::TapAction;
+use p4auth::netsim::topology::Topology;
+use p4auth::systems::harness::{ControllerNode, Network};
+use p4auth::wire::ids::{PortId, RegId, SwitchId};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const S1: SwitchId = SwitchId::new(1);
+const S2: SwitchId = SwitchId::new(2);
+
+fn network() -> Network {
+    Network::build(
+        Topology::chain(2, 50_000, 200_000),
+        ControllerConfig::default(),
+        0xfa11,
+        |_| None,
+        |_, c| c,
+    )
+}
+
+fn inject(net: &mut Network, outgoing: Vec<p4auth::controller::Outgoing>) {
+    for o in outgoing {
+        net.sim.inject_frame(
+            SwitchId::CONTROLLER,
+            ControllerNode::port_for(o.to),
+            o.bytes,
+        );
+    }
+}
+
+/// A tap that drops the first `n` frames, then forwards everything.
+fn drop_first_n(n: u64) -> (p4auth::netsim::sim::Tap, Rc<RefCell<u64>>) {
+    let dropped = Rc::new(RefCell::new(0u64));
+    let d = dropped.clone();
+    let tap = Box::new(move |_now, _f, _t, _p: &mut Vec<u8>| {
+        if *d.borrow() < n {
+            *d.borrow_mut() += 1;
+            TapAction::Drop
+        } else {
+            TapAction::Forward
+        }
+    });
+    (tap, dropped)
+}
+
+#[test]
+fn lost_eak_salt_is_recovered_by_retry() {
+    let mut net = network();
+    let (link, _) = net.sim.topology().link_at(S1, PortId::new(63)).unwrap();
+    // Drop the first C→DP frame (EAK salt #1).
+    let (tap, dropped) = drop_first_n(1);
+    net.sim.install_tap(link, SwitchId::CONTROLLER, tap);
+
+    let out = net.controller.borrow_mut().local_key_init(S1);
+    inject(&mut net, out);
+    net.sim.run_to_completion();
+    assert_eq!(*dropped.borrow(), 1);
+    assert!(
+        !net.controller.borrow().has_local_key(S1),
+        "init must have stalled"
+    );
+
+    // Operator/timer-driven retry.
+    let out = net.controller.borrow_mut().retry_stalled();
+    assert!(!out.is_empty(), "a stalled exchange must be retried");
+    inject(&mut net, out);
+    net.sim.run_to_completion();
+    assert!(net.controller.borrow().has_local_key(S1));
+    assert!(net.switches[&S1].borrow().keys().local().is_installed());
+}
+
+#[test]
+fn lost_adhkd_answer_is_recovered_by_retry() {
+    let mut net = network();
+    let (link, _) = net.sim.topology().link_at(S1, PortId::new(63)).unwrap();
+    // Let EAK complete (salt #2 is the first DP→C frame); drop the ADHKD
+    // answer (the second DP→C frame).
+    let dropped = Rc::new(RefCell::new(0u64));
+    let d = dropped.clone();
+    net.sim.install_tap(
+        link,
+        S1,
+        Box::new(move |_now, _f, _t, p: &mut Vec<u8>| {
+            // Drop exactly the second switch→controller frame.
+            *d.borrow_mut() += 1;
+            if *d.borrow() == 2 {
+                return TapAction::Drop;
+            }
+            let _ = p;
+            TapAction::Forward
+        }),
+    );
+
+    let out = net.controller.borrow_mut().local_key_init(S1);
+    inject(&mut net, out);
+    net.sim.run_to_completion();
+    assert!(
+        net.controller.borrow().has_auth_key(S1),
+        "EAK should have completed"
+    );
+    assert!(
+        !net.controller.borrow().has_local_key(S1),
+        "ADHKD should have stalled"
+    );
+
+    let out = net.controller.borrow_mut().retry_stalled();
+    inject(&mut net, out);
+    net.sim.run_to_completion();
+    assert!(net.controller.borrow().has_local_key(S1));
+    // Both sides agree: an authenticated request round-trips.
+    net.controller_read(S1, RegId::new(1), 0);
+    net.sim.run_to_completion();
+    let events = net.take_events();
+    assert!(!events
+        .iter()
+        .any(|e| matches!(e, ControllerEvent::Rejected { .. })));
+}
+
+#[test]
+fn lost_port_key_leg_is_recovered_by_retry() {
+    let mut net = network();
+    // Local keys first (cleanly).
+    for sw in [S1, S2] {
+        let out = net.controller.borrow_mut().local_key_init(sw);
+        inject(&mut net, out);
+    }
+    net.sim.run_to_completion();
+
+    // Drop the first redirected leg of the port-key exchange.
+    let (link, _) = net.sim.topology().link_at(S2, PortId::new(63)).unwrap();
+    let (tap, dropped) = drop_first_n(1);
+    net.sim.install_tap(link, SwitchId::CONTROLLER, tap);
+
+    let out = net
+        .controller
+        .borrow_mut()
+        .port_key_init(S1, PortId::new(2), S2, PortId::new(1));
+    inject(&mut net, out);
+    net.sim.run_to_completion();
+    assert_eq!(*dropped.borrow(), 1);
+    assert!(
+        !net.switches[&S2]
+            .borrow()
+            .keys()
+            .port(PortId::new(1))
+            .is_installed(),
+        "port key should have stalled on S2"
+    );
+
+    let out = net.controller.borrow_mut().retry_stalled();
+    assert!(!out.is_empty());
+    inject(&mut net, out);
+    net.sim.run_to_completion();
+    let k1 = net.switches[&S1]
+        .borrow()
+        .keys()
+        .port(PortId::new(2))
+        .current()
+        .unwrap();
+    let k2 = net.switches[&S2]
+        .borrow()
+        .keys()
+        .port(PortId::new(1))
+        .current()
+        .unwrap();
+    assert_eq!(k1, k2, "retried port keys must agree");
+}
+
+#[test]
+fn retry_is_a_noop_when_nothing_is_stalled() {
+    let mut net = network();
+    net.bootstrap_keys();
+    let out = net.controller.borrow_mut().retry_stalled();
+    assert!(
+        out.is_empty(),
+        "healthy controller must not spuriously retry: {out:?}"
+    );
+}
+
+#[test]
+fn register_requests_survive_response_loss() {
+    // Responses can be lost; the outstanding map tracks them and the
+    // controller can re-issue (idempotent read).
+    let mut net = network();
+    net.bootstrap_keys();
+    let _ = net.take_events();
+
+    let (link, _) = net.sim.topology().link_at(S1, PortId::new(63)).unwrap();
+    let (tap, _) = drop_first_n(1);
+    net.sim.install_tap(link, S1, tap);
+
+    net.controller_read(S1, RegId::new(1), 0);
+    net.sim.run_to_completion();
+    assert_eq!(
+        net.controller.borrow().outstanding(S1),
+        1,
+        "response was lost"
+    );
+
+    // Re-issue; the tap now forwards.
+    net.controller_read(S1, RegId::new(1), 0);
+    net.sim.run_to_completion();
+    let events = net.take_events();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, ControllerEvent::Nacked { .. })));
+    assert_eq!(
+        net.controller.borrow().outstanding(S1),
+        1,
+        "only the lost one remains"
+    );
+}

@@ -1,0 +1,171 @@
+//! Integration: the two headline defence demonstrations (Figs. 16 and 17)
+//! and the performance-shape experiments (Figs. 20 and 21), asserted at
+//! the level the paper reports them.
+
+use p4auth::systems::experiments::{fig16, fig17, fig20, fig21, Scenario};
+
+// ---------------------------------------------------------------- Fig. 16
+
+#[test]
+fn fig16_routescout_without_adversary_prefers_faster_path() {
+    let r = fig16::run(Scenario::NoAdversary, fig16::Fig16Config::default());
+    // Path 0 is genuinely faster (200 µs vs 350 µs): inverse-latency
+    // weighting sends it ~64 % of traffic.
+    assert!(
+        (0.55..=0.75).contains(&r.path_share[0]),
+        "no-adversary share {:?}",
+        r.path_share
+    );
+    assert_eq!(r.tamper_detections, 0);
+}
+
+#[test]
+fn fig16_adversary_diverts_traffic_to_the_slow_path() {
+    let r = fig16::run(Scenario::Adversary, fig16::Fig16Config::default());
+    // Paper: ~70 % of traffic rerouted to path 2 post-attack.
+    assert!(
+        r.post_attack_share[1] > 0.6,
+        "attack should divert traffic: {:?}",
+        r.post_attack_share
+    );
+    assert_eq!(r.tamper_detections, 0, "baseline cannot detect");
+}
+
+#[test]
+fn fig16_p4auth_retains_ratio_and_raises_alerts() {
+    let cfg = fig16::Fig16Config::default();
+    let protected = fig16::run(Scenario::AdversaryWithP4Auth, cfg);
+    let clean = fig16::run(Scenario::NoAdversary, cfg);
+    // The split ratio stays at the pre-attack (legitimate) value…
+    assert_eq!(protected.final_split, clean.final_split);
+    // …the traffic distribution matches the clean run…
+    assert!(
+        (protected.post_attack_share[0] - clean.post_attack_share[0]).abs() < 0.05,
+        "protected {:?} vs clean {:?}",
+        protected.post_attack_share,
+        clean.post_attack_share
+    );
+    // …and every tampered epoch was detected.
+    let attacked_epochs = (cfg.epochs - cfg.attack_from_epoch) as u64;
+    assert_eq!(protected.tamper_detections, attacked_epochs);
+}
+
+// ---------------------------------------------------------------- Fig. 17
+
+#[test]
+fn fig17_hula_balances_without_adversary() {
+    let r = fig17::run(Scenario::NoAdversary, fig17::Fig17Config::default());
+    for (i, share) in r.path_share.iter().enumerate() {
+        assert!(
+            (0.2..=0.47).contains(share),
+            "path {i} share {share} not roughly balanced: {:?}",
+            r.path_share
+        );
+    }
+    assert_eq!(r.probes_dropped, 0);
+    assert_eq!(r.delivered, r.injected, "no data loss in the clean run");
+}
+
+#[test]
+fn fig17_adversary_attracts_traffic_to_compromised_link() {
+    let r = fig17::run(Scenario::Adversary, fig17::Fig17Config::default());
+    // Paper: more than 70 % of traffic through S1–S4.
+    assert!(
+        r.path_share[2] > 0.7,
+        "attack should pull traffic onto S4: {:?}",
+        r.path_share
+    );
+    assert_eq!(r.alerts, 0, "baseline raises no alerts");
+}
+
+#[test]
+fn fig17_p4auth_blocks_the_compromised_link() {
+    let cfg = fig17::Fig17Config::default();
+    let r = fig17::run(Scenario::AdversaryWithP4Auth, cfg);
+    // Tampered probes are dropped, the compromised path carries nothing,
+    // and the remaining two paths carry everything.
+    assert!(
+        r.path_share[2] < 0.01,
+        "compromised link must be blocked: {:?}",
+        r.path_share
+    );
+    assert!(r.path_share[0] + r.path_share[1] > 0.99);
+    assert_eq!(
+        r.probes_dropped as u32, cfg.rounds,
+        "one tampered probe per round"
+    );
+    assert!(r.alerts > 0, "S1 must alert the controller");
+    assert_eq!(
+        r.delivered, r.injected,
+        "traffic still flows on clean paths"
+    );
+}
+
+// ---------------------------------------------------------------- Fig. 20
+
+#[test]
+fn fig20_kmp_rtt_ordering_and_magnitudes() {
+    let r = fig20::measure_default();
+    // Ordering (§IX-B): port init slowest (controller redirection with
+    // per-leg digest checks); port update fastest (direct DP-DP beats the
+    // 2-message local update).
+    assert!(r.port_init_ns > r.local_init_ns, "{r:?}");
+    assert!(r.local_init_ns > r.local_update_ns, "{r:?}");
+    assert!(r.local_update_ns > r.port_update_ns, "{r:?}");
+    // Magnitudes: 1–2 ms for initialization, < 1 ms for updates.
+    for ns in [r.local_init_ns, r.port_init_ns] {
+        let ms = ns as f64 / 1e6;
+        assert!((0.5..=2.5).contains(&ms), "init RTT {ms} ms out of band");
+    }
+    for ns in [r.local_update_ns, r.port_update_ns] {
+        assert!(
+            (ns as f64 / 1e6) < 1.0,
+            "update RTT should be sub-millisecond"
+        );
+    }
+}
+
+// ---------------------------------------------------------------- Fig. 21
+
+#[test]
+fn fig21_overhead_grows_with_hops_and_stays_single_digit() {
+    let points = fig21::sweep(10);
+    assert_eq!(points.len(), 9);
+    // Baselines grow linearly with hop count.
+    for pair in points.windows(2) {
+        assert!(pair[1].baseline_ns > pair[0].baseline_ns);
+        assert!(
+            pair[1].overhead_pct() > pair[0].overhead_pct(),
+            "overhead must grow with hops"
+        );
+    }
+    let first = points.first().unwrap();
+    let last = points.last().unwrap();
+    // Paper: 0.95 % at 2 hops, 5.9 % at 10 hops.
+    assert!(
+        (0.5..=2.0).contains(&first.overhead_pct()),
+        "2-hop overhead {}",
+        first.overhead_pct()
+    );
+    assert!(
+        (4.0..=8.0).contains(&last.overhead_pct()),
+        "10-hop overhead {}",
+        last.overhead_pct()
+    );
+}
+
+#[test]
+fn fig21_baseline_linear_in_hops() {
+    let points = fig21::sweep(6);
+    // Linear fit sanity: increments between consecutive hop counts are
+    // near-constant.
+    let increments: Vec<i64> = points
+        .windows(2)
+        .map(|w| w[1].baseline_ns as i64 - w[0].baseline_ns as i64)
+        .collect();
+    let first = increments[0];
+    for inc in &increments {
+        let dev = (inc - first).abs() as f64 / first as f64;
+        assert!(dev < 0.05, "non-linear baseline increments: {increments:?}");
+    }
+}
