@@ -1,7 +1,7 @@
 //! Controller implementation.
 
 use p4auth_core::adhkd::{AdhkdInitiator, AdhkdPayload};
-use p4auth_core::auth::{RejectReason, ReplayWindow};
+use p4auth_core::auth::{AuthMetrics, RejectReason, ReplayWindow};
 use p4auth_core::eak::EakInitiator;
 use p4auth_core::keys::KeySlot;
 use p4auth_primitives::dh::{DhParams, DhPublic};
@@ -9,12 +9,14 @@ use p4auth_primitives::kdf::{Kdf, KdfConfig};
 use p4auth_primitives::mac::{HalfSipHashMac, Mac};
 use p4auth_primitives::rng::SplitMix64;
 use p4auth_primitives::Key64;
+use p4auth_telemetry::{Counter, Event as TelemetryEvent, Gauge, Histogram, Registry};
 use p4auth_wire::body::{
     AdhkdRole, AlertKind, Body, EakStep, KexContext, KeyExchange, NackReason, RegisterOp,
 };
 use p4auth_wire::ids::{PortId, RegId, SeqNum, SwitchId};
 use p4auth_wire::Message;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Controller configuration.
 #[derive(Clone, Copy, Debug)]
@@ -140,6 +142,42 @@ struct PendingRequest {
     reg: RegId,
     index: u32,
     is_write: bool,
+    /// Sim time (ns) the request left the controller, per the clock last
+    /// pushed via [`Controller::set_now`]. Used for the register-op latency
+    /// histogram.
+    sent_at_ns: u64,
+}
+
+/// Pre-registered telemetry handles for the controller, all labeled
+/// `"controller"`.
+struct ControllerTelemetry {
+    registry: Arc<Registry>,
+    auth: AuthMetrics,
+    register_op_ns: Arc<Histogram>,
+    outstanding: Arc<Gauge>,
+    requests_sent: Arc<Counter>,
+    responses_ok: Arc<Counter>,
+    alerts_received: Arc<Counter>,
+    key_installs: Arc<Counter>,
+    key_rollovers: Arc<Counter>,
+}
+
+impl ControllerTelemetry {
+    const LABEL: &'static str = "controller";
+
+    fn new(registry: Arc<Registry>) -> Self {
+        ControllerTelemetry {
+            auth: AuthMetrics::register(&registry, Self::LABEL),
+            register_op_ns: registry.histogram_with("ctrl_register_op_ns", Self::LABEL),
+            outstanding: registry.gauge_with("ctrl_outstanding", Self::LABEL),
+            requests_sent: registry.counter_with("ctrl_requests_sent", Self::LABEL),
+            responses_ok: registry.counter_with("ctrl_responses_ok", Self::LABEL),
+            alerts_received: registry.counter_with("ctrl_alerts_received", Self::LABEL),
+            key_installs: registry.counter_with("ctrl_key_installs", Self::LABEL),
+            key_rollovers: registry.counter_with("ctrl_key_rollovers", Self::LABEL),
+            registry,
+        }
+    }
 }
 
 struct SwitchChannel {
@@ -191,6 +229,8 @@ pub struct Controller {
     redirects: Vec<PortRedirect>,
     alerts: Vec<(SwitchId, AlertKind)>,
     stats: ControllerStats,
+    now_ns: u64,
+    telemetry: Option<ControllerTelemetry>,
 }
 
 impl std::fmt::Debug for Controller {
@@ -220,7 +260,22 @@ impl Controller {
             alerts: Vec::new(),
             stats: ControllerStats::default(),
             config,
+            now_ns: 0,
+            telemetry: None,
         }
+    }
+
+    /// Pushes the simulation clock. The controller has no clock of its own;
+    /// the harness calls this before every `on_message` / request issue so
+    /// register-op latencies can be measured in sim-ns.
+    pub fn set_now(&mut self, now_ns: u64) {
+        self.now_ns = now_ns;
+    }
+
+    /// Attaches a telemetry registry; controller metrics are labeled
+    /// `"controller"`.
+    pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
+        self.telemetry = Some(ControllerTelemetry::new(registry));
     }
 
     /// Registers a switch and its pre-shared boot secret.
@@ -311,6 +366,7 @@ impl Controller {
         index: u32,
         value: Option<u64>,
     ) -> Outgoing {
+        let now_ns = self.now_ns;
         let chan = self.channel_mut(switch);
         let seq = chan.next_seq();
         let is_write = value.is_some();
@@ -320,9 +376,14 @@ impl Controller {
                 reg,
                 index,
                 is_write,
+                sent_at_ns: now_ns,
             },
         );
         self.stats.requests_sent += 1;
+        if let Some(t) = &self.telemetry {
+            t.requests_sent.inc();
+            t.outstanding.add(1);
+        }
         let op = match value {
             Some(v) => RegisterOp::write_req(reg, index, v),
             None => RegisterOp::read_req(reg, index),
@@ -557,13 +618,42 @@ impl Controller {
                     }
                 }
             };
-            if let Err(reason) = result {
-                self.stats.rejected += 1;
-                events.push(ControllerEvent::Rejected {
-                    switch: from,
-                    reason,
-                });
-                return (out, events);
+            match result {
+                Err(reason) => {
+                    self.stats.rejected += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.auth.record_verify(&Err(reason));
+                        t.registry.record(
+                            self.now_ns,
+                            TelemetryEvent::DigestRejected {
+                                peer: from.value(),
+                                channel: PortId::CPU.value(),
+                                reason: reason.kind(),
+                            },
+                        );
+                        if let RejectReason::Replayed { last_accepted } = reason {
+                            t.registry.record(
+                                self.now_ns,
+                                TelemetryEvent::ReplayDetected {
+                                    peer: from.value(),
+                                    channel: PortId::CPU.value(),
+                                    last_accepted: last_accepted.value() as u64,
+                                    got: msg.header().seq_num.value() as u64,
+                                },
+                            );
+                        }
+                    }
+                    events.push(ControllerEvent::Rejected {
+                        switch: from,
+                        reason,
+                    });
+                    return (out, events);
+                }
+                Ok(()) => {
+                    if let Some(t) = &self.telemetry {
+                        t.auth.record_verify(&Ok(()));
+                    }
+                }
             }
         }
 
@@ -572,6 +662,9 @@ impl Controller {
             Body::Alert(alert) => {
                 self.stats.alerts += 1;
                 self.alerts.push((from, alert.kind));
+                if let Some(t) = &self.telemetry {
+                    t.alerts_received.inc();
+                }
                 events.push(ControllerEvent::AlertReceived {
                     switch: from,
                     kind: alert.kind,
@@ -600,6 +693,12 @@ impl Controller {
             return;
         };
         self.stats.responses_ok += 1;
+        if let Some(t) = &self.telemetry {
+            t.responses_ok.inc();
+            t.outstanding.sub(1);
+            t.register_op_ns
+                .record(self.now_ns.saturating_sub(pending.sent_at_ns));
+        }
         match op {
             RegisterOp::Ack { value, .. } => {
                 if pending.is_write {
@@ -656,6 +755,15 @@ impl Controller {
                     let k_auth = eak.on_salt2(salt, kdf_handle);
                     chan.k_auth = Some(k_auth);
                     events.push(ControllerEvent::AuthKeyEstablished(from));
+                    if let Some(t) = &self.telemetry {
+                        t.registry.record(
+                            self.now_ns,
+                            TelemetryEvent::KexStep {
+                                node: SwitchId::CONTROLLER.value(),
+                                step: "eak_salt2",
+                            },
+                        );
+                    }
                     // Continue Fig. 14(a): ADHKD offer under K_auth.
                     let (init, offer) = AdhkdInitiator::start(self.config.dh_params, &mut self.rng);
                     let chan = self.channel_mut(from);
@@ -707,12 +815,36 @@ impl Controller {
                         },
                         &self.kdf,
                     );
-                    if context == KexContext::LocalInit {
-                        chan.local.install(master);
-                        events.push(ControllerEvent::LocalKeyInstalled(from));
-                    } else {
+                    let rolled = context != KexContext::LocalInit;
+                    if rolled {
                         chan.local.rollover(master);
                         events.push(ControllerEvent::LocalKeyRolled(from));
+                    } else {
+                        chan.local.install(master);
+                        events.push(ControllerEvent::LocalKeyInstalled(from));
+                    }
+                    let version = chan.local.version().value();
+                    if let Some(t) = &self.telemetry {
+                        if rolled {
+                            t.key_rollovers.inc();
+                        } else {
+                            t.key_installs.inc();
+                        }
+                        t.registry.record(
+                            self.now_ns,
+                            TelemetryEvent::KeyDerived {
+                                switch: from.value(),
+                                port: PortId::CPU.value(),
+                                version,
+                            },
+                        );
+                        t.registry.record(
+                            self.now_ns,
+                            TelemetryEvent::KexStep {
+                                node: SwitchId::CONTROLLER.value(),
+                                step: "adhkd_answer",
+                            },
+                        );
                     }
                 }
             }
@@ -762,6 +894,15 @@ impl Controller {
                     bytes: fwd.encode(),
                 });
                 events.push(ControllerEvent::PortExchangeRedirected { from, to: dest });
+                if let Some(t) = &self.telemetry {
+                    t.registry.record(
+                        self.now_ns,
+                        TelemetryEvent::KexStep {
+                            node: SwitchId::CONTROLLER.value(),
+                            step: "adhkd_redirect",
+                        },
+                    );
+                }
                 if role == AdhkdRole::Answer {
                     // Exchange complete; drop the redirect record.
                     self.redirects
@@ -913,6 +1054,58 @@ mod tests {
             }
         );
         assert_eq!(c.outstanding(sw), 0);
+    }
+
+    #[test]
+    fn telemetry_measures_register_op_latency_in_sim_ns() {
+        let registry = Arc::new(Registry::with_event_capacity(16));
+        let mut c = Controller::new(ControllerConfig {
+            auth_enabled: false,
+            ..ControllerConfig::default()
+        });
+        c.set_telemetry(registry.clone());
+        let sw = SwitchId::new(1);
+        c.register_switch(sw, Key64::new(0));
+
+        c.set_now(1_000);
+        let out = c.read_register(sw, RegId::new(5), 2);
+        let req = Message::decode(&out.bytes).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ctrl_requests_sent", "controller"), Some(1));
+        assert_eq!(
+            snap.gauges
+                .iter()
+                .find(|g| g.name == "ctrl_outstanding")
+                .map(|g| g.value),
+            Some(1)
+        );
+
+        c.set_now(51_000);
+        let resp = Message::new(
+            sw,
+            PortId::CPU,
+            req.header().seq_num,
+            Body::Register(RegisterOp::Ack {
+                reg: RegId::new(5),
+                index: 2,
+                value: 7,
+            }),
+        );
+        c.on_message(sw, &resp.encode());
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ctrl_responses_ok", "controller"), Some(1));
+        assert_eq!(
+            snap.gauges
+                .iter()
+                .find(|g| g.name == "ctrl_outstanding")
+                .map(|g| g.value),
+            Some(0)
+        );
+        let hist = snap.histogram("ctrl_register_op_ns", "controller").unwrap();
+        assert_eq!(hist.count, 1);
+        assert_eq!(hist.min, 50_000);
+        assert_eq!(hist.max, 50_000);
     }
 
     #[test]

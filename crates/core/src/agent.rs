@@ -20,7 +20,7 @@
 //! baselines the evaluation compares against (DP-Reg-RW, vanilla HULA).
 
 use crate::adhkd::{self, AdhkdInitiator, AdhkdPayload};
-use crate::auth::{AlertDecision, AlertLimiter, RejectReason, ReplayWindow};
+use crate::auth::{AlertDecision, AlertLimiter, AuthMetrics, RejectReason, ReplayWindow};
 use crate::eak;
 use crate::keys::KeyStore;
 use p4auth_dataplane::chassis::{Chassis, ChassisConfig, ChassisError, PacketContext};
@@ -31,6 +31,7 @@ use p4auth_primitives::dh::{DhParams, DhPublic};
 use p4auth_primitives::kdf::{Kdf, KdfConfig};
 use p4auth_primitives::rng::SplitMix64;
 use p4auth_primitives::Key64;
+use p4auth_telemetry::{Counter, Event as TelemetryEvent, Histogram, Registry};
 use p4auth_wire::body::{
     AdhkdRole, Alert, AlertKind, Body, EakStep, InNetwork, KexContext, KeyExchange, NackReason,
     RegisterOp,
@@ -38,6 +39,7 @@ use p4auth_wire::body::{
 use p4auth_wire::ids::{PortId, RegId, SeqNum, SwitchId};
 use p4auth_wire::Message;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Name of the Fig. 15 mapping table on the chassis.
 pub const REG_MAPPING_TABLE: &str = "reg_id_to_name_mapping";
@@ -255,6 +257,37 @@ impl AgentOutput {
     }
 }
 
+/// Pre-registered telemetry handles for one agent, all labeled by the
+/// switch id so per-device series survive multi-switch simulations.
+struct AgentTelemetry {
+    registry: Arc<Registry>,
+    auth: AuthMetrics,
+    packet_cost_ns: Arc<Histogram>,
+    register_op_cost_ns: Arc<Histogram>,
+    keys_installed: Arc<Counter>,
+    keys_rolled: Arc<Counter>,
+    kex_steps: Arc<Counter>,
+    probes_accepted: Arc<Counter>,
+    probes_dropped: Arc<Counter>,
+}
+
+impl AgentTelemetry {
+    fn new(registry: Arc<Registry>, switch: SwitchId) -> Self {
+        let label = switch.to_string();
+        AgentTelemetry {
+            auth: AuthMetrics::register(&registry, &label),
+            packet_cost_ns: registry.histogram_with("agent_packet_cost_ns", &label),
+            register_op_cost_ns: registry.histogram_with("agent_register_op_cost_ns", &label),
+            keys_installed: registry.counter_with("agent_keys_installed", &label),
+            keys_rolled: registry.counter_with("agent_keys_rolled", &label),
+            kex_steps: registry.counter_with("agent_kex_steps", &label),
+            probes_accepted: registry.counter_with("agent_probes_accepted", &label),
+            probes_dropped: registry.counter_with("agent_probes_dropped", &label),
+            registry,
+        }
+    }
+}
+
 /// The P4Auth data-plane agent.
 pub struct P4AuthSwitch {
     config: AgentConfig,
@@ -270,6 +303,7 @@ pub struct P4AuthSwitch {
     app: Option<Box<dyn InNetworkApp>>,
     reg_names: Vec<String>,
     stats: AgentStats,
+    telemetry: Option<AgentTelemetry>,
 }
 
 impl std::fmt::Debug for P4AuthSwitch {
@@ -338,7 +372,16 @@ impl P4AuthSwitch {
             chassis,
             stats: AgentStats::default(),
             config,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry registry. All agent metrics are labeled with
+    /// the switch id; the chassis shares the same registry so pipeline
+    /// usage counters land next to the auth counters.
+    pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
+        self.chassis.set_telemetry(registry.clone());
+        self.telemetry = Some(AgentTelemetry::new(registry, self.config.switch_id));
     }
 
     /// This switch's id.
@@ -390,6 +433,7 @@ impl P4AuthSwitch {
     /// fixtures). Real deployments use EAK/ADHKD.
     pub fn install_key(&mut self, port: PortId, key: Key64) {
         self.keys.install(port, key);
+        self.note_key_change(0, port, false);
     }
 
     /// Rolls a key to a new generation directly (static-key provisioning
@@ -401,6 +445,32 @@ impl P4AuthSwitch {
     /// Panics if no key was installed for `port`.
     pub fn rollover_key(&mut self, port: PortId, key: Key64) {
         self.keys.rollover(port, key);
+        self.note_key_change(0, port, true);
+    }
+
+    /// Counts a key install/rollover and logs a [`TelemetryEvent::KeyDerived`]
+    /// carrying the now-active version for `port`. Direct provisioning has no
+    /// sim clock, so those events carry `t_ns = 0`.
+    fn note_key_change(&mut self, now_ns: u64, port: PortId, rolled: bool) {
+        let Some(t) = &self.telemetry else { return };
+        if rolled {
+            t.keys_rolled.inc();
+        } else {
+            t.keys_installed.inc();
+        }
+        let version = self
+            .keys
+            .sealing_key(port)
+            .map(|(_, v)| v.value())
+            .unwrap_or(0);
+        t.registry.record(
+            now_ns,
+            TelemetryEvent::KeyDerived {
+                switch: self.config.switch_id.value(),
+                port: port.value(),
+                version,
+            },
+        );
     }
 
     /// Selects the verification key for `port` honouring the
@@ -447,14 +517,46 @@ impl P4AuthSwitch {
         let packet = Packet::from_bytes(ingress, bytes.to_vec());
         let msg = match packet.parse_message() {
             Ok(m) => m,
-            Err(_) => return self.handle_data(ingress, bytes),
+            Err(_) => {
+                let out = self.handle_data(ingress, bytes);
+                self.note_packet_cost(now_ns, false, &out);
+                return out;
+            }
         };
 
-        match msg.body().clone() {
+        let body = msg.body().clone();
+        let is_register = matches!(body, Body::Register(_));
+        let out = match body {
             Body::Register(op) => self.handle_register(now_ns, ingress, &msg, op),
             Body::KeyExchange(kex) => self.handle_key_exchange(now_ns, ingress, &msg, kex),
             Body::InNetwork(inner) => self.handle_in_network(now_ns, ingress, &msg, &inner),
             Body::Alert(_) => AgentOutput::default(),
+        };
+        self.note_packet_cost(now_ns, is_register, &out);
+        out
+    }
+
+    /// Records pipeline-cost telemetry for one processed packet: the overall
+    /// cost histogram, the register-op cost histogram (the data-plane leg of
+    /// the controller's register RPC latency), and a timestamped
+    /// [`TelemetryEvent::RecircUsed`] when the packet overflowed the stage
+    /// budget.
+    fn note_packet_cost(&self, now_ns: u64, register_op: bool, out: &AgentOutput) {
+        let Some(t) = &self.telemetry else { return };
+        if out.cost_ns > 0 {
+            t.packet_cost_ns.record(out.cost_ns);
+            if register_op {
+                t.register_op_cost_ns.record(out.cost_ns);
+            }
+        }
+        if out.recirculations > 0 {
+            t.registry.record(
+                now_ns,
+                TelemetryEvent::RecircUsed {
+                    switch: self.config.switch_id.value(),
+                    count: out.recirculations,
+                },
+            );
         }
     }
 
@@ -504,10 +606,47 @@ impl P4AuthSwitch {
         replay.check_and_advance(msg.header().sender, channel, msg.header().seq_num)
     }
 
-    fn record_reject(&mut self, reason: RejectReason) {
+    fn record_reject(
+        &mut self,
+        now_ns: u64,
+        peer: SwitchId,
+        channel: PortId,
+        seq: SeqNum,
+        reason: RejectReason,
+    ) {
         match reason {
             RejectReason::Replayed { .. } => self.stats.replays += 1,
             _ => self.stats.digest_failures += 1,
+        }
+        if let Some(t) = &self.telemetry {
+            t.auth.record_verify(&Err(reason));
+            t.registry.record(
+                now_ns,
+                TelemetryEvent::DigestRejected {
+                    peer: peer.value(),
+                    channel: channel.value(),
+                    reason: reason.kind(),
+                },
+            );
+            if let RejectReason::Replayed { last_accepted } = reason {
+                t.registry.record(
+                    now_ns,
+                    TelemetryEvent::ReplayDetected {
+                        peer: peer.value(),
+                        channel: channel.value(),
+                        last_accepted: last_accepted.value() as u64,
+                        got: seq.value() as u64,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Counts a successful verification in the telemetry layer (the
+    /// `stats.verified_ok` mirror for [`AuthMetrics`]).
+    fn note_verify_ok(&self) {
+        if let Some(t) = &self.telemetry {
+            t.auth.record_verify(&Ok(()));
         }
     }
 
@@ -520,6 +659,21 @@ impl P4AuthSwitch {
         events: &mut Vec<AgentEvent>,
     ) {
         let decision = self.limiter.on_alert(now_ns);
+        if let Some(t) = &self.telemetry {
+            t.auth.record_alert(decision);
+            let source = self.config.switch_id.value();
+            let event = match decision {
+                AlertDecision::Suppress => TelemetryEvent::AlertSuppressed { source },
+                _ => TelemetryEvent::AlertEmitted {
+                    source,
+                    reason: match alert.kind {
+                        AlertKind::SeqMismatch => p4auth_telemetry::RejectKind::Replayed,
+                        _ => p4auth_telemetry::RejectKind::BadDigest,
+                    },
+                },
+            };
+            t.registry.record(now_ns, event);
+        }
         let alert = match decision {
             AlertDecision::Emit => alert,
             AlertDecision::EmitRateLimitMarker => Alert {
@@ -648,7 +802,13 @@ impl P4AuthSwitch {
         let mut outputs = Vec::new();
 
         if let Some(reason) = reject {
-            self.record_reject(reason);
+            self.record_reject(
+                now_ns,
+                msg.header().sender,
+                PortId::CPU,
+                msg.header().seq_num,
+                reason,
+            );
             // nAck + alert (Fig. 8/9 workflow).
             let nack = RegisterOp::Nack {
                 reg: match op {
@@ -672,6 +832,7 @@ impl P4AuthSwitch {
         } else if let Some(reply) = reply_op {
             if auth {
                 self.stats.verified_ok += 1;
+                self.note_verify_ok();
             }
             match reply {
                 RegisterOp::Ack { .. } => self.stats.acks += 1,
@@ -763,7 +924,13 @@ impl P4AuthSwitch {
             }
         };
         if let Err(reason) = verify_result {
-            self.record_reject(reason);
+            self.record_reject(
+                now_ns,
+                msg.header().sender,
+                ingress,
+                msg.header().seq_num,
+                reason,
+            );
             events.push(AgentEvent::Rejected(reason));
             self.raise_alert(
                 now_ns,
@@ -782,7 +949,39 @@ impl P4AuthSwitch {
             };
         }
         self.stats.verified_ok += 1;
+        self.note_verify_ok();
         events.push(AgentEvent::VerifiedOk);
+
+        if let Some(t) = &self.telemetry {
+            let step: &'static str = match &kex {
+                KeyExchange::EakSalt {
+                    step: EakStep::Salt1,
+                    ..
+                } => "eak_salt1",
+                KeyExchange::EakSalt {
+                    step: EakStep::Salt2,
+                    ..
+                } => "eak_salt2",
+                KeyExchange::Adhkd {
+                    role: AdhkdRole::Offer,
+                    ..
+                } => "adhkd_offer",
+                KeyExchange::Adhkd {
+                    role: AdhkdRole::Answer,
+                    ..
+                } => "adhkd_answer",
+                KeyExchange::PortKeyInit { .. } => "port_key_init",
+                KeyExchange::PortKeyUpdate { .. } => "port_key_update",
+            };
+            t.kex_steps.inc();
+            t.registry.record(
+                now_ns,
+                TelemetryEvent::KexStep {
+                    node: self.config.switch_id.value(),
+                    step,
+                },
+            );
+        }
 
         match kex {
             KeyExchange::EakSalt {
@@ -832,10 +1031,12 @@ impl P4AuthSwitch {
                 match context {
                     KexContext::LocalInit | KexContext::PortInitRedirect => {
                         self.keys.install(slot, master);
+                        self.note_key_change(now_ns, slot, false);
                         events.push(AgentEvent::KeyInstalled { port: slot });
                     }
                     KexContext::LocalUpdate | KexContext::PortUpdateDirect => {
                         self.keys.rollover(slot, master);
+                        self.note_key_change(now_ns, slot, true);
                         events.push(AgentEvent::KeyRolled { port: slot });
                     }
                 }
@@ -885,10 +1086,12 @@ impl P4AuthSwitch {
                     match context {
                         KexContext::LocalInit | KexContext::PortInitRedirect => {
                             self.keys.install(slot, master);
+                            self.note_key_change(now_ns, slot, false);
                             events.push(AgentEvent::KeyInstalled { port: slot });
                         }
                         KexContext::LocalUpdate | KexContext::PortUpdateDirect => {
                             self.keys.rollover(slot, master);
+                            self.note_key_change(now_ns, slot, true);
                             events.push(AgentEvent::KeyRolled { port: slot });
                         }
                     }
@@ -1021,8 +1224,17 @@ impl P4AuthSwitch {
         if let Some(reason) = reject {
             // §IX-A: the switch ignores the tampered probe and raises an
             // alert to the controller.
-            self.record_reject(reason);
+            self.record_reject(
+                now_ns,
+                msg.header().sender,
+                ingress,
+                msg.header().seq_num,
+                reason,
+            );
             self.stats.probes_dropped += 1;
+            if let Some(t) = &self.telemetry {
+                t.probes_dropped.inc();
+            }
             events.push(AgentEvent::Rejected(reason));
             events.push(AgentEvent::ProbeDropped);
             self.raise_alert(
@@ -1034,9 +1246,13 @@ impl P4AuthSwitch {
         } else {
             if auth {
                 self.stats.verified_ok += 1;
+                self.note_verify_ok();
                 events.push(AgentEvent::VerifiedOk);
             }
             self.stats.probes_accepted += 1;
+            if let Some(t) = &self.telemetry {
+                t.probes_accepted.inc();
+            }
             events.push(AgentEvent::ProbeAccepted);
             outputs.extend(sealed_outputs);
         }
@@ -1084,6 +1300,85 @@ mod tests {
 
     fn install_local(sw: &mut P4AuthSwitch, key: Key64) {
         sw.install_key(PortId::CPU, key);
+    }
+
+    /// §VI-C consistent updates: everything the agent seals after a
+    /// rollover must be stamped with the *new* key version (not the
+    /// `KeyVersion::INITIAL` that `Header::new` defaults to) and verify
+    /// under the new key only — while requests still sealed under the
+    /// previous version keep verifying via `KeySlot::select`.
+    #[test]
+    fn sealed_outputs_carry_rolled_key_version() {
+        use p4auth_wire::ids::KeyVersion;
+
+        let mut sw = agent();
+        let k0 = Key64::new(41);
+        let k1 = Key64::new(42);
+
+        // DP-DP channel: probes sealed after a rollover carry version 1.
+        sw.install_key(PortId::new(1), k0);
+        sw.rollover_key(PortId::new(1), k1);
+        let bytes = sw.seal_probe(PortId::new(1), 7, vec![1, 2, 3]).unwrap();
+        let probe = Message::decode(&bytes).unwrap();
+        assert_eq!(probe.header().key_version, KeyVersion::INITIAL.next());
+        assert!(probe.verify(&mac(), k1));
+        assert!(!probe.verify(&mac(), k0));
+
+        // C-DP channel: a request still sealed under the previous version
+        // verifies (select() keeps one generation), and the reply is
+        // stamped + sealed with the new version.
+        install_local(&mut sw, k0);
+        sw.rollover_key(PortId::CPU, k1);
+        let out = sw.on_packet(0, PortId::CPU, &sealed_write(k0, 1, 0, 5));
+        assert!(out.has_event(&AgentEvent::VerifiedOk));
+        let reply = Message::decode(&out.outputs[0].1).unwrap();
+        assert_eq!(reply.header().key_version, KeyVersion::INITIAL.next());
+        assert!(reply.verify(&mac(), k1));
+    }
+
+    #[test]
+    fn telemetry_tracks_verify_outcomes_alerts_and_keys() {
+        let registry = Arc::new(p4auth_telemetry::Registry::with_event_capacity(64));
+        let mut sw = agent();
+        sw.set_telemetry(registry.clone());
+        let k = Key64::new(42);
+        install_local(&mut sw, k);
+
+        // One good write, one replay of it, one tampered write.
+        let good = sealed_write(k, 1, 0, 7);
+        sw.on_packet(1_000, PortId::CPU, &good);
+        sw.on_packet(2_000, PortId::CPU, &good);
+        let mut tampered = Message::register_request(
+            SwitchId::CONTROLLER,
+            SeqNum::new(9),
+            RegisterOp::write_req(RegId::new(1234), 0, 10),
+        )
+        .sealed(&mac(), k);
+        *tampered.body_mut() = Body::Register(RegisterOp::write_req(RegId::new(1234), 0, 11));
+        sw.on_packet(3_000, PortId::CPU, &tampered.encode());
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("auth_verify_ok", "S1"), Some(1));
+        assert_eq!(snap.counter("auth_reject_replayed", "S1"), Some(1));
+        assert_eq!(snap.counter("auth_reject_bad_digest", "S1"), Some(1));
+        assert_eq!(snap.counter("alerts_emitted", "S1"), Some(2));
+        assert_eq!(snap.counter("agent_keys_installed", "S1"), Some(1));
+
+        let kinds: Vec<&'static str> = registry
+            .events()
+            .to_vec()
+            .iter()
+            .map(|r| r.event.kind())
+            .collect();
+        assert!(kinds.contains(&"key_derived"));
+        assert!(kinds.contains(&"digest_rejected"));
+        assert!(kinds.contains(&"replay_detected"));
+        assert!(kinds.contains(&"alert_emitted"));
+
+        // The register-op cost histogram saw all three pipeline passes.
+        let hist = snap.histogram("agent_register_op_cost_ns", "S1").unwrap();
+        assert_eq!(hist.count, 3);
+        assert!(hist.min > 0);
     }
 
     #[test]

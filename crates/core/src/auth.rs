@@ -7,11 +7,13 @@
 
 use p4auth_primitives::mac::Mac;
 use p4auth_primitives::Key64;
+use p4auth_telemetry::{Counter, Registry, RejectKind};
 use p4auth_wire::body::{Alert, AlertKind};
 use p4auth_wire::ids::{PortId, SeqNum, SwitchId};
 use p4auth_wire::Message;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Why an incoming message was rejected.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -28,6 +30,16 @@ pub enum RejectReason {
 }
 
 impl RejectReason {
+    /// The telemetry-side kind for this rejection (drops the
+    /// `last_accepted` payload).
+    pub fn kind(self) -> RejectKind {
+        match self {
+            RejectReason::BadDigest => RejectKind::BadDigest,
+            RejectReason::NoKey => RejectKind::NoKey,
+            RejectReason::Replayed { .. } => RejectKind::Replayed,
+        }
+    }
+
     /// The alert this rejection raises toward the controller.
     pub fn to_alert(self, offending_seq: SeqNum, detail: u32) -> Alert {
         let kind = match self {
@@ -163,6 +175,67 @@ impl AlertLimiter {
     /// Total alerts suppressed across all windows.
     pub fn suppressed_total(&self) -> u64 {
         self.suppressed_total
+    }
+}
+
+/// Pre-registered telemetry counters for one verification endpoint,
+/// labeled by a scope string (`"S3"`, `"controller"`, ...) so every
+/// endpoint in a simulation keeps independent series under shared family
+/// names.
+///
+/// Both the agent and the controller build one of these when a registry
+/// is attached and call [`AuthMetrics::record_verify`] /
+/// [`AuthMetrics::record_alert`] next to their existing bookkeeping; with
+/// no registry attached the instrumentation is a single `Option` branch.
+#[derive(Clone)]
+pub struct AuthMetrics {
+    verify_ok: Arc<Counter>,
+    reject_bad_digest: Arc<Counter>,
+    reject_no_key: Arc<Counter>,
+    reject_replayed: Arc<Counter>,
+    replay_advances: Arc<Counter>,
+    alerts_emitted: Arc<Counter>,
+    alerts_rate_limit_markers: Arc<Counter>,
+    alerts_suppressed: Arc<Counter>,
+}
+
+impl AuthMetrics {
+    /// Registers (or re-attaches to) the auth counter families for
+    /// `scope` in `registry`.
+    pub fn register(registry: &Registry, scope: &str) -> Self {
+        AuthMetrics {
+            verify_ok: registry.counter_with("auth_verify_ok", scope),
+            reject_bad_digest: registry.counter_with("auth_reject_bad_digest", scope),
+            reject_no_key: registry.counter_with("auth_reject_no_key", scope),
+            reject_replayed: registry.counter_with("auth_reject_replayed", scope),
+            replay_advances: registry.counter_with("auth_replay_advances", scope),
+            alerts_emitted: registry.counter_with("alerts_emitted", scope),
+            alerts_rate_limit_markers: registry.counter_with("alerts_rate_limit_markers", scope),
+            alerts_suppressed: registry.counter_with("alerts_suppressed", scope),
+        }
+    }
+
+    /// Accounts one verification outcome. Successful verifications also
+    /// count a replay-window advance (the window only moves on accept).
+    pub fn record_verify(&self, outcome: &Result<(), RejectReason>) {
+        match outcome {
+            Ok(()) => {
+                self.verify_ok.inc();
+                self.replay_advances.inc();
+            }
+            Err(RejectReason::BadDigest) => self.reject_bad_digest.inc(),
+            Err(RejectReason::NoKey) => self.reject_no_key.inc(),
+            Err(RejectReason::Replayed { .. }) => self.reject_replayed.inc(),
+        }
+    }
+
+    /// Accounts one rate-limiter decision.
+    pub fn record_alert(&self, decision: AlertDecision) {
+        match decision {
+            AlertDecision::Emit => self.alerts_emitted.inc(),
+            AlertDecision::EmitRateLimitMarker => self.alerts_rate_limit_markers.inc(),
+            AlertDecision::Suppress => self.alerts_suppressed.inc(),
+        }
     }
 }
 
@@ -354,5 +427,44 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn limiter_rejects_zero_cap() {
         let _ = AlertLimiter::new(0, 100);
+    }
+
+    #[test]
+    fn auth_metrics_count_outcomes_per_reason() {
+        let registry = Registry::new();
+        let m = AuthMetrics::register(&registry, "S1");
+        m.record_verify(&Ok(()));
+        m.record_verify(&Ok(()));
+        m.record_verify(&Err(RejectReason::BadDigest));
+        m.record_verify(&Err(RejectReason::NoKey));
+        m.record_verify(&Err(RejectReason::Replayed {
+            last_accepted: SeqNum::new(3),
+        }));
+        m.record_alert(AlertDecision::Emit);
+        m.record_alert(AlertDecision::EmitRateLimitMarker);
+        m.record_alert(AlertDecision::Suppress);
+        m.record_alert(AlertDecision::Suppress);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("auth_verify_ok", "S1"), Some(2));
+        assert_eq!(snap.counter("auth_replay_advances", "S1"), Some(2));
+        assert_eq!(snap.counter("auth_reject_bad_digest", "S1"), Some(1));
+        assert_eq!(snap.counter("auth_reject_no_key", "S1"), Some(1));
+        assert_eq!(snap.counter("auth_reject_replayed", "S1"), Some(1));
+        assert_eq!(snap.counter("alerts_emitted", "S1"), Some(1));
+        assert_eq!(snap.counter("alerts_rate_limit_markers", "S1"), Some(1));
+        assert_eq!(snap.counter("alerts_suppressed", "S1"), Some(2));
+    }
+
+    #[test]
+    fn reject_reason_maps_to_telemetry_kind() {
+        assert_eq!(RejectReason::BadDigest.kind(), RejectKind::BadDigest);
+        assert_eq!(RejectReason::NoKey.kind(), RejectKind::NoKey);
+        assert_eq!(
+            RejectReason::Replayed {
+                last_accepted: SeqNum::new(1)
+            }
+            .kind(),
+            RejectKind::Replayed
+        );
     }
 }

@@ -9,10 +9,12 @@ use crate::register::{IndexOutOfRangeError, RegisterArray};
 use crate::table::{ActionEntry, MatchKey, MatchTable};
 use p4auth_primitives::mac::{HalfSipHashMac, Mac};
 use p4auth_primitives::{Digest32, Key64};
+use p4auth_telemetry::{Counter, Event as TelemetryEvent, Registry};
 use p4auth_wire::ids::{PortId, SwitchId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Chassis configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -98,6 +100,29 @@ pub struct ProcessOutcome {
     pub recirculations: u32,
 }
 
+/// Pre-registered telemetry handles for one chassis, labeled by switch
+/// id so multi-switch simulations keep per-device series.
+struct ChassisTelemetry {
+    registry: Arc<Registry>,
+    packets: Arc<Counter>,
+    stages: Arc<Counter>,
+    hash_passes: Arc<Counter>,
+    recirculations: Arc<Counter>,
+}
+
+impl ChassisTelemetry {
+    fn new(registry: Arc<Registry>, switch: SwitchId) -> Self {
+        let label = switch.to_string();
+        ChassisTelemetry {
+            packets: registry.counter_with("dp_packets", &label),
+            stages: registry.counter_with("dp_stages", &label),
+            hash_passes: registry.counter_with("dp_hash_passes", &label),
+            recirculations: registry.counter_with("dp_recirculations", &label),
+            registry,
+        }
+    }
+}
+
 /// The emulated switch.
 pub struct Chassis {
     config: ChassisConfig,
@@ -105,6 +130,7 @@ pub struct Chassis {
     registers: HashMap<String, RegisterArray>,
     tables: HashMap<String, MatchTable>,
     hash: HashEngine,
+    telemetry: Option<ChassisTelemetry>,
 }
 
 impl fmt::Debug for Chassis {
@@ -132,7 +158,18 @@ impl Chassis {
             registers: HashMap::new(),
             tables: HashMap::new(),
             hash: HashEngine::new(mac),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry registry: every [`Chassis::process`] call
+    /// accounts its stage/hash-unit/recirculation usage into per-switch
+    /// counter series (`dp_*{S<id>}`), and packets forced to recirculate
+    /// emit a `RecircUsed` event when the registry's event log is enabled.
+    /// (The chassis has no clock, so those events carry `t_ns = 0`;
+    /// higher layers that know simulated time emit their own.)
+    pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
+        self.telemetry = Some(ChassisTelemetry::new(registry, self.config.switch_id));
     }
 
     /// This switch's id.
@@ -256,6 +293,21 @@ impl Chassis {
         for (port, _) in &outputs {
             if !self.has_port(*port) {
                 return Err(ChassisError::NoSuchPort(*port));
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            t.packets.inc();
+            t.stages.add(u64::from(stages_used));
+            t.hash_passes.add(u64::from(hash_passes));
+            t.recirculations.add(u64::from(recirculations));
+            if recirculations > 0 {
+                t.registry.record(
+                    0,
+                    TelemetryEvent::RecircUsed {
+                        switch: self.config.switch_id.value(),
+                        count: recirculations,
+                    },
+                );
             }
         }
         let cost_ns = self.cost.packet_ns(hash_passes, recirculations);
@@ -525,6 +577,34 @@ mod tests {
         assert!(c.has_port(PortId::new(4)));
         assert!(!c.has_port(PortId::new(5)));
         assert_eq!(c.ports().count(), 4);
+    }
+
+    #[test]
+    fn telemetry_accounts_pipeline_usage_per_switch() {
+        let registry = Arc::new(p4auth_telemetry::Registry::with_event_capacity(16));
+        let mut cfg = ChassisConfig::tofino(SwitchId::new(7), 2);
+        cfg.stage_budget = 3;
+        let mut c = Chassis::new(cfg);
+        c.set_telemetry(registry.clone());
+        c.declare_register(RegisterArray::new("r", 1, 64));
+        let pkt = Packet::from_bytes(PortId::new(1), vec![]);
+        let key = Key64::new(9);
+        c.process(&pkt, |ctx, _| {
+            for _ in 0..4 {
+                ctx.update_register("r", 0, |v| v + 1)?;
+            }
+            let d = ctx.compute_digest(key, &[b"x"]);
+            assert!(ctx.verify_digest(key, &[b"x"], d));
+            Ok(vec![])
+        })
+        .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("dp_packets", "S7"), Some(1));
+        assert_eq!(snap.counter("dp_stages", "S7"), Some(6));
+        assert_eq!(snap.counter("dp_hash_passes", "S7"), Some(2));
+        assert_eq!(snap.counter("dp_recirculations", "S7"), Some(1));
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].event.kind(), "recirc_used");
     }
 
     #[test]

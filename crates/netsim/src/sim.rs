@@ -2,9 +2,11 @@
 
 use crate::time::SimTime;
 use crate::topology::{Endpoint, LinkId, Topology};
+use p4auth_telemetry::{Counter, DropCause, Event as TelemetryEvent, Histogram, Registry};
 use p4auth_wire::ids::{PortId, SwitchId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// What a MitM tap does to an intercepted frame.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -130,6 +132,46 @@ pub struct SimStats {
     pub timers_fired: u64,
 }
 
+/// Pre-registered telemetry handles, built once when a registry is
+/// attached so hot-path updates are plain relaxed atomics.
+struct SimTelemetry {
+    registry: Arc<Registry>,
+    events_scheduled: Arc<Counter>,
+    frames_delivered: Arc<Counter>,
+    frames_tap_dropped: Arc<Counter>,
+    frames_tap_modified: Arc<Counter>,
+    frames_undeliverable: Arc<Counter>,
+    timers_fired: Arc<Counter>,
+    /// Distribution of how far into the simulated future events are
+    /// scheduled (ns between enqueue and fire time).
+    event_lead_ns: Arc<Histogram>,
+    /// Lazily created per-(link, sender) frame counters.
+    link_frames: HashMap<(LinkId, SwitchId), Arc<Counter>>,
+}
+
+impl SimTelemetry {
+    fn new(registry: Arc<Registry>) -> Self {
+        SimTelemetry {
+            events_scheduled: registry.counter("sim_events_scheduled"),
+            frames_delivered: registry.counter("sim_frames_delivered"),
+            frames_tap_dropped: registry.counter("sim_frames_tap_dropped"),
+            frames_tap_modified: registry.counter("sim_frames_tap_modified"),
+            frames_undeliverable: registry.counter("sim_frames_undeliverable"),
+            timers_fired: registry.counter("sim_timers_fired"),
+            event_lead_ns: registry.histogram("sim_event_lead_ns"),
+            link_frames: HashMap::new(),
+            registry,
+        }
+    }
+
+    fn link_frames(&mut self, link: LinkId, from: SwitchId) -> &Counter {
+        self.link_frames.entry((link, from)).or_insert_with(|| {
+            self.registry
+                .counter_with("sim_link_frames", &format!("link{}:from_{from}", link.0))
+        })
+    }
+}
+
 /// The event-driven simulator.
 ///
 /// Owns the topology and the nodes; runs events in timestamp order. Frames
@@ -147,6 +189,7 @@ pub struct Simulator {
     /// free (bandwidth-constrained links only).
     tx_free_at: HashMap<(LinkId, SwitchId), SimTime>,
     stats: SimStats,
+    telemetry: Option<SimTelemetry>,
 }
 
 impl Simulator {
@@ -161,7 +204,16 @@ impl Simulator {
             taps: HashMap::new(),
             tx_free_at: HashMap::new(),
             stats: SimStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry registry: from now on the simulator mirrors
+    /// its statistics into metric counters, records scheduling-lead
+    /// histograms and (if the registry's event log is enabled) emits
+    /// `FrameDelivered`/`FrameDropped` events.
+    pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
+        self.telemetry = Some(SimTelemetry::new(registry));
     }
 
     /// Registers the behaviour for `id`.
@@ -293,6 +345,10 @@ impl Simulator {
     }
 
     fn push(&mut self, at: SimTime, kind: EventKind) {
+        if let Some(t) = &self.telemetry {
+            t.events_scheduled.inc();
+            t.event_lead_ns.record(at.since(self.now));
+        }
         self.seq += 1;
         self.queue.push(Reverse(Event {
             at,
@@ -313,11 +369,24 @@ impl Simulator {
                             TapAction::Forward => {
                                 if payload != before {
                                     self.stats.frames_tapped_modified += 1;
+                                    if let Some(t) = &self.telemetry {
+                                        t.frames_tap_modified.inc();
+                                    }
                                 }
                             }
                             TapAction::Drop => {
                                 dropped = true;
                                 self.stats.frames_tapped_dropped += 1;
+                                if let Some(t) = &self.telemetry {
+                                    t.frames_tap_dropped.inc();
+                                    t.registry.record(
+                                        self.now.as_ns(),
+                                        TelemetryEvent::FrameDropped {
+                                            node: from.value(),
+                                            cause: DropCause::Tap,
+                                        },
+                                    );
+                                }
                             }
                         }
                     }
@@ -347,11 +416,24 @@ impl Simulator {
                             self.tx_free_at.insert((link_id, from), tx_end);
                         }
                         let at = tx_end + link.latency_ns;
+                        if let Some(t) = &mut self.telemetry {
+                            t.link_frames(link_id, from).inc();
+                        }
                         self.push(at, EventKind::FrameArrival { dst, payload });
                     }
                 }
                 None => {
                     self.stats.frames_undeliverable += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.frames_undeliverable.inc();
+                        t.registry.record(
+                            self.now.as_ns(),
+                            TelemetryEvent::FrameDropped {
+                                node: from.value(),
+                                cause: DropCause::Undeliverable,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -377,6 +459,17 @@ impl Simulator {
         match event.kind {
             EventKind::FrameArrival { dst, payload } => {
                 if let Some(mut node) = self.nodes.remove(&dst.node) {
+                    if let Some(t) = &self.telemetry {
+                        t.frames_delivered.inc();
+                        t.registry.record(
+                            self.now.as_ns(),
+                            TelemetryEvent::FrameDelivered {
+                                node: dst.node.value(),
+                                port: dst.port.value(),
+                                bytes: payload.len() as u32,
+                            },
+                        );
+                    }
                     let mut out = Outbox::default();
                     node.on_frame(self.now, dst.port, payload, &mut out);
                     self.stats.frames_delivered += 1;
@@ -384,10 +477,16 @@ impl Simulator {
                     self.flush_outbox(dst.node, out);
                 } else {
                     self.stats.frames_undeliverable += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.frames_undeliverable.inc();
+                    }
                 }
             }
             EventKind::Timer { node: id, timer_id } => {
                 if let Some(mut node) = self.nodes.remove(&id) {
+                    if let Some(t) = &self.telemetry {
+                        t.timers_fired.inc();
+                    }
                     let mut out = Outbox::default();
                     node.on_timer(self.now, timer_id, &mut out);
                     self.stats.timers_fired += 1;
@@ -654,6 +753,38 @@ mod tests {
         assert_eq!(events.load(Ordering::Relaxed), 2);
         sim.set_link_state(link, true);
         assert_eq!(events.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn telemetry_mirrors_stats_and_logs_events() {
+        let (mut sim, _a, _b) = pair();
+        let registry = Arc::new(p4auth_telemetry::Registry::with_event_capacity(64));
+        sim.set_telemetry(registry.clone());
+        let (link, _) = sim
+            .topology()
+            .link_at(SwitchId::new(1), PortId::new(1))
+            .unwrap();
+        sim.install_tap(
+            link,
+            SwitchId::new(2),
+            Box::new(|_, _, _, _: &mut Vec<u8>| TapAction::Drop),
+        );
+        sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![1, 2, 3]);
+        sim.run_to_completion();
+        let snap = registry.snapshot();
+        // One frame delivered (to S2); its echo was tap-dropped.
+        assert_eq!(snap.counter("sim_frames_delivered", ""), Some(1));
+        assert_eq!(snap.counter("sim_frames_tap_dropped", ""), Some(1));
+        assert_eq!(
+            snap.counter("sim_link_frames", "link0:from_S1"),
+            Some(1),
+            "per-link counter tracks the S1->S2 frame"
+        );
+        let lead = snap.histogram("sim_event_lead_ns", "").unwrap();
+        assert_eq!(lead.count, 1);
+        assert_eq!(lead.max, 1_000);
+        let kinds: Vec<&str> = snap.events.iter().map(|e| e.event.kind()).collect();
+        assert_eq!(kinds, vec!["frame_delivered", "frame_dropped"]);
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Typed structured events and the bounded ring-buffer [`EventLog`].
+//!
+//! Events carry only primitive fields (ids, small enums, `&'static str`
+//! step names) so this crate stays at the bottom of the dependency graph:
+//! protocol crates map their own types onto these at the call site.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Why a digest verification rejected a message (telemetry-side mirror of
+/// the auth layer's reject reasons).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RejectKind {
+    /// The digest did not match (forged or corrupted message).
+    BadDigest,
+    /// No key is installed for the channel.
+    NoKey,
+    /// The sequence number did not advance the replay window.
+    Replayed,
+}
+
+impl RejectKind {
+    /// Stable snake_case name used in JSON snapshots and metric labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectKind::BadDigest => "bad_digest",
+            RejectKind::NoKey => "no_key",
+            RejectKind::Replayed => "replayed",
+        }
+    }
+}
+
+/// Why the simulator dropped (or lost) a frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropCause {
+    /// A MitM tap dropped it.
+    Tap,
+    /// The egress port was down or unconnected.
+    Undeliverable,
+}
+
+impl DropCause {
+    /// Stable snake_case name used in JSON snapshots.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropCause::Tap => "tap",
+            DropCause::Undeliverable => "undeliverable",
+        }
+    }
+}
+
+/// A structured telemetry event.
+///
+/// Node/switch identities are raw `u16` values and ports raw `u8`s (the
+/// wire-level representations) to keep this crate dependency-free.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// A message failed digest/replay verification.
+    DigestRejected {
+        /// Claimed sender.
+        peer: u16,
+        /// Channel (ingress port number; 0 = CPU/controller channel).
+        channel: u8,
+        /// Why it was rejected.
+        reason: RejectKind,
+    },
+    /// A replayed sequence number was caught by the replay window.
+    ReplayDetected {
+        /// Claimed sender.
+        peer: u16,
+        /// Channel (ingress port number).
+        channel: u8,
+        /// Highest previously accepted sequence number.
+        last_accepted: u64,
+        /// The stale sequence number that arrived.
+        got: u64,
+    },
+    /// An alert left the rate limiter toward the controller.
+    AlertEmitted {
+        /// Switch that raised the alert.
+        source: u16,
+        /// The underlying reject reason.
+        reason: RejectKind,
+    },
+    /// The rate limiter suppressed an alert (§VIII DoS hardening).
+    AlertSuppressed {
+        /// Switch that suppressed it.
+        source: u16,
+    },
+    /// A key was derived/installed on a switch.
+    KeyDerived {
+        /// The switch installing the key.
+        switch: u16,
+        /// Port the key protects (0 = the switch-local / C-DP key).
+        port: u8,
+        /// Key version tag installed.
+        version: u8,
+    },
+    /// One step of a key-exchange protocol executed.
+    KexStep {
+        /// The node performing the step.
+        node: u16,
+        /// Step name (e.g. `"eak_salt"`, `"adhkd_offer"`).
+        step: &'static str,
+    },
+    /// The simulator delivered a frame to a node.
+    FrameDelivered {
+        /// Destination node.
+        node: u16,
+        /// Destination port.
+        port: u8,
+        /// Frame length in bytes.
+        bytes: u32,
+    },
+    /// The simulator dropped a frame.
+    FrameDropped {
+        /// Sending node.
+        node: u16,
+        /// Why it was dropped.
+        cause: DropCause,
+    },
+    /// A packet needed pipeline recirculations.
+    RecircUsed {
+        /// The switch whose pipeline recirculated.
+        switch: u16,
+        /// Recirculations consumed by this packet.
+        count: u32,
+    },
+}
+
+impl Event {
+    /// Stable snake_case type tag used in JSON snapshots.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::DigestRejected { .. } => "digest_rejected",
+            Event::ReplayDetected { .. } => "replay_detected",
+            Event::AlertEmitted { .. } => "alert_emitted",
+            Event::AlertSuppressed { .. } => "alert_suppressed",
+            Event::KeyDerived { .. } => "key_derived",
+            Event::KexStep { .. } => "kex_step",
+            Event::FrameDelivered { .. } => "frame_delivered",
+            Event::FrameDropped { .. } => "frame_dropped",
+            Event::RecircUsed { .. } => "recirc_used",
+        }
+    }
+}
+
+/// An [`Event`] with the simulated time it was recorded at.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EventRecord {
+    /// Simulated time of the event (ns).
+    pub t_ns: u64,
+    /// The event.
+    pub event: Event,
+}
+
+/// A bounded ring buffer of [`EventRecord`]s.
+///
+/// Capacity 0 (the default, [`EventLog::disabled`]) turns every
+/// [`EventLog::record`] into a branch-and-return — event logging is
+/// opt-in per registry, so benchmarks pay near-nothing for the
+/// instrumentation being compiled in. When full, the oldest record is
+/// evicted and counted in [`EventLog::overflowed`].
+#[derive(Debug, Default)]
+pub struct EventLog {
+    capacity: usize,
+    inner: Mutex<EventLogInner>,
+}
+
+#[derive(Debug, Default)]
+struct EventLogInner {
+    buf: VecDeque<EventRecord>,
+    overflowed: u64,
+}
+
+impl EventLog {
+    /// A log that records nothing (capacity 0).
+    pub fn disabled() -> Self {
+        EventLog::default()
+    }
+
+    /// A log keeping the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            capacity,
+            inner: Mutex::default(),
+        }
+    }
+
+    /// Whether recording is enabled.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, EventLogInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records `event` at simulated time `t_ns`. No-op when disabled.
+    pub fn record(&self, t_ns: u64, event: Event) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.overflowed += 1;
+        }
+        inner.buf.push_back(EventRecord { t_ns, event });
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.lock().buf.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many records were evicted because the buffer was full.
+    pub fn overflowed(&self) -> u64 {
+        self.lock().overflowed
+    }
+
+    /// A copy of the current contents, oldest first.
+    pub fn to_vec(&self) -> Vec<EventRecord> {
+        self.lock().buf.iter().cloned().collect()
+    }
+
+    /// Removes and returns the current contents, oldest first.
+    pub fn drain(&self) -> Vec<EventRecord> {
+        self.lock().buf.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = EventLog::disabled();
+        assert!(!log.enabled());
+        log.record(1, Event::AlertSuppressed { source: 1 });
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let log = EventLog::with_capacity(2);
+        for i in 0..3u16 {
+            log.record(u64::from(i), Event::AlertSuppressed { source: i });
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.overflowed(), 1);
+        let records = log.to_vec();
+        assert_eq!(records[0].t_ns, 1);
+        assert_eq!(records[1].t_ns, 2);
+        assert_eq!(log.drain().len(), 2);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn event_kinds_are_stable() {
+        let e = Event::DigestRejected {
+            peer: 2,
+            channel: 1,
+            reason: RejectKind::BadDigest,
+        };
+        assert_eq!(e.kind(), "digest_rejected");
+        assert_eq!(RejectKind::Replayed.as_str(), "replayed");
+        assert_eq!(DropCause::Tap.as_str(), "tap");
+    }
+}

@@ -1,0 +1,334 @@
+//! Point-in-time snapshots of a [`crate::Registry`] and their JSON
+//! encoding.
+//!
+//! The JSON writer is hand-rolled (no external serializer in this
+//! workspace); the output is deterministic — series sorted by
+//! `(name, label)`, events oldest-first — so snapshots diff cleanly
+//! across runs.
+
+use crate::events::{Event, EventRecord};
+use crate::metrics::Histogram;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One counter series.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize)]
+pub struct CounterSample {
+    /// Family name.
+    pub name: String,
+    /// Series label (empty for the unlabeled series).
+    pub label: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge series.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize)]
+pub struct GaugeSample {
+    /// Family name.
+    pub name: String,
+    /// Series label (empty for the unlabeled series).
+    pub label: String,
+    /// Value at snapshot time.
+    pub value: i64,
+}
+
+/// One histogram series, with pre-computed summary statistics and the
+/// non-empty buckets as `(inclusive upper bound, count)` pairs.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct HistogramSample {
+    /// Family name.
+    pub name: String,
+    /// Series label (empty for the unlabeled series).
+    pub label: String,
+    /// Sample count.
+    pub count: u64,
+    /// Sample sum.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Non-empty buckets as `(inclusive upper bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSample {
+    /// Captures `h` as a sample.
+    pub fn from_histogram(name: &str, label: &str, h: &Histogram) -> Self {
+        let buckets = h
+            .buckets()
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Histogram::bucket_upper_bound(i), n))
+            .collect();
+        HistogramSample {
+            name: name.to_string(),
+            label: label.to_string(),
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min().unwrap_or(0),
+            max: h.max().unwrap_or(0),
+            p50: h.quantile(0.50).unwrap_or(0),
+            p90: h.quantile(0.90).unwrap_or(0),
+            p99: h.quantile(0.99).unwrap_or(0),
+            buckets,
+        }
+    }
+}
+
+/// A complete registry snapshot: every metric series plus the event log
+/// contents.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct Snapshot {
+    /// All counter series, sorted by `(name, label)`.
+    pub counters: Vec<CounterSample>,
+    /// All gauge series, sorted by `(name, label)`.
+    pub gauges: Vec<GaugeSample>,
+    /// All histogram series, sorted by `(name, label)`.
+    pub histograms: Vec<HistogramSample>,
+    /// Events evicted from the ring buffer before this snapshot.
+    pub events_overflowed: u64,
+    /// Event log contents, oldest first.
+    pub events: Vec<EventRecord>,
+}
+
+impl Snapshot {
+    /// The value of counter series `name{label}`, or `None` if absent.
+    pub fn counter(&self, name: &str, label: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name && c.label == label)
+            .map(|c| c.value)
+    }
+
+    /// Sum of every series of counter family `name`.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// The histogram series `name{label}`, or `None` if absent.
+    pub fn histogram(&self, name: &str, label: &str) -> Option<&HistogramSample> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name && h.label == label)
+    }
+
+    /// Serializes the snapshot to a JSON object string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": ");
+            json_string(&mut out, &c.name);
+            out.push_str(", \"label\": ");
+            json_string(&mut out, &c.label);
+            let _ = write!(out, ", \"value\": {}}}", c.value);
+        }
+        out.push_str("\n  ],\n  \"gauges\": [");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": ");
+            json_string(&mut out, &g.name);
+            out.push_str(", \"label\": ");
+            json_string(&mut out, &g.label);
+            let _ = write!(out, ", \"value\": {}}}", g.value);
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": ");
+            json_string(&mut out, &h.name);
+            out.push_str(", \"label\": ");
+            json_string(&mut out, &h.label);
+            let _ = write!(
+                out,
+                ", \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+                h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
+            );
+            for (j, (bound, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{bound}, {n}]");
+            }
+            out.push_str("]}");
+        }
+        let _ = write!(
+            out,
+            "\n  ],\n  \"events_overflowed\": {},\n  \"events\": [",
+            self.events_overflowed
+        );
+        for (i, record) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            write_event(&mut out, record);
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (with escaping) to `out`.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_event(out: &mut String, record: &EventRecord) {
+    let _ = write!(
+        out,
+        "{{\"t_ns\": {}, \"type\": \"{}\"",
+        record.t_ns,
+        record.event.kind()
+    );
+    match &record.event {
+        Event::DigestRejected {
+            peer,
+            channel,
+            reason,
+        } => {
+            let _ = write!(
+                out,
+                ", \"peer\": {peer}, \"channel\": {channel}, \"reason\": \"{}\"",
+                reason.as_str()
+            );
+        }
+        Event::ReplayDetected {
+            peer,
+            channel,
+            last_accepted,
+            got,
+        } => {
+            let _ = write!(
+                out,
+                ", \"peer\": {peer}, \"channel\": {channel}, \
+                 \"last_accepted\": {last_accepted}, \"got\": {got}"
+            );
+        }
+        Event::AlertEmitted { source, reason } => {
+            let _ = write!(
+                out,
+                ", \"source\": {source}, \"reason\": \"{}\"",
+                reason.as_str()
+            );
+        }
+        Event::AlertSuppressed { source } => {
+            let _ = write!(out, ", \"source\": {source}");
+        }
+        Event::KeyDerived {
+            switch,
+            port,
+            version,
+        } => {
+            let _ = write!(
+                out,
+                ", \"switch\": {switch}, \"port\": {port}, \"version\": {version}"
+            );
+        }
+        Event::KexStep { node, step } => {
+            let _ = write!(out, ", \"node\": {node}, \"step\": \"{step}\"");
+        }
+        Event::FrameDelivered { node, port, bytes } => {
+            let _ = write!(
+                out,
+                ", \"node\": {node}, \"port\": {port}, \"bytes\": {bytes}"
+            );
+        }
+        Event::FrameDropped { node, cause } => {
+            let _ = write!(out, ", \"node\": {node}, \"cause\": \"{}\"", cause.as_str());
+        }
+        Event::RecircUsed { switch, count } => {
+            let _ = write!(out, ", \"switch\": {switch}, \"count\": {count}");
+        }
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::RejectKind;
+    use crate::registry::Registry;
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut s = String::new();
+        json_string(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn snapshot_json_contains_all_sections() {
+        let r = Registry::with_event_capacity(4);
+        r.counter_with("verify_ok", "s1").add(7);
+        r.gauge("outstanding").set(2);
+        r.histogram("lat_ns").record(1000);
+        r.record(
+            5,
+            Event::DigestRejected {
+                peer: 2,
+                channel: 0,
+                reason: RejectKind::BadDigest,
+            },
+        );
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"name\": \"verify_ok\""));
+        assert!(json.contains("\"label\": \"s1\""));
+        assert!(json.contains("\"value\": 7"));
+        assert!(json.contains("\"outstanding\""));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"type\": \"digest_rejected\""));
+        assert!(json.contains("\"reason\": \"bad_digest\""));
+        // Structural sanity: balanced braces and brackets.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn snapshot_accessors() {
+        let r = Registry::new();
+        r.counter_with("x", "a").add(1);
+        r.counter_with("x", "b").add(2);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("x", "a"), Some(1));
+        assert_eq!(snap.counter("x", "missing"), None);
+        assert_eq!(snap.counter_total("x"), 3);
+    }
+}

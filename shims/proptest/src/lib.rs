@@ -1,0 +1,195 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this vendors a small,
+//! deterministic property-testing harness with the API subset the
+//! workspace's tests use: the [`proptest!`] macro (both `pat in strategy`
+//! and `name: Type` parameters, optional `#![proptest_config(..)]`),
+//! [`strategy::Strategy`] with `prop_map`/`boxed`, `any::<T>()`, integer
+//! ranges and tuples as strategies, [`collection::vec`], [`prop_oneof!`],
+//! and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from real proptest: cases are drawn from a fixed
+//! deterministic seed (derived from file/line), there is **no shrinking**,
+//! and `prop_assert*` panic immediately like `assert*`. That keeps test
+//! intent (randomized coverage + totality) while staying dependency-free.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod collection;
+
+pub mod arbitrary;
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    /// Mirror of proptest's `prelude::prop` module path for `prop::collection`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property body (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property body (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property body (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+///
+/// Property bodies run inside a per-case closure, so `return` abandons
+/// just this case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Chooses uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Defines deterministic randomized tests over strategy-drawn inputs.
+///
+/// Supports the subset of real proptest syntax used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn prop(xs in collection::vec(any::<u8>(), 0..16), k: u64) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_body!(($cfg) ($body) [] $($params)*);
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    // All parameters consumed: run the cases.
+    (($cfg:expr) ($body:block) [$(($pat:pat, $strat:expr))*]) => {{
+        let __config: $crate::test_runner::ProptestConfig = $cfg;
+        let mut __rng = $crate::test_runner::TestRng::from_site(file!(), line!(), column!());
+        for __case in 0..__config.cases {
+            $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+            let mut __run_case = move || $body;
+            __run_case();
+        }
+    }};
+    // `pat in strategy` parameter.
+    (($cfg:expr) ($body:block) [$($acc:tt)*] $pat:pat in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_body!(($cfg) ($body) [$($acc)* ($pat, $strat)] $($rest)*)
+    };
+    (($cfg:expr) ($body:block) [$($acc:tt)*] $pat:pat in $strat:expr) => {
+        $crate::__proptest_body!(($cfg) ($body) [$($acc)* ($pat, $strat)])
+    };
+    // `name: Type` parameter, sugar for `name in any::<Type>()`.
+    (($cfg:expr) ($body:block) [$($acc:tt)*] $id:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_body!(
+            ($cfg) ($body) [$($acc)* ($id, $crate::arbitrary::any::<$ty>())] $($rest)*
+        )
+    };
+    (($cfg:expr) ($body:block) [$($acc:tt)*] $id:ident : $ty:ty) => {
+        $crate::__proptest_body!(
+            ($cfg) ($body) [$($acc)* ($id, $crate::arbitrary::any::<$ty>())]
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn mixed_params(xs in crate::collection::vec(any::<u8>(), 0..8), k: u64, b: bool) {
+            prop_assert!(xs.len() < 8);
+            let _ = (k, b);
+        }
+
+        #[test]
+        fn assume_skips(v in 0u32..10) {
+            prop_assume!(v != 3);
+            prop_assert_ne!(v, 3);
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            (0u32..10).prop_map(|x| x * 2),
+            (100u32..110).prop_map(|x| x + 1),
+        ]) {
+            prop_assert!(v % 2 == 0 && v < 20 || (101..=110).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::from_site("x", 1, 1);
+        let mut b = TestRng::from_site("x", 1, 1);
+        let s = crate::collection::vec(any::<u16>(), 3..5);
+        for _ in 0..10 {
+            assert_eq!(
+                Strategy::generate(&s, &mut a),
+                Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline stand-in for `serde`.
+//!
+//! Nothing in this workspace performs actual serialization (there is no
+//! `serde_json`/`bincode` in the tree — report JSON is hand-written in
+//! `p4auth-telemetry`), so `Serialize`/`Deserialize` only appear as derive
+//! attributes and occasional bounds. This shim keeps those compiling:
+//! marker traits with blanket impls, and no-op derive macros re-exported
+//! from the `serde_derive` shim.
+
+/// Marker trait standing in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::ser` far enough for `use serde::ser::Serialize`.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+/// Mirror of `serde::de` far enough for `use serde::de::DeserializeOwned`.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_serialize<T: Serialize + ?Sized>(_: &T) {}
+    fn assert_deserialize<'de, T: Deserialize<'de>>(_: &T) {}
+    fn assert_owned<T: de::DeserializeOwned>(_: &T) {}
+
+    /// The workspace only ever uses these traits as derive targets and
+    /// bounds; the blanket impls must cover arbitrary types.
+    #[test]
+    fn blanket_impls_cover_arbitrary_types() {
+        struct Custom {
+            _x: u32,
+        }
+        let c = Custom { _x: 7 };
+        assert_serialize(&c);
+        assert_serialize("str slice");
+        assert_deserialize(&c);
+        assert_owned(&vec![1u8, 2, 3]);
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`systems`] | HULA and RouteScout, the protected target systems, plus the simulation harness |
 //! | [`attacks`] | the §II-A adversaries: control-plane MitM, link MitM, replay, brute force, DoS |
 //! | [`workloads`] | synthetic CAIDA-like traffic and latency processes |
+//! | [`telemetry`] | dependency-free metrics registry and structured event log spanning sim, auth, agent and controller |
 //!
 //! ## Quickstart
 //!
@@ -66,5 +67,6 @@ pub use p4auth_dataplane as dataplane;
 pub use p4auth_netsim as netsim;
 pub use p4auth_primitives as primitives;
 pub use p4auth_systems as systems;
+pub use p4auth_telemetry as telemetry;
 pub use p4auth_wire as wire;
 pub use p4auth_workloads as workloads;
