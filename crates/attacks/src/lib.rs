@@ -20,6 +20,11 @@
 //!   success-probability analysis.
 //! * [`dos`] — request/alert flooding toward the controller (§VIII,
 //!   "Denial-of-service attack").
+//! * [`digest_flood`] — forged-digest flood on one C-DP channel versus the
+//!   controller's adaptive defence: the reject stream crosses the defence
+//!   threshold, the victim channel's key is rolled automatically (with
+//!   hysteresis — one crossing, one mitigation), and untouched channels
+//!   keep flowing.
 //! * [`tls_gap`] — why TLS-protected P4Runtime is insufficient (§III-B
 //!   \[A1\]): the backdoor shim rewrites call arguments below the TLS
 //!   termination point; P4Auth's end-to-end digest survives it.
@@ -33,6 +38,7 @@
 
 pub mod bruteforce;
 pub mod ctrl_mitm;
+pub mod digest_flood;
 pub mod dos;
 pub mod kex_mitm;
 pub mod link_mitm;

@@ -1,0 +1,81 @@
+//! Telemetry overhead — the cost the metrics registry adds to the hot
+//! data-plane request path.
+//!
+//! Runs the Fig. 18 register read/write loop twice: once on a bare agent
+//! and once with a telemetry registry attached (every packet then bumps
+//! counters and records typed events). The delta is the per-request
+//! overhead of the observability layer, which ROADMAP.md requires to stay
+//! in the low single-digit percent.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, Criterion};
+use p4auth_core::agent::{AgentConfig, P4AuthSwitch};
+use p4auth_dataplane::register::RegisterArray;
+use p4auth_primitives::mac::HalfSipHashMac;
+use p4auth_primitives::Key64;
+use p4auth_telemetry::Registry;
+use p4auth_wire::body::RegisterOp;
+use p4auth_wire::ids::{PortId, RegId, SeqNum, SwitchId};
+use p4auth_wire::Message;
+
+fn print_figure() {
+    println!("================================================================");
+    println!("  telemetry overhead — fig18 register-RW loop, bare vs. instrumented");
+    println!("  reproduces: observability-cost check (ROADMAP telemetry item)");
+    println!("================================================================");
+}
+
+fn build(telemetry: bool) -> P4AuthSwitch {
+    let reg = RegId::new(7);
+    let config = AgentConfig::new(SwitchId::new(1), 2, Key64::new(1)).map_register(reg, "r");
+    let mut sw = P4AuthSwitch::new(config, None);
+    sw.chassis_mut()
+        .declare_register(RegisterArray::new("r", 4, 64));
+    if telemetry {
+        // Bounded event buffer, same shape the systems harness uses; the
+        // ring wraps during the run, which is exactly the steady state we
+        // want to price.
+        sw.set_telemetry(Arc::new(Registry::with_event_capacity(1024)));
+    }
+    sw.install_key(PortId::CPU, Key64::new(0xbe4c_4e11));
+    sw
+}
+
+/// Times the authenticated register read/write path with and without the
+/// telemetry registry attached.
+fn bench(c: &mut Criterion) {
+    let reg = RegId::new(7);
+    let key = Key64::new(0xbe4c_4e11);
+    let mac = HalfSipHashMac::default();
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    for (name, telemetry) in [("bare", false), ("instrumented", true)] {
+        for (dir, op) in [
+            ("read", RegisterOp::read_req(reg, 0)),
+            ("write", RegisterOp::write_req(reg, 0, 42)),
+        ] {
+            let mut sw = build(telemetry);
+            let mut seq = 0u32;
+            group.bench_function(format!("{name}/{dir}"), |b| {
+                b.iter(|| {
+                    seq += 1;
+                    let msg = Message::register_request(SwitchId::CONTROLLER, SeqNum::new(seq), op)
+                        .sealed(&mac, key);
+                    sw.on_packet(0, PortId::CPU, &msg.encode())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -436,11 +436,34 @@ pub fn metrics() {
     let deadline = SimTime::from_ns(net.sim.now().as_ns() + 50_000_000);
     net.sim.run_until(deadline);
 
+    // Adaptive defence: a forged-digest flood on S1's C-DP channel crosses
+    // the reject threshold, the controller auto-rolls the local key, and
+    // the detection-to-mitigation latency lands in the
+    // `defence_mitigation_latency_ns` histogram.
+    net.enable_defence(p4auth_controller::DefenceConfig::default());
+    let mut rng = p4auth_primitives::rng::SplitMix64::new(0x0f10_0d5e);
+    for frame in p4auth_attacks::digest_flood::forged_acks(8, s1, 50_000, &mut rng) {
+        // Injected out of S1's C-DP front-panel port (63, checked above).
+        net.sim.inject_frame(s1, PortId::new(63), frame);
+    }
+    let deadline = SimTime::from_ns(net.sim.now().as_ns() + 200_000_000);
+    net.sim.run_until(deadline);
+
     let snapshot = registry.snapshot();
     assert!(
         snapshot.counter_total("auth_reject_bad_digest") > 0
             && snapshot.counter_total("auth_reject_replayed") > 0,
         "scenario must exercise both reject paths"
+    );
+    assert!(
+        snapshot.counter("ctrl_defence_mitigations", "controller") == Some(1),
+        "the flood must trigger exactly one mitigation"
+    );
+    assert!(
+        snapshot
+            .histogram("defence_mitigation_latency_ns", "controller")
+            .is_some_and(|h| h.count == 1 && h.min > 0),
+        "detection-to-mitigation latency must be measured in sim-ns"
     );
     println!("{}", snapshot.to_json());
 }

@@ -1,5 +1,6 @@
 //! Controller implementation.
 
+use crate::defence::{DefenceConfig, DefenceState, MitigationAction, MitigationKind};
 use p4auth_core::adhkd::{AdhkdInitiator, AdhkdPayload};
 use p4auth_core::auth::{AuthMetrics, RejectReason, ReplayWindow};
 use p4auth_core::eak::EakInitiator;
@@ -15,7 +16,7 @@ use p4auth_wire::body::{
 };
 use p4auth_wire::ids::{PortId, RegId, SeqNum, SwitchId};
 use p4auth_wire::Message;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Controller configuration.
@@ -33,6 +34,12 @@ pub struct ControllerConfig {
     pub outstanding_threshold: u32,
     /// RNG seed.
     pub rng_seed: u64,
+    /// Capacity of the received-alert ring. When full, the oldest alert
+    /// is evicted and counted in
+    /// [`ControllerStats::alerts_dropped`] — mirroring the agent-side
+    /// alert limiter, so an alert storm cannot grow controller memory
+    /// without bound.
+    pub alert_capacity: usize,
 }
 
 impl Default for ControllerConfig {
@@ -43,6 +50,7 @@ impl Default for ControllerConfig {
             dh_params: DhParams::recommended(),
             outstanding_threshold: 1024,
             rng_seed: 0xc011_7201_1e4a_11ed,
+            alert_capacity: 1024,
         }
     }
 }
@@ -122,6 +130,15 @@ pub enum ControllerEvent {
         /// Requests still outstanding.
         outstanding: u32,
     },
+    /// The adaptive defence loop decided on a mitigation for a channel.
+    DefenceMitigated {
+        /// The peer whose channel crossed the reject threshold.
+        switch: SwitchId,
+        /// The offending channel (`PortId::CPU` for the C-DP channel).
+        channel: PortId,
+        /// What the defence loop did about it.
+        kind: MitigationKind,
+    },
 }
 
 /// Lifetime counters.
@@ -135,6 +152,10 @@ pub struct ControllerStats {
     pub rejected: u64,
     /// Alerts received.
     pub alerts: u64,
+    /// Alerts evicted from the bounded alert ring.
+    pub alerts_dropped: u64,
+    /// Mitigations the adaptive defence loop issued.
+    pub defence_mitigations: u64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -158,8 +179,11 @@ struct ControllerTelemetry {
     requests_sent: Arc<Counter>,
     responses_ok: Arc<Counter>,
     alerts_received: Arc<Counter>,
+    alerts_dropped: Arc<Counter>,
     key_installs: Arc<Counter>,
     key_rollovers: Arc<Counter>,
+    defence_mitigations: Arc<Counter>,
+    defence_latency_ns: Arc<Histogram>,
 }
 
 impl ControllerTelemetry {
@@ -173,8 +197,12 @@ impl ControllerTelemetry {
             requests_sent: registry.counter_with("ctrl_requests_sent", Self::LABEL),
             responses_ok: registry.counter_with("ctrl_responses_ok", Self::LABEL),
             alerts_received: registry.counter_with("ctrl_alerts_received", Self::LABEL),
+            alerts_dropped: registry.counter_with("ctrl_alerts_dropped", Self::LABEL),
             key_installs: registry.counter_with("ctrl_key_installs", Self::LABEL),
             key_rollovers: registry.counter_with("ctrl_key_rollovers", Self::LABEL),
+            defence_mitigations: registry.counter_with("ctrl_defence_mitigations", Self::LABEL),
+            defence_latency_ns: registry
+                .histogram_with("defence_mitigation_latency_ns", Self::LABEL),
             registry,
         }
     }
@@ -227,10 +255,14 @@ pub struct Controller {
     switches: HashMap<SwitchId, SwitchChannel>,
     replay: ReplayWindow,
     redirects: Vec<PortRedirect>,
-    alerts: Vec<(SwitchId, AlertKind)>,
+    alerts: VecDeque<(SwitchId, AlertKind)>,
     stats: ControllerStats,
     now_ns: u64,
     telemetry: Option<ControllerTelemetry>,
+    defence: Option<DefenceState>,
+    /// Mitigations for DP-DP port channels, awaiting the harness (which
+    /// knows which peer switch sits behind a port).
+    port_actions: Vec<MitigationAction>,
 }
 
 impl std::fmt::Debug for Controller {
@@ -257,11 +289,13 @@ impl Controller {
             switches: HashMap::new(),
             replay: ReplayWindow::new(),
             redirects: Vec::new(),
-            alerts: Vec::new(),
+            alerts: VecDeque::new(),
             stats: ControllerStats::default(),
             config,
             now_ns: 0,
             telemetry: None,
+            defence: None,
+            port_actions: Vec::new(),
         }
     }
 
@@ -302,9 +336,108 @@ impl Controller {
             .is_some_and(|c| c.k_auth.is_some())
     }
 
-    /// Alerts received so far.
-    pub fn alerts(&self) -> &[(SwitchId, AlertKind)] {
+    /// Alerts retained in the bounded ring (newest at the back); older
+    /// alerts beyond [`ControllerConfig::alert_capacity`] are evicted
+    /// and counted in [`ControllerStats::alerts_dropped`].
+    pub fn alerts(&self) -> &VecDeque<(SwitchId, AlertKind)> {
         &self.alerts
+    }
+
+    /// Enables the telemetry-driven adaptive defence loop (sliding-window
+    /// reject tracking with automatic key rollover / quarantine).
+    pub fn enable_defence(&mut self, config: DefenceConfig) {
+        self.defence = Some(DefenceState::new(config));
+    }
+
+    /// Whether the defence loop currently quarantines `(switch, channel)`.
+    pub fn defence_quarantined(&self, switch: SwitchId, channel: PortId) -> bool {
+        self.defence
+            .as_ref()
+            .is_some_and(|d| d.is_quarantined(switch, channel))
+    }
+
+    /// Drains mitigations the defence loop decided for DP-DP *port*
+    /// channels. The controller handles CPU-channel mitigations itself
+    /// (it owns the local-key exchange); port channels need the topology
+    /// knowledge the harness has (which peer sits behind the port).
+    pub fn take_port_actions(&mut self) -> Vec<MitigationAction> {
+        std::mem::take(&mut self.port_actions)
+    }
+
+    /// Notifies the defence loop that a fresh key landed on a DP-DP port
+    /// channel. The controller observes local-key completions itself but
+    /// never sees port-key ADHKD finish (it only redirects the legs), so
+    /// the harness reports those. Records the detection-to-mitigation
+    /// latency if a mitigation was in flight.
+    pub fn notify_port_key_installed(&mut self, peer: SwitchId, channel: PortId) {
+        self.complete_mitigation(peer, channel);
+    }
+
+    fn complete_mitigation(&mut self, peer: SwitchId, channel: PortId) {
+        let now_ns = self.now_ns;
+        let Some(done) = self
+            .defence
+            .as_mut()
+            .and_then(|d| d.on_key_installed(now_ns, peer, channel))
+        else {
+            return;
+        };
+        if let Some(t) = &self.telemetry {
+            t.defence_latency_ns.record(done.latency_ns);
+            t.registry.record(
+                now_ns,
+                TelemetryEvent::DefenceAction {
+                    peer: peer.value(),
+                    channel: channel.value(),
+                    action: "mitigation_complete",
+                },
+            );
+        }
+    }
+
+    /// Translates pending defence decisions into wire actions: rolls the
+    /// local key for CPU-channel mitigations and queues port-channel
+    /// mitigations for the harness.
+    fn drive_defence(&mut self, out: &mut Vec<Outgoing>, events: &mut Vec<ControllerEvent>) {
+        let actions = match &mut self.defence {
+            Some(d) => d.take_actions(),
+            None => return,
+        };
+        for action in actions {
+            self.stats.defence_mitigations += 1;
+            if let Some(t) = &self.telemetry {
+                t.defence_mitigations.inc();
+                t.registry.record(
+                    self.now_ns,
+                    TelemetryEvent::DefenceAction {
+                        peer: action.peer.value(),
+                        channel: action.channel.value(),
+                        action: action.kind.as_str(),
+                    },
+                );
+            }
+            events.push(ControllerEvent::DefenceMitigated {
+                switch: action.peer,
+                channel: action.channel,
+                kind: action.kind,
+            });
+            if action.channel.is_cpu() {
+                if self.has_local_key(action.peer) {
+                    // Both rungs roll the key: for a quarantine the fresh
+                    // key is also the exit path.
+                    out.extend(self.local_key_update(action.peer));
+                } else {
+                    // Nothing to roll yet (bootstrap still running);
+                    // abandon rather than wedge the channel.
+                    self.defence
+                        .as_mut()
+                        .expect("drained above")
+                        .abort(action.peer, action.channel);
+                }
+            } else {
+                self.port_actions.push(action);
+            }
+        }
     }
 
     /// Lifetime counters.
@@ -592,13 +725,52 @@ impl Controller {
         let mut out = Vec::new();
         let mut events = Vec::new();
         let Ok(msg) = Message::decode(bytes) else {
+            // Framing garbage carries no verifiable sender claim:
+            // classify as transport-malformed, not BadDigest, so it can
+            // neither inflate `auth_reject_bad_digest` nor drive the
+            // defence loop toward a needless key rollover.
             self.stats.rejected += 1;
+            if let Some(t) = &self.telemetry {
+                t.auth.record_verify(&Err(RejectReason::Malformed));
+                t.registry.record(
+                    self.now_ns,
+                    TelemetryEvent::DigestRejected {
+                        peer: from.value(),
+                        channel: PortId::CPU.value(),
+                        reason: RejectReason::Malformed.kind(),
+                    },
+                );
+            }
             events.push(ControllerEvent::Rejected {
                 switch: from,
-                reason: RejectReason::BadDigest,
+                reason: RejectReason::Malformed,
             });
             return (out, events);
         };
+
+        // Quarantined channels drop everything except key exchange — the
+        // key-management protocol is the quarantine's exit path.
+        if self.defence_quarantined(from, PortId::CPU)
+            && !matches!(msg.body(), Body::KeyExchange(_))
+        {
+            self.stats.rejected += 1;
+            if let Some(t) = &self.telemetry {
+                t.auth.record_verify(&Err(RejectReason::Quarantined));
+                t.registry.record(
+                    self.now_ns,
+                    TelemetryEvent::DigestRejected {
+                        peer: from.value(),
+                        channel: PortId::CPU.value(),
+                        reason: RejectReason::Quarantined.kind(),
+                    },
+                );
+            }
+            events.push(ControllerEvent::Rejected {
+                switch: from,
+                reason: RejectReason::Quarantined,
+            });
+            return (out, events);
+        }
 
         if self.config.auth_enabled {
             let key = self.verify_key_for(from, &msg);
@@ -647,6 +819,18 @@ impl Controller {
                         switch: from,
                         reason,
                     });
+                    // Forged digests and replays on this channel feed the
+                    // defence loop. NoKey does not: it reflects bootstrap
+                    // state, not an attack with a key to roll away from.
+                    if matches!(
+                        reason,
+                        RejectReason::BadDigest | RejectReason::Replayed { .. }
+                    ) {
+                        if let Some(d) = &mut self.defence {
+                            d.record_signal(self.now_ns, from, PortId::CPU);
+                        }
+                        self.drive_defence(&mut out, &mut events);
+                    }
                     return (out, events);
                 }
                 Ok(()) => {
@@ -661,7 +845,14 @@ impl Controller {
             Body::Register(op) => self.on_register_response(from, &msg, op, &mut events),
             Body::Alert(alert) => {
                 self.stats.alerts += 1;
-                self.alerts.push((from, alert.kind));
+                while self.alerts.len() >= self.config.alert_capacity.max(1) {
+                    self.alerts.pop_front();
+                    self.stats.alerts_dropped += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.alerts_dropped.inc();
+                    }
+                }
+                self.alerts.push_back((from, alert.kind));
                 if let Some(t) = &self.telemetry {
                     t.alerts_received.inc();
                 }
@@ -669,10 +860,19 @@ impl Controller {
                     switch: from,
                     kind: alert.kind,
                 });
+                // An authenticated alert is a defence signal for the
+                // channel the agent flagged: `detail` carries the ingress
+                // port for in-network rejects and 0 (the CPU channel) for
+                // C-DP register traffic.
+                if let Some(d) = &mut self.defence {
+                    let channel = PortId::new(alert.detail.min(u32::from(u8::MAX)) as u8);
+                    d.record_signal(self.now_ns, from, channel);
+                }
             }
             Body::KeyExchange(kex) => self.on_key_exchange(from, &msg, kex, &mut out, &mut events),
             Body::InNetwork(_) => { /* DP-DP traffic never reaches C */ }
         }
+        self.drive_defence(&mut out, &mut events);
         (out, events)
     }
 
@@ -846,6 +1046,9 @@ impl Controller {
                             },
                         );
                     }
+                    // A fresh local key completes (and lifts) any defence
+                    // mitigation in flight on this channel.
+                    self.complete_mitigation(from, PortId::CPU);
                 }
             }
             KeyExchange::Adhkd {
@@ -967,11 +1170,309 @@ mod tests {
     }
 
     #[test]
-    fn garbage_bytes_rejected() {
+    fn garbage_bytes_rejected_as_malformed() {
         let (mut c, sw) = controller_with_switch();
         let (_, events) = c.on_message(sw, &[1, 2, 3]);
-        assert!(matches!(events[0], ControllerEvent::Rejected { .. }));
+        assert!(matches!(
+            events[0],
+            ControllerEvent::Rejected {
+                reason: RejectReason::Malformed,
+                ..
+            }
+        ));
         assert_eq!(c.stats().rejected, 1);
+    }
+
+    /// Regression: framing garbage used to be classified as `BadDigest`,
+    /// inflating `auth_reject_bad_digest`; with the defence loop attached
+    /// it would now also trigger a needless key rollover. Malformed
+    /// frames must do neither.
+    #[test]
+    fn malformed_frames_neither_count_bad_digest_nor_trigger_defence() {
+        let registry = Arc::new(Registry::with_event_capacity(64));
+        let (mut c, sw) = controller_with_switch();
+        c.set_telemetry(registry.clone());
+        c.enable_defence(crate::defence::DefenceConfig {
+            window_ns: 1_000_000_000,
+            reject_threshold: 2,
+            escalation_window_ns: 1_000_000_000,
+        });
+        // A truncated (but genuine) frame and pure garbage, repeatedly —
+        // far past the reject threshold.
+        let genuine = Message::new(
+            sw,
+            PortId::CPU,
+            SeqNum::new(1),
+            Body::Register(RegisterOp::read_req(RegId::new(1), 0)),
+        )
+        .encode();
+        for i in 0..10u64 {
+            c.set_now(1_000 + i);
+            let frame: &[u8] = if i % 2 == 0 {
+                &genuine[..10]
+            } else {
+                &[0xff; 7]
+            };
+            let (out, events) = c.on_message(sw, frame);
+            assert!(out.is_empty(), "malformed frames must not provoke traffic");
+            assert_eq!(events.len(), 1);
+            assert!(matches!(
+                events[0],
+                ControllerEvent::Rejected {
+                    reason: RejectReason::Malformed,
+                    ..
+                }
+            ));
+        }
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("auth_reject_malformed", "controller"),
+            Some(10)
+        );
+        assert_eq!(
+            snap.counter("auth_reject_bad_digest", "controller"),
+            Some(0)
+        );
+        assert_eq!(
+            snap.counter("ctrl_defence_mitigations", "controller"),
+            Some(0)
+        );
+        assert_eq!(c.stats().defence_mitigations, 0);
+    }
+
+    use p4auth_core::agent::{AgentConfig, P4AuthSwitch};
+
+    /// Ping-pongs key-exchange traffic between controller and agent until
+    /// neither side has anything left to say.
+    fn pump(
+        c: &mut Controller,
+        sw: SwitchId,
+        agent: &mut P4AuthSwitch,
+        mut pending: Vec<Outgoing>,
+    ) {
+        let mut rounds = 0;
+        while !pending.is_empty() {
+            rounds += 1;
+            assert!(rounds < 64, "key exchange did not converge");
+            let mut next = Vec::new();
+            for o in pending {
+                let output = agent.on_packet(0, PortId::CPU, &o.bytes);
+                for (_, bytes) in output.outputs {
+                    let (more, _) = c.on_message(sw, &bytes);
+                    next.extend(more);
+                }
+            }
+            pending = next;
+        }
+    }
+
+    /// Controller + agent with an established local key and the defence
+    /// loop armed (threshold 3 inside a 1 ms window).
+    fn defended_pair(registry: &Arc<Registry>) -> (Controller, SwitchId, P4AuthSwitch) {
+        let mut c = Controller::new(ControllerConfig::default());
+        c.set_telemetry(registry.clone());
+        let sw = SwitchId::new(1);
+        let k_seed = Key64::new(0x5eed);
+        c.register_switch(sw, k_seed);
+        c.enable_defence(crate::defence::DefenceConfig {
+            window_ns: 1_000_000,
+            reject_threshold: 3,
+            escalation_window_ns: 100_000_000,
+        });
+        let mut agent = P4AuthSwitch::new(AgentConfig::new(sw, 4, k_seed), None);
+        let init = c.local_key_init(sw);
+        pump(&mut c, sw, &mut agent, init);
+        assert!(c.has_local_key(sw), "bootstrap failed");
+        (c, sw, agent)
+    }
+
+    fn forged(sw: SwitchId, seq: u32) -> Vec<u8> {
+        // Well-formed but unsigned: decodes fine, fails digest verification.
+        Message::new(
+            sw,
+            PortId::CPU,
+            SeqNum::new(seq),
+            Body::Register(RegisterOp::Ack {
+                reg: RegId::new(1),
+                index: 0,
+                value: 0,
+            }),
+        )
+        .encode()
+    }
+
+    #[test]
+    fn forged_digest_flood_triggers_exactly_one_rollover() {
+        let registry = Arc::new(Registry::with_event_capacity(256));
+        let (mut c, sw, mut agent) = defended_pair(&registry);
+
+        let mut mitigations = Vec::new();
+        let mut rollover_msgs = Vec::new();
+        for i in 0..6u64 {
+            c.set_now(10_000 + i * 100);
+            let (out, events) = c.on_message(sw, &forged(sw, 100 + i as u32));
+            rollover_msgs.extend(out);
+            mitigations.extend(
+                events
+                    .into_iter()
+                    .filter(|e| matches!(e, ControllerEvent::DefenceMitigated { .. })),
+            );
+        }
+        // Hysteresis: six rejects, one threshold crossing, one action.
+        assert_eq!(mitigations.len(), 1);
+        assert!(matches!(
+            mitigations[0],
+            ControllerEvent::DefenceMitigated {
+                kind: MitigationKind::KeyRollover,
+                ..
+            }
+        ));
+        assert_eq!(rollover_msgs.len(), 1, "exactly one ADHKD offer issued");
+        assert_eq!(c.stats().defence_mitigations, 1);
+
+        // Complete the rollover; detection-to-mitigation latency lands in
+        // the histogram.
+        c.set_now(60_000);
+        pump(&mut c, sw, &mut agent, rollover_msgs);
+        let snap = registry.snapshot();
+        let hist = snap
+            .histogram("defence_mitigation_latency_ns", "controller")
+            .expect("latency histogram registered");
+        assert_eq!(hist.count, 1);
+        // Detected at 10_200 (third reject), completed at 60_000.
+        assert_eq!(hist.min, 49_800);
+        assert_eq!(snap.counter("ctrl_key_rollovers", "controller"), Some(1));
+    }
+
+    #[test]
+    fn persistent_flood_escalates_to_quarantine_and_fresh_key_lifts_it() {
+        let registry = Arc::new(Registry::with_event_capacity(256));
+        let (mut c, sw, mut agent) = defended_pair(&registry);
+
+        // Round 1: flood to the threshold, complete the rollover.
+        let mut out1 = Vec::new();
+        for i in 0..3u64 {
+            c.set_now(10_000 + i * 100);
+            let (out, _) = c.on_message(sw, &forged(sw, 100 + i as u32));
+            out1.extend(out);
+        }
+        c.set_now(60_000);
+        pump(&mut c, sw, &mut agent, out1);
+        assert!(!c.defence_quarantined(sw, PortId::CPU));
+
+        // Round 2: the attack continues — escalate to quarantine.
+        let mut out2 = Vec::new();
+        let mut events2 = Vec::new();
+        for i in 0..3u64 {
+            c.set_now(70_000 + i * 100);
+            let (out, events) = c.on_message(sw, &forged(sw, 200 + i as u32));
+            out2.extend(out);
+            events2.extend(events);
+        }
+        assert!(events2.iter().any(|e| matches!(
+            e,
+            ControllerEvent::DefenceMitigated {
+                kind: MitigationKind::Quarantine,
+                ..
+            }
+        )));
+        assert!(c.defence_quarantined(sw, PortId::CPU));
+
+        // While quarantined, traffic on the channel is dropped and counted
+        // as Quarantined — not as a digest failure.
+        c.set_now(80_000);
+        let (out, events) = c.on_message(sw, &forged(sw, 300));
+        assert!(out.is_empty());
+        assert!(matches!(
+            events[0],
+            ControllerEvent::Rejected {
+                reason: RejectReason::Quarantined,
+                ..
+            }
+        ));
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("auth_reject_quarantined", "controller"),
+            Some(1)
+        );
+
+        // Key exchange is exempt (it is the exit path): completing the
+        // rollover issued alongside the quarantine lifts it.
+        c.set_now(90_000);
+        pump(&mut c, sw, &mut agent, out2);
+        assert!(!c.defence_quarantined(sw, PortId::CPU));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ctrl_key_rollovers", "controller"), Some(2));
+        assert_eq!(
+            snap.histogram("defence_mitigation_latency_ns", "controller")
+                .unwrap()
+                .count,
+            2
+        );
+    }
+
+    /// A defence-initiated rollover whose offer is lost on the wire is
+    /// re-driven by `retry_stalled` and still completes exactly once.
+    #[test]
+    fn retry_stalled_redrives_lost_defence_rollover() {
+        let registry = Arc::new(Registry::with_event_capacity(256));
+        let (mut c, sw, mut agent) = defended_pair(&registry);
+
+        let mut lost = Vec::new();
+        for i in 0..3u64 {
+            c.set_now(10_000 + i * 100);
+            let (out, _) = c.on_message(sw, &forged(sw, 100 + i as u32));
+            lost.extend(out);
+        }
+        assert_eq!(lost.len(), 1);
+        drop(lost); // the ADHKD offer never arrives
+
+        c.set_now(500_000);
+        let retried = c.retry_stalled();
+        assert_eq!(retried.len(), 1, "stalled defence rollover re-driven");
+        c.set_now(550_000);
+        pump(&mut c, sw, &mut agent, retried);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ctrl_key_rollovers", "controller"), Some(1));
+        assert_eq!(
+            snap.counter("ctrl_defence_mitigations", "controller"),
+            Some(1)
+        );
+        assert_eq!(
+            snap.histogram("defence_mitigation_latency_ns", "controller")
+                .unwrap()
+                .count,
+            1
+        );
+        assert!(!c.defence_quarantined(sw, PortId::CPU));
+    }
+
+    #[test]
+    fn alert_ring_is_bounded_and_counts_drops() {
+        let mut c = Controller::new(ControllerConfig {
+            auth_enabled: false,
+            alert_capacity: 2,
+            ..ControllerConfig::default()
+        });
+        let sw = SwitchId::new(1);
+        c.register_switch(sw, Key64::new(0));
+        for i in 1..=3u32 {
+            let msg = Message::new(
+                sw,
+                PortId::CPU,
+                SeqNum::new(i),
+                Body::Alert(p4auth_wire::body::Alert {
+                    kind: AlertKind::DigestMismatch,
+                    offending_seq: SeqNum::new(i),
+                    detail: 0,
+                }),
+            );
+            c.on_message(sw, &msg.encode());
+        }
+        assert_eq!(c.alerts().len(), 2);
+        assert_eq!(c.stats().alerts, 3);
+        assert_eq!(c.stats().alerts_dropped, 1);
     }
 
     #[test]

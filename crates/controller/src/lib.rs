@@ -16,8 +16,11 @@
 //!   but never learning the derived `K_port` (it only ever sees public keys
 //!   and salts);
 //! * triggers direct DP-DP port-key rollover (Fig. 14 d);
-//! * collects alerts and applies the §VIII DoS accounting (outstanding
-//!   request threshold).
+//! * collects alerts (into a bounded ring) and applies the §VIII DoS
+//!   accounting (outstanding request threshold);
+//! * optionally runs the adaptive [`defence`] loop: sliding-window reject
+//!   tracking per `(peer, channel)` that automatically rolls keys or
+//!   quarantines a channel when forged digests or replays flood it.
 //!
 //! ```
 //! use p4auth_controller::{Controller, ControllerConfig};
@@ -35,5 +38,9 @@
 #![warn(missing_docs)]
 
 mod controller;
+pub mod defence;
 
 pub use controller::{Controller, ControllerConfig, ControllerEvent, ControllerStats, Outgoing};
+pub use defence::{
+    CompletedMitigation, DefenceConfig, DefenceState, MitigationAction, MitigationKind,
+};

@@ -38,7 +38,7 @@ use p4auth_wire::body::{
 };
 use p4auth_wire::ids::{PortId, RegId, SeqNum, SwitchId};
 use p4auth_wire::Message;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Name of the Fig. 15 mapping table on the chassis.
@@ -233,6 +233,8 @@ pub struct AgentStats {
     pub probes_accepted: u64,
     /// Probes dropped.
     pub probes_dropped: u64,
+    /// Messages dropped because their channel was quarantined.
+    pub quarantine_drops: u64,
 }
 
 /// Result of processing one packet.
@@ -298,6 +300,7 @@ pub struct P4AuthSwitch {
     rng: SplitMix64,
     replay: ReplayWindow,
     limiter: AlertLimiter,
+    quarantined: HashSet<PortId>,
     seq_out: HashMap<PortId, SeqNum>,
     pending_kex: HashMap<(KexContext, PortId), AdhkdInitiator>,
     app: Option<Box<dyn InNetworkApp>>,
@@ -365,6 +368,7 @@ impl P4AuthSwitch {
             rng: SplitMix64::new(config.rng_seed),
             replay: ReplayWindow::new(),
             limiter: AlertLimiter::new(config.alert_max, config.alert_period_ns),
+            quarantined: HashSet::new(),
             seq_out: HashMap::new(),
             pending_kex: HashMap::new(),
             app,
@@ -448,10 +452,33 @@ impl P4AuthSwitch {
         self.note_key_change(0, port, true);
     }
 
+    /// Quarantines (or releases) a channel: while quarantined, register
+    /// requests and in-network control traffic arriving on `channel` are
+    /// dropped and counted with [`RejectReason::Quarantined`]. Key-exchange
+    /// traffic still flows — installing a fresh key on the channel is what
+    /// lifts the quarantine, so the KMP must not be locked out.
+    ///
+    /// Driven by the controller's adaptive defence (out of band, like the
+    /// rest of the provisioning surface).
+    pub fn set_channel_quarantine(&mut self, channel: PortId, on: bool) {
+        if on {
+            self.quarantined.insert(channel);
+        } else {
+            self.quarantined.remove(&channel);
+        }
+    }
+
+    /// Whether `channel` is currently quarantined.
+    pub fn is_quarantined(&self, channel: PortId) -> bool {
+        self.quarantined.contains(&channel)
+    }
+
     /// Counts a key install/rollover and logs a [`TelemetryEvent::KeyDerived`]
     /// carrying the now-active version for `port`. Direct provisioning has no
-    /// sim clock, so those events carry `t_ns = 0`.
+    /// sim clock, so those events carry `t_ns = 0`. Any quarantine on the
+    /// channel is lifted — a fresh key is the defence loop's exit condition.
     fn note_key_change(&mut self, now_ns: u64, port: PortId, rolled: bool) {
+        self.quarantined.remove(&port);
         let Some(t) = &self.telemetry else { return };
         if rolled {
             t.keys_rolled.inc();
@@ -518,7 +545,7 @@ impl P4AuthSwitch {
         let msg = match packet.parse_message() {
             Ok(m) => m,
             Err(_) => {
-                let out = self.handle_data(ingress, bytes);
+                let out = self.handle_data(now_ns, ingress, bytes);
                 self.note_packet_cost(now_ns, false, &out);
                 return out;
             }
@@ -560,12 +587,12 @@ impl P4AuthSwitch {
         }
     }
 
-    fn handle_data(&mut self, ingress: PortId, bytes: &[u8]) -> AgentOutput {
+    fn handle_data(&mut self, now_ns: u64, ingress: PortId, bytes: &[u8]) -> AgentOutput {
         let Some(mut app) = self.app.take() else {
             return AgentOutput::default();
         };
         let packet = Packet::from_bytes(ingress, bytes.to_vec());
-        let result = self.chassis.process(&packet, |ctx, pkt| {
+        let result = self.chassis.process(now_ns, &packet, |ctx, pkt| {
             let outs = app.on_data(ctx, ingress, &pkt.bytes)?;
             Ok(outs
                 .into_iter()
@@ -616,7 +643,9 @@ impl P4AuthSwitch {
     ) {
         match reason {
             RejectReason::Replayed { .. } => self.stats.replays += 1,
-            _ => self.stats.digest_failures += 1,
+            RejectReason::Quarantined => self.stats.quarantine_drops += 1,
+            RejectReason::Malformed => {}
+            RejectReason::BadDigest | RejectReason::NoKey => self.stats.digest_failures += 1,
         }
         if let Some(t) = &self.telemetry {
             t.auth.record_verify(&Err(reason));
@@ -714,13 +743,22 @@ impl P4AuthSwitch {
         let mut reject: Option<RejectReason> = None;
         let mut reply_op: Option<RegisterOp> = None;
 
+        let quarantined = auth && self.quarantined.contains(&PortId::CPU);
         let packet = Packet::from_bytes(PortId::CPU, msg.encode());
         let channel_key = self.channel_verify_key(PortId::CPU, msg);
         let replay = &mut self.replay;
         let reg_names = &self.reg_names;
         let outcome = self
             .chassis
-            .process(&packet, |ctx, _| {
+            .process(now_ns, &packet, |ctx, _| {
+                if quarantined {
+                    // Defence-imposed drop: don't even verify — the channel
+                    // key is suspect until the KMP installs a fresh one.
+                    let reason = RejectReason::Quarantined;
+                    events.push(AgentEvent::Rejected(reason));
+                    reject = Some(reason);
+                    return Ok(vec![]);
+                }
                 if auth {
                     match Self::verify_in_ctx(ctx, replay, channel_key, PortId::CPU, msg) {
                         Ok(()) => events.push(AgentEvent::VerifiedOk),
@@ -818,17 +856,15 @@ impl P4AuthSwitch {
                 index: 0,
                 reason: match reason {
                     RejectReason::Replayed { .. } => NackReason::SeqMismatch,
+                    RejectReason::Quarantined => NackReason::Quarantined,
                     _ => NackReason::DigestMismatch,
                 },
             };
             self.push_register_reply(msg, nack, &mut outputs);
             self.stats.nacks += 1;
-            self.raise_alert(
-                now_ns,
-                reason.to_alert(msg.header().seq_num, 0),
-                &mut outputs,
-                &mut events,
-            );
+            if let Some(alert) = reason.to_alert(msg.header().seq_num, 0) {
+                self.raise_alert(now_ns, alert, &mut outputs, &mut events);
+            }
         } else if let Some(reply) = reply_op {
             if auth {
                 self.stats.verified_ok += 1;
@@ -1180,10 +1216,15 @@ impl P4AuthSwitch {
         let seq_out = &mut self.seq_out;
         let switch_id = self.config.switch_id;
         let system = inner.system;
+        let quarantined = auth && self.quarantined.contains(&ingress);
         let mut reject: Option<RejectReason> = None;
         let mut sealed_outputs: Vec<(PortId, Vec<u8>)> = Vec::new();
 
-        let outcome = self.chassis.process(&packet, |ctx, _| {
+        let outcome = self.chassis.process(now_ns, &packet, |ctx, _| {
+            if quarantined {
+                reject = Some(RejectReason::Quarantined);
+                return Ok(vec![]);
+            }
             if auth {
                 if let Err(reason) = Self::verify_in_ctx(ctx, replay, channel_key, ingress, msg) {
                     reject = Some(reason);
@@ -1237,12 +1278,9 @@ impl P4AuthSwitch {
             }
             events.push(AgentEvent::Rejected(reason));
             events.push(AgentEvent::ProbeDropped);
-            self.raise_alert(
-                now_ns,
-                reason.to_alert(msg.header().seq_num, ingress.value() as u32),
-                &mut outputs,
-                &mut events,
-            );
+            if let Some(alert) = reason.to_alert(msg.header().seq_num, ingress.value() as u32) {
+                self.raise_alert(now_ns, alert, &mut outputs, &mut events);
+            }
         } else {
             if auth {
                 self.stats.verified_ok += 1;
@@ -1632,6 +1670,76 @@ mod tests {
         // A new window re-opens alerting.
         let o5 = sw.on_packet(2_000_000, PortId::CPU, &forged(5));
         assert!(o5.has_event(&AgentEvent::AlertSent(AlertKind::DigestMismatch)));
+    }
+
+    #[test]
+    fn quarantined_channel_drops_until_fresh_key() {
+        let registry = Arc::new(p4auth_telemetry::Registry::with_event_capacity(16));
+        let mut sw = agent();
+        sw.set_telemetry(registry.clone());
+        let k = Key64::new(42);
+        install_local(&mut sw, k);
+        sw.set_channel_quarantine(PortId::CPU, true);
+        assert!(sw.is_quarantined(PortId::CPU));
+
+        // A perfectly valid request is still dropped: the channel key is
+        // suspect, so nothing on the channel is trusted.
+        let out = sw.on_packet(1_000, PortId::CPU, &sealed_write(k, 1, 0, 5));
+        assert!(out.has_event(&AgentEvent::Rejected(RejectReason::Quarantined)));
+        // nAck only — quarantine drops are the defence acting, not a
+        // detection, so no alert is raised (the controller already knows).
+        assert_eq!(out.outputs.len(), 1);
+        let nack = Message::decode(&out.outputs[0].1).unwrap();
+        assert!(matches!(
+            nack.body(),
+            Body::Register(RegisterOp::Nack {
+                reason: NackReason::Quarantined,
+                ..
+            })
+        ));
+        assert_eq!(sw.stats().quarantine_drops, 1);
+        assert_eq!(sw.stats().digest_failures, 0);
+        assert_eq!(
+            sw.chassis()
+                .register("path_latency")
+                .unwrap()
+                .read(0)
+                .unwrap(),
+            0
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("auth_reject_quarantined", "S1"), Some(1));
+        assert_eq!(snap.counter("auth_reject_bad_digest", "S1"), Some(0));
+
+        // A fresh key lifts the quarantine and traffic flows again (the
+        // pre-rollover generation stays selectable per §VI-C, so a request
+        // sealed under it still verifies).
+        sw.rollover_key(PortId::CPU, Key64::new(43));
+        assert!(!sw.is_quarantined(PortId::CPU));
+        let out = sw.on_packet(2_000, PortId::CPU, &sealed_write(k, 2, 0, 5));
+        assert!(out.has_event(&AgentEvent::VerifiedOk));
+    }
+
+    #[test]
+    fn key_exchange_flows_through_quarantine() {
+        // The KMP is the quarantine's exit path; locking it out would make
+        // quarantine permanent.
+        let mut sw = agent();
+        sw.set_channel_quarantine(PortId::CPU, true);
+        let salt1 = Message::key_exchange(
+            SwitchId::CONTROLLER,
+            PortId::CPU,
+            SeqNum::new(1),
+            KeyExchange::EakSalt {
+                step: EakStep::Salt1,
+                salt: 0xaaaa,
+            },
+        )
+        .sealed(&mac(), SEED)
+        .encode();
+        let out = sw.on_packet(0, PortId::CPU, &salt1);
+        assert!(sw.has_auth_key());
+        assert!(out.has_event(&AgentEvent::AuthKeyDerived));
     }
 
     #[test]

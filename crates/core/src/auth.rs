@@ -27,6 +27,16 @@ pub enum RejectReason {
         /// Last accepted sequence number on this channel.
         last_accepted: SeqNum,
     },
+    /// The bytes did not decode as a message at all.
+    ///
+    /// This is a *transport* failure, not an *authentication* failure:
+    /// framing garbage carries no verifiable claim about its sender, so it
+    /// must never count toward `auth_reject_bad_digest` (and must never
+    /// trip the controller's adaptive defence loop).
+    Malformed,
+    /// The ingress channel is quarantined by the controller's adaptive
+    /// defence; traffic is dropped until a fresh key is installed.
+    Quarantined,
 }
 
 impl RejectReason {
@@ -37,20 +47,38 @@ impl RejectReason {
             RejectReason::BadDigest => RejectKind::BadDigest,
             RejectReason::NoKey => RejectKind::NoKey,
             RejectReason::Replayed { .. } => RejectKind::Replayed,
+            RejectReason::Malformed => RejectKind::Malformed,
+            RejectReason::Quarantined => RejectKind::Quarantined,
         }
     }
 
-    /// The alert this rejection raises toward the controller.
-    pub fn to_alert(self, offending_seq: SeqNum, detail: u32) -> Alert {
+    /// Whether this rejection is an *authentication* failure — i.e. a
+    /// signal the adaptive defence loop may act on. Transport-level
+    /// garbage ([`RejectReason::Malformed`]) and defence-imposed drops
+    /// ([`RejectReason::Quarantined`]) are excluded: neither is evidence
+    /// of key compromise on the channel.
+    pub fn is_auth_failure(self) -> bool {
+        matches!(
+            self,
+            RejectReason::BadDigest | RejectReason::NoKey | RejectReason::Replayed { .. }
+        )
+    }
+
+    /// The alert this rejection raises toward the controller, or `None`
+    /// when the rejection is not alert-worthy (malformed frames carry no
+    /// authenticated claim to alert about; quarantine drops are the
+    /// defence acting, not the attack being detected).
+    pub fn to_alert(self, offending_seq: SeqNum, detail: u32) -> Option<Alert> {
         let kind = match self {
             RejectReason::BadDigest | RejectReason::NoKey => AlertKind::DigestMismatch,
             RejectReason::Replayed { .. } => AlertKind::SeqMismatch,
+            RejectReason::Malformed | RejectReason::Quarantined => return None,
         };
-        Alert {
+        Some(Alert {
             kind,
             offending_seq,
             detail,
-        }
+        })
     }
 }
 
@@ -193,6 +221,8 @@ pub struct AuthMetrics {
     reject_bad_digest: Arc<Counter>,
     reject_no_key: Arc<Counter>,
     reject_replayed: Arc<Counter>,
+    reject_malformed: Arc<Counter>,
+    reject_quarantined: Arc<Counter>,
     replay_advances: Arc<Counter>,
     alerts_emitted: Arc<Counter>,
     alerts_rate_limit_markers: Arc<Counter>,
@@ -208,6 +238,8 @@ impl AuthMetrics {
             reject_bad_digest: registry.counter_with("auth_reject_bad_digest", scope),
             reject_no_key: registry.counter_with("auth_reject_no_key", scope),
             reject_replayed: registry.counter_with("auth_reject_replayed", scope),
+            reject_malformed: registry.counter_with("auth_reject_malformed", scope),
+            reject_quarantined: registry.counter_with("auth_reject_quarantined", scope),
             replay_advances: registry.counter_with("auth_replay_advances", scope),
             alerts_emitted: registry.counter_with("alerts_emitted", scope),
             alerts_rate_limit_markers: registry.counter_with("alerts_rate_limit_markers", scope),
@@ -226,6 +258,8 @@ impl AuthMetrics {
             Err(RejectReason::BadDigest) => self.reject_bad_digest.inc(),
             Err(RejectReason::NoKey) => self.reject_no_key.inc(),
             Err(RejectReason::Replayed { .. }) => self.reject_replayed.inc(),
+            Err(RejectReason::Malformed) => self.reject_malformed.inc(),
+            Err(RejectReason::Quarantined) => self.reject_quarantined.inc(),
         }
     }
 
@@ -389,17 +423,37 @@ mod tests {
 
     #[test]
     fn reject_reasons_map_to_alert_kinds() {
-        let a = RejectReason::BadDigest.to_alert(SeqNum::new(4), 7);
+        let a = RejectReason::BadDigest.to_alert(SeqNum::new(4), 7).unwrap();
         assert_eq!(a.kind, AlertKind::DigestMismatch);
         assert_eq!(a.offending_seq, SeqNum::new(4));
         assert_eq!(a.detail, 7);
         let a = RejectReason::Replayed {
             last_accepted: SeqNum::new(1),
         }
-        .to_alert(SeqNum::new(1), 0);
+        .to_alert(SeqNum::new(1), 0)
+        .unwrap();
         assert_eq!(a.kind, AlertKind::SeqMismatch);
-        let a = RejectReason::NoKey.to_alert(SeqNum::new(0), 0);
+        let a = RejectReason::NoKey.to_alert(SeqNum::new(0), 0).unwrap();
         assert_eq!(a.kind, AlertKind::DigestMismatch);
+        // Transport garbage and defence drops are not alert-worthy.
+        assert!(RejectReason::Malformed
+            .to_alert(SeqNum::new(0), 0)
+            .is_none());
+        assert!(RejectReason::Quarantined
+            .to_alert(SeqNum::new(0), 0)
+            .is_none());
+    }
+
+    #[test]
+    fn auth_failure_taxonomy_excludes_transport_and_defence_rejects() {
+        assert!(RejectReason::BadDigest.is_auth_failure());
+        assert!(RejectReason::NoKey.is_auth_failure());
+        assert!(RejectReason::Replayed {
+            last_accepted: SeqNum::new(1)
+        }
+        .is_auth_failure());
+        assert!(!RejectReason::Malformed.is_auth_failure());
+        assert!(!RejectReason::Quarantined.is_auth_failure());
     }
 
     #[test]
@@ -440,6 +494,8 @@ mod tests {
         m.record_verify(&Err(RejectReason::Replayed {
             last_accepted: SeqNum::new(3),
         }));
+        m.record_verify(&Err(RejectReason::Malformed));
+        m.record_verify(&Err(RejectReason::Quarantined));
         m.record_alert(AlertDecision::Emit);
         m.record_alert(AlertDecision::EmitRateLimitMarker);
         m.record_alert(AlertDecision::Suppress);
@@ -450,6 +506,8 @@ mod tests {
         assert_eq!(snap.counter("auth_reject_bad_digest", "S1"), Some(1));
         assert_eq!(snap.counter("auth_reject_no_key", "S1"), Some(1));
         assert_eq!(snap.counter("auth_reject_replayed", "S1"), Some(1));
+        assert_eq!(snap.counter("auth_reject_malformed", "S1"), Some(1));
+        assert_eq!(snap.counter("auth_reject_quarantined", "S1"), Some(1));
         assert_eq!(snap.counter("alerts_emitted", "S1"), Some(1));
         assert_eq!(snap.counter("alerts_rate_limit_markers", "S1"), Some(1));
         assert_eq!(snap.counter("alerts_suppressed", "S1"), Some(2));
@@ -466,5 +524,7 @@ mod tests {
             .kind(),
             RejectKind::Replayed
         );
+        assert_eq!(RejectReason::Malformed.kind(), RejectKind::Malformed);
+        assert_eq!(RejectReason::Quarantined.kind(), RejectKind::Quarantined);
     }
 }

@@ -165,9 +165,9 @@ impl Chassis {
     /// Attaches a telemetry registry: every [`Chassis::process`] call
     /// accounts its stage/hash-unit/recirculation usage into per-switch
     /// counter series (`dp_*{S<id>}`), and packets forced to recirculate
-    /// emit a `RecircUsed` event when the registry's event log is enabled.
-    /// (The chassis has no clock, so those events carry `t_ns = 0`;
-    /// higher layers that know simulated time emit their own.)
+    /// emit a `RecircUsed` event (stamped with the packet arrival time
+    /// passed to [`Chassis::process`]) when the registry's event log is
+    /// enabled.
     pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
         self.telemetry = Some(ChassisTelemetry::new(registry, self.config.switch_id));
     }
@@ -269,11 +269,17 @@ impl Chassis {
     /// Runs a data-plane program body over one packet inside a
     /// budget-enforced context and returns the outcome.
     ///
+    /// `now_ns` is the packet's arrival time in simulated ns (the chassis
+    /// has no clock of its own); it stamps telemetry events emitted at
+    /// this layer and is readable by programs via
+    /// [`PacketContext::now_ns`]. Callers outside a simulation pass `0`.
+    ///
     /// The closure is the "P4 program": it sees the packet and a
     /// [`PacketContext`] through which all stateful work flows, so stage
     /// and hash budgets are enforced uniformly.
     pub fn process<F>(
         &mut self,
+        now_ns: u64,
         packet: &Packet,
         program: F,
     ) -> Result<ProcessOutcome, ChassisError>
@@ -282,6 +288,7 @@ impl Chassis {
     {
         let mut ctx = PacketContext {
             chassis: self,
+            now_ns,
             stages_used: 0,
             hash_passes: 0,
             recirculations: 0,
@@ -302,7 +309,7 @@ impl Chassis {
             t.recirculations.add(u64::from(recirculations));
             if recirculations > 0 {
                 t.registry.record(
-                    0,
+                    now_ns,
                     TelemetryEvent::RecircUsed {
                         switch: self.config.switch_id.value(),
                         count: recirculations,
@@ -328,6 +335,7 @@ impl Chassis {
 /// charges at "100s of ns", §XI).
 pub struct PacketContext<'c> {
     chassis: &'c mut Chassis,
+    now_ns: u64,
     stages_used: u32,
     hash_passes: u32,
     recirculations: u32,
@@ -347,6 +355,12 @@ impl<'c> PacketContext<'c> {
     /// This switch's id.
     pub fn switch_id(&self) -> SwitchId {
         self.chassis.config.switch_id
+    }
+
+    /// Arrival time of the packet being processed (simulated ns; `0`
+    /// outside a simulation).
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
     }
 
     /// Reads `register[index]` (one stage).
@@ -466,7 +480,7 @@ mod tests {
         let mut c = chassis();
         let pkt = Packet::from_bytes(PortId::new(1), vec![1, 2, 3]);
         let out = c
-            .process(&pkt, |ctx, p| {
+            .process(0, &pkt, |ctx, p| {
                 ctx.write_register("util", 0, 42)?;
                 let v = ctx.read_register("util", 0)?;
                 assert_eq!(v, 42);
@@ -486,7 +500,7 @@ mod tests {
         let pkt = Packet::from_bytes(PortId::new(1), vec![0]);
         let key = Key64::new(7);
         let out = c
-            .process(&pkt, |ctx, _| {
+            .process(0, &pkt, |ctx, _| {
                 let d = ctx.compute_digest(key, &[b"probe"]);
                 assert!(ctx.verify_digest(key, &[b"probe"], d));
                 Ok(vec![])
@@ -510,7 +524,7 @@ mod tests {
         c.declare_register(RegisterArray::new("r", 1, 64));
         let pkt = Packet::from_bytes(PortId::new(1), vec![]);
         let out = c
-            .process(&pkt, |ctx, _| {
+            .process(0, &pkt, |ctx, _| {
                 for _ in 0..7 {
                     ctx.update_register("r", 0, |v| v + 1)?;
                 }
@@ -532,14 +546,14 @@ mod tests {
         let mut c = chassis();
         let pkt = Packet::from_bytes(PortId::new(1), vec![]);
         let err = c
-            .process(&pkt, |ctx, _| {
+            .process(0, &pkt, |ctx, _| {
                 ctx.read_register("nope", 0)?;
                 Ok(vec![])
             })
             .unwrap_err();
         assert_eq!(err.to_string(), "no register named nope");
         let err = c
-            .process(&pkt, |ctx, _| {
+            .process(0, &pkt, |ctx, _| {
                 ctx.lookup("missing", MatchKey::new(0, 0))?;
                 Ok(vec![])
             })
@@ -552,7 +566,7 @@ mod tests {
         let mut c = chassis();
         let pkt = Packet::from_bytes(PortId::new(1), vec![]);
         let err = c
-            .process(&pkt, |ctx, _| {
+            .process(0, &pkt, |ctx, _| {
                 ctx.read_register("util", 99)?;
                 Ok(vec![])
             })
@@ -565,7 +579,7 @@ mod tests {
         let mut c = chassis();
         let pkt = Packet::from_bytes(PortId::new(1), vec![]);
         let err = c
-            .process(&pkt, |_, p| Ok(vec![(PortId::new(99), p.clone())]))
+            .process(0, &pkt, |_, p| Ok(vec![(PortId::new(99), p.clone())]))
             .unwrap_err();
         assert_eq!(err, ChassisError::NoSuchPort(PortId::new(99)));
     }
@@ -589,7 +603,7 @@ mod tests {
         c.declare_register(RegisterArray::new("r", 1, 64));
         let pkt = Packet::from_bytes(PortId::new(1), vec![]);
         let key = Key64::new(9);
-        c.process(&pkt, |ctx, _| {
+        c.process(4_200, &pkt, |ctx, _| {
             for _ in 0..4 {
                 ctx.update_register("r", 0, |v| v + 1)?;
             }
@@ -605,6 +619,8 @@ mod tests {
         assert_eq!(snap.counter("dp_recirculations", "S7"), Some(1));
         assert_eq!(snap.events.len(), 1);
         assert_eq!(snap.events[0].event.kind(), "recirc_used");
+        // The chassis stamps events with the arrival time it was handed.
+        assert_eq!(snap.events[0].t_ns, 4_200);
     }
 
     #[test]
@@ -619,7 +635,7 @@ mod tests {
         let mut c = chassis();
         let pkt = Packet::from_bytes(PortId::CPU, vec![]);
         let out = c
-            .process(&pkt, |ctx, _| {
+            .process(0, &pkt, |ctx, _| {
                 ctx.record_kdf_passes(4);
                 Ok(vec![])
             })

@@ -42,7 +42,7 @@
 //!
 //! // Run a tiny "P4 program" over one packet: bump a counter, forward.
 //! let pkt = Packet::from_bytes(PortId::new(1), vec![1, 2, 3]);
-//! let outcome = chassis.process(&pkt, |ctx, p| {
+//! let outcome = chassis.process(0, &pkt, |ctx, p| {
 //!     ctx.update_register("counter", 0, |v| v + 1)?;
 //!     Ok(vec![(PortId::new(2), p.clone())])
 //! })?;

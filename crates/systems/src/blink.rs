@@ -181,7 +181,7 @@ mod tests {
         let pkt = Packet::from_bytes(PortId::new(3), bytes.clone());
         let mut outs = Vec::new();
         chassis
-            .process(&pkt, |ctx, _| {
+            .process(0, &pkt, |ctx, _| {
                 outs = app.on_data(ctx, PortId::new(3), &bytes)?;
                 Ok(vec![])
             })

@@ -220,7 +220,7 @@ mod tests {
             let bytes = FrFrame { flow }.encode();
             let pkt = Packet::from_bytes(PortId::new(2), bytes.clone());
             chassis
-                .process(&pkt, |ctx, _| {
+                .process(0, &pkt, |ctx, _| {
                     app.on_data(ctx, PortId::new(2), &bytes)?;
                     Ok(vec![])
                 })

@@ -2,8 +2,10 @@
 //! controller on the network simulator, plus a network builder that runs
 //! the key-management bootstrap.
 
-use p4auth_controller::{Controller, ControllerConfig, ControllerEvent, Outgoing};
-use p4auth_core::agent::{AgentConfig, InNetworkApp, P4AuthSwitch};
+use p4auth_controller::{
+    Controller, ControllerConfig, ControllerEvent, DefenceConfig, MitigationKind, Outgoing,
+};
+use p4auth_core::agent::{AgentConfig, AgentEvent, InNetworkApp, P4AuthSwitch};
 use p4auth_netsim::sim::{Outbox, SimNode, Simulator, TopologyEvent};
 use p4auth_netsim::time::SimTime;
 use p4auth_netsim::topology::Topology;
@@ -39,15 +41,31 @@ pub const CONTROLLER_PROC_NS: u64 = 150_000;
 /// C-DP link hangs off a front-panel port (`cpu_netport`). The node
 /// translates between the two.
 pub struct SwitchNode {
+    id: SwitchId,
     agent: SharedSwitch,
     cpu_netport: Option<PortId>,
+    /// Controller handle for reporting DP-DP port-key completions (the
+    /// controller only redirects port-key legs and never sees them
+    /// finish; the defence loop needs the completion for its
+    /// detection-to-mitigation latency accounting).
+    controller: Option<SharedController>,
 }
 
 impl SwitchNode {
     /// Wraps a shared agent; `cpu_netport` is the topology port carrying
     /// the C-DP channel (if any).
-    pub fn new(agent: SharedSwitch, cpu_netport: Option<PortId>) -> Self {
-        SwitchNode { agent, cpu_netport }
+    pub fn new(
+        id: SwitchId,
+        agent: SharedSwitch,
+        cpu_netport: Option<PortId>,
+        controller: Option<SharedController>,
+    ) -> Self {
+        SwitchNode {
+            id,
+            agent,
+            cpu_netport,
+            controller,
+        }
     }
 }
 
@@ -62,6 +80,17 @@ impl SimNode for SwitchNode {
             .agent
             .borrow_mut()
             .on_packet(now.as_ns(), logical_ingress, &payload);
+        if let Some(controller) = &self.controller {
+            for ev in &output.events {
+                if let AgentEvent::KeyInstalled { port } | AgentEvent::KeyRolled { port } = ev {
+                    if !port.is_cpu() {
+                        let mut c = controller.borrow_mut();
+                        c.set_now(now.as_ns());
+                        c.notify_port_key_installed(self.id, *port);
+                    }
+                }
+            }
+        }
         for (port, bytes) in output.outputs {
             let physical = if port.is_cpu() {
                 match self.cpu_netport {
@@ -174,19 +203,49 @@ pub struct ControllerNode {
     controller: SharedController,
     events: Rc<RefCell<Vec<ControllerEvent>>>,
     rollover: SharedRollover,
+    /// DP-DP adjacency: `(switch, port)` → peer switch, for translating
+    /// defence mitigations on port channels into `portKeyUpdate` messages.
+    links: HashMap<(SwitchId, PortId), SwitchId>,
+    /// Agent handles, for flipping agent-side quarantine enforcement.
+    switches: HashMap<SwitchId, SharedSwitch>,
 }
 
 impl ControllerNode {
     /// Wraps a shared controller; `events` accumulates everything observed.
+    /// `links` maps `(switch, port)` to the peer switch for every DP-DP
+    /// link and `switches` holds the agent handles — both may be empty
+    /// when the adaptive defence loop is unused.
     pub fn new(
         controller: SharedController,
         events: Rc<RefCell<Vec<ControllerEvent>>>,
         rollover: SharedRollover,
+        links: HashMap<(SwitchId, PortId), SwitchId>,
+        switches: HashMap<SwitchId, SharedSwitch>,
     ) -> Self {
         ControllerNode {
             controller,
             events,
             rollover,
+            links,
+            switches,
+        }
+    }
+
+    /// Turns defence mitigations on DP-DP port channels into wire actions:
+    /// flips agent-side quarantine enforcement and issues the port-key
+    /// rollover that (on completion) lifts it.
+    fn apply_port_actions(&self, controller: &mut Controller, outgoing: &mut Vec<Outgoing>) {
+        for action in controller.take_port_actions() {
+            if action.kind == MitigationKind::Quarantine {
+                if let Some(agent) = self.switches.get(&action.peer) {
+                    agent
+                        .borrow_mut()
+                        .set_channel_quarantine(action.channel, true);
+                }
+            }
+            if let Some(&peer) = self.links.get(&(action.peer, action.channel)) {
+                outgoing.extend(controller.port_key_update(action.peer, action.channel, peer));
+            }
         }
     }
 
@@ -213,7 +272,9 @@ impl SimNode for ControllerNode {
         let (outgoing, events) = {
             let mut controller = self.controller.borrow_mut();
             controller.set_now(now.as_ns());
-            controller.on_message(from, &payload)
+            let (mut outgoing, events) = controller.on_message(from, &payload);
+            self.apply_port_actions(&mut controller, &mut outgoing);
+            (outgoing, events)
         };
         self.events.borrow_mut().extend(events);
         Self::transmit(out, outgoing);
@@ -238,6 +299,7 @@ impl SimNode for ControllerNode {
         for &(sw1, port1, sw2) in &plan.links {
             outgoing.extend(controller.port_key_update(sw1, port1, sw2));
         }
+        self.apply_port_actions(&mut controller, &mut outgoing);
         drop(controller);
         Self::transmit(out, outgoing);
         out.set_timer(ROLLOVER_TIMER, plan.period_ns);
@@ -294,19 +356,13 @@ impl Network {
         let rollover: SharedRollover = Rc::new(RefCell::new(None));
 
         let node_ids: Vec<SwitchId> = sim.topology().nodes().to_vec();
+        let mut has_controller = false;
         for id in node_ids {
             if id.value() >= HOST_ID_BASE {
                 continue; // hosts get their behaviour attached separately
             }
             if id.is_controller() {
-                sim.register_node(
-                    id,
-                    Box::new(ControllerNode::new(
-                        controller.clone(),
-                        events.clone(),
-                        rollover.clone(),
-                    )),
-                );
+                has_controller = true; // registered below, once agents exist
                 continue;
             }
             let k_seed =
@@ -328,7 +384,36 @@ impl Network {
             let config = configure(id, AgentConfig::new(id, max_port, k_seed));
             let agent = Rc::new(RefCell::new(P4AuthSwitch::new(config, make_app(id))));
             switches.insert(id, agent.clone());
-            sim.register_node(id, Box::new(SwitchNode::new(agent, cpu_netport)));
+            sim.register_node(
+                id,
+                Box::new(SwitchNode::new(
+                    id,
+                    agent,
+                    cpu_netport,
+                    Some(controller.clone()),
+                )),
+            );
+        }
+        if has_controller {
+            // DP-DP adjacency for translating port-channel defence
+            // mitigations into portKeyUpdate messages.
+            let mut links = HashMap::new();
+            for l in sim.topology().links() {
+                if is_dp_dp_link(l) {
+                    links.insert((l.a.node, l.a.port), l.b.node);
+                    links.insert((l.b.node, l.b.port), l.a.node);
+                }
+            }
+            sim.register_node(
+                SwitchId::CONTROLLER,
+                Box::new(ControllerNode::new(
+                    controller.clone(),
+                    events.clone(),
+                    rollover.clone(),
+                    links,
+                    switches.clone(),
+                )),
+            );
         }
 
         Network {
@@ -338,6 +423,19 @@ impl Network {
             events,
             rollover,
         }
+    }
+
+    /// Arms the controller's telemetry-driven adaptive defence loop:
+    /// forged-digest / replay floods on one `(peer, channel)` trigger an
+    /// automatic key rollover, escalating to channel quarantine if the
+    /// rollover does not stop the flood. CPU-channel mitigations are
+    /// handled by the controller itself; port-channel mitigations are
+    /// translated by the [`ControllerNode`] (which knows the DP-DP
+    /// adjacency) into `portKeyUpdate` messages plus agent-side
+    /// quarantine enforcement. Detection-to-mitigation latency lands in
+    /// the `defence_mitigation_latency_ns` telemetry histogram.
+    pub fn enable_defence(&mut self, config: DefenceConfig) {
+        self.controller.borrow_mut().enable_defence(config);
     }
 
     /// Enables automatic periodic key rollover (§VI-C): every `period_ns`
@@ -641,5 +739,78 @@ mod tests {
         assert!(kinds.contains(&"key_derived"));
         assert!(kinds.contains(&"kex_step"));
         assert!(kinds.contains(&"frame_delivered"));
+    }
+
+    #[test]
+    fn defence_rolls_key_under_forged_flood_and_spares_clean_channel() {
+        use p4auth_primitives::Digest32;
+        use p4auth_wire::body::{Body, RegisterOp};
+        use p4auth_wire::ids::SeqNum;
+        use p4auth_wire::Message;
+
+        let registry = std::sync::Arc::new(p4auth_telemetry::Registry::with_event_capacity(2048));
+        let mut net = network(2);
+        net.enable_telemetry(registry.clone());
+        net.bootstrap_keys();
+        net.enable_defence(DefenceConfig::default());
+
+        // Forged responses claiming to come from S1, injected on its C-DP
+        // front-panel port (63 in Topology::chain).
+        let s1 = SwitchId::new(1);
+        for i in 0..8u32 {
+            let mut msg = Message::new(
+                s1,
+                PortId::CPU,
+                SeqNum::new(40_000 + i),
+                Body::Register(RegisterOp::Ack {
+                    reg: RegId::new(9),
+                    index: 0,
+                    value: u64::from(i),
+                }),
+            );
+            msg.header_mut().digest = Digest32::new(0xdead_0000 + i);
+            net.sim.inject_frame(s1, PortId::new(63), msg.encode());
+        }
+        net.sim
+            .run_until(SimTime::from_ns(net.sim.now().as_ns() + 200_000_000));
+
+        let events = net.take_events();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, ControllerEvent::DefenceMitigated { .. }))
+                .count(),
+            1,
+            "one threshold crossing, one mitigation"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, ControllerEvent::LocalKeyRolled(sw) if *sw == s1)),
+            "the victim's local key must roll automatically"
+        );
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("ctrl_defence_mitigations", "controller"),
+            Some(1)
+        );
+        let hist = snap
+            .histogram("defence_mitigation_latency_ns", "controller")
+            .expect("latency histogram registered");
+        assert_eq!(hist.count, 1);
+        assert!(hist.min > 0, "latency measured in sim-ns");
+
+        // The untouched channel (S2) keeps flowing: a controller request
+        // still round-trips (the fixture maps no registers, so the answer
+        // is an UnknownRegister nack — but it authenticates end to end).
+        let responses_before = snap.counter("ctrl_responses_ok", "controller").unwrap_or(0);
+        net.controller_write(SwitchId::new(2), RegId::new(1), 0, 7);
+        net.sim
+            .run_until(SimTime::from_ns(net.sim.now().as_ns() + 50_000_000));
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("ctrl_responses_ok", "controller"),
+            Some(responses_before + 1)
+        );
     }
 }

@@ -279,7 +279,7 @@ mod tests {
         let pkt = Packet::from_bytes(ingress, probe.encode());
         let mut outs = Vec::new();
         chassis
-            .process(&pkt, |ctx, _| {
+            .process(0, &pkt, |ctx, _| {
                 outs = app.on_control(ctx, ingress, &probe.encode())?;
                 Ok(vec![])
             })
@@ -296,7 +296,7 @@ mod tests {
         let pkt = Packet::from_bytes(PortId::new(1), bytes.clone());
         let mut outs = Vec::new();
         chassis
-            .process(&pkt, |ctx, _| {
+            .process(0, &pkt, |ctx, _| {
                 outs = app.on_data(ctx, PortId::new(1), &bytes)?;
                 Ok(vec![])
             })

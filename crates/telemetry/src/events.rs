@@ -17,6 +17,15 @@ pub enum RejectKind {
     NoKey,
     /// The sequence number did not advance the replay window.
     Replayed,
+    /// The frame did not decode as a message at all (framing garbage).
+    ///
+    /// Deliberately distinct from [`RejectKind::BadDigest`]: line noise
+    /// must never look like an active MAC-forgery attack to consumers of
+    /// the reject stream (e.g. the controller's adaptive defence loop).
+    Malformed,
+    /// The channel is quarantined by the controller's defence loop;
+    /// traffic on it is dropped until a fresh key is installed.
+    Quarantined,
 }
 
 impl RejectKind {
@@ -26,6 +35,8 @@ impl RejectKind {
             RejectKind::BadDigest => "bad_digest",
             RejectKind::NoKey => "no_key",
             RejectKind::Replayed => "replayed",
+            RejectKind::Malformed => "malformed",
+            RejectKind::Quarantined => "quarantined",
         }
     }
 }
@@ -126,6 +137,15 @@ pub enum Event {
         /// Recirculations consumed by this packet.
         count: u32,
     },
+    /// The controller's adaptive defence acted on a (peer, channel).
+    DefenceAction {
+        /// The peer whose channel triggered the defence.
+        peer: u16,
+        /// The channel (ingress port number; 0 = CPU/controller channel).
+        channel: u8,
+        /// Action name (e.g. `"rollover"`, `"quarantine"`, `"release"`).
+        action: &'static str,
+    },
 }
 
 impl Event {
@@ -141,6 +161,7 @@ impl Event {
             Event::FrameDelivered { .. } => "frame_delivered",
             Event::FrameDropped { .. } => "frame_dropped",
             Event::RecircUsed { .. } => "recirc_used",
+            Event::DefenceAction { .. } => "defence_action",
         }
     }
 }
@@ -272,6 +293,14 @@ mod tests {
         };
         assert_eq!(e.kind(), "digest_rejected");
         assert_eq!(RejectKind::Replayed.as_str(), "replayed");
+        assert_eq!(RejectKind::Malformed.as_str(), "malformed");
+        assert_eq!(RejectKind::Quarantined.as_str(), "quarantined");
         assert_eq!(DropCause::Tap.as_str(), "tap");
+        let d = Event::DefenceAction {
+            peer: 1,
+            channel: 0,
+            action: "rollover",
+        };
+        assert_eq!(d.kind(), "defence_action");
     }
 }

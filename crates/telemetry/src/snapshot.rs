@@ -275,6 +275,16 @@ fn write_event(out: &mut String, record: &EventRecord) {
         Event::RecircUsed { switch, count } => {
             let _ = write!(out, ", \"switch\": {switch}, \"count\": {count}");
         }
+        Event::DefenceAction {
+            peer,
+            channel,
+            action,
+        } => {
+            let _ = write!(
+                out,
+                ", \"peer\": {peer}, \"channel\": {channel}, \"action\": \"{action}\""
+            );
+        }
     }
     out.push('}');
 }

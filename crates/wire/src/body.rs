@@ -18,6 +18,9 @@ pub enum NackReason {
     SeqMismatch = 3,
     /// The register index was out of bounds.
     IndexOutOfRange = 4,
+    /// The ingress channel is quarantined by the controller's adaptive
+    /// defence; the request is dropped until a fresh key is installed.
+    Quarantined = 5,
 }
 
 impl NackReason {
@@ -27,6 +30,7 @@ impl NackReason {
             2 => Ok(NackReason::UnknownRegister),
             3 => Ok(NackReason::SeqMismatch),
             4 => Ok(NackReason::IndexOutOfRange),
+            5 => Ok(NackReason::Quarantined),
             _ => Err(DecodeError::InvalidField("nack reason")),
         }
     }
@@ -606,6 +610,7 @@ mod tests {
             NackReason::UnknownRegister,
             NackReason::SeqMismatch,
             NackReason::IndexOutOfRange,
+            NackReason::Quarantined,
         ] {
             roundtrip(Body::Register(RegisterOp::Nack {
                 reg: RegId::new(4),
