@@ -12,7 +12,7 @@ fn main() {
     let filter: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
 
-    let experiments: [(&str, fn()); 11] = [
+    let experiments: [(&str, fn()); 12] = [
         ("table1", report::table1),
         ("fig16", report::fig16),
         ("fig17", report::fig17),
@@ -24,6 +24,7 @@ fn main() {
         ("table3", report::table3),
         ("fct", report::motivation_fct),
         ("metrics", report::metrics),
+        ("scale", report::scale),
     ];
     let mut ran = 0;
     for (name, run) in experiments {
@@ -37,7 +38,7 @@ fn main() {
         ran += 1;
     }
     if ran == 0 {
-        eprintln!("no experiment matches {filter:?}; available: table1 fig16 fig17 fig18 fig19 fig20 fig21 table2 table3 fct metrics ablation");
+        eprintln!("no experiment matches {filter:?}; available: table1 fig16 fig17 fig18 fig19 fig20 fig21 table2 table3 fct metrics scale ablation");
         std::process::exit(1);
     }
 }

@@ -19,8 +19,10 @@
 //! | `table3_scalability` | Table III key-management scalability |
 //! | `ablation_digest_size` | §XI digest-width cost discussion |
 //! | `primitives` | MAC / KDF / DH micro-benchmarks |
+//! | `sim_scale` | simulator events/sec, heap vs. calendar scheduler on fat-trees |
 
 pub mod report;
+pub mod scale;
 
 use p4auth_dataplane::cost::{
     request_completion_ns, sequential_throughput_rps, AccessMethod, CostModel, RwDirection,

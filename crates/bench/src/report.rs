@@ -468,6 +468,109 @@ pub fn metrics() {
     println!("{}", snapshot.to_json());
 }
 
+/// Simulator scale report (`repro -- scale`): heap vs. calendar scheduler
+/// events/sec on fat-tree workloads, plus `sim_event_lead_ns` percentiles,
+/// printed as one JSON object.
+///
+/// Short mode (`P4AUTH_SCALE_SHORT=1`, used by CI) runs only a capped k=4
+/// workload. Set `P4AUTH_SCALE_OUT=<path>` to also write the JSON to a
+/// file (how `BENCH_sim_scale.json` is regenerated).
+pub fn scale() {
+    use crate::scale::{run_scale, ScaleConfig};
+    use p4auth_netsim::sched::SchedulerKind;
+    use p4auth_telemetry::Registry;
+    use std::fmt::Write as _;
+    use std::sync::Arc;
+
+    banner(
+        "scale — simulator events/sec, heap vs. calendar scheduler",
+        "ROADMAP \"scale the simulator\"; sim_event_lead_ns from PR 1",
+    );
+
+    let short = std::env::var("P4AUTH_SCALE_SHORT").is_ok_and(|v| v != "0");
+    let configs: Vec<(u16, u32)> = if short {
+        vec![(4, 50)]
+    } else {
+        vec![(4, 800), (8, 512), (16, 48)]
+    };
+
+    println!(
+        "{:>3} {:>9} {:>14} {:>16} {:>16} {:>8}",
+        "k", "events", "heap (ev/s)", "calendar (ev/s)", "speedup", "lead p50"
+    );
+    let mut entries = String::new();
+    for (i, &(k, frames)) in configs.iter().enumerate() {
+        let cfg = ScaleConfig::for_k(k, frames);
+        // Best of three: the runs are short enough that a stray scheduler
+        // preemption would otherwise swing the reported speedup.
+        let measure = |kind: SchedulerKind| {
+            let mut best = run_scale(cfg, kind, None);
+            for _ in 1..3 {
+                let run = run_scale(cfg, kind, None);
+                if run.wall_ns < best.wall_ns {
+                    best = run;
+                }
+            }
+            best
+        };
+        let heap = measure(SchedulerKind::Heap);
+        let cal = measure(SchedulerKind::Calendar);
+        assert_eq!(
+            heap.fingerprint(),
+            cal.fingerprint(),
+            "schedulers diverged at k={k}"
+        );
+        // Separate instrumented run for the lead distribution (telemetry
+        // adds per-event work, so it stays out of the timed runs).
+        let registry = Arc::new(Registry::new());
+        run_scale(cfg, SchedulerKind::Calendar, Some(registry.clone()));
+        let lead = registry
+            .snapshot()
+            .histogram("sim_event_lead_ns", "")
+            .expect("instrumented run records event leads")
+            .clone();
+        let speedup = cal.events_per_sec() / heap.events_per_sec();
+        println!(
+            "{:>3} {:>9} {:>14.0} {:>16.0} {:>15.2}x {:>8}",
+            k,
+            cal.events,
+            heap.events_per_sec(),
+            cal.events_per_sec(),
+            speedup,
+            lead.p50,
+        );
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        write!(
+            entries,
+            "    {{\"k\": {k}, \"frames_per_host\": {frames}, \"events\": {}, \
+             \"frames_delivered\": {}, \"sim_ns\": {}, \
+             \"heap_events_per_sec\": {:.0}, \"calendar_events_per_sec\": {:.0}, \
+             \"speedup\": {speedup:.3}, \
+             \"event_lead_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}}}",
+            cal.events,
+            cal.frames_delivered,
+            cal.sim_ns,
+            heap.events_per_sec(),
+            cal.events_per_sec(),
+            lead.p50,
+            lead.p90,
+            lead.p99,
+            lead.max,
+        )
+        .expect("writing to a String cannot fail");
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"sim_scale\",\n  \"short_mode\": {short},\n  \"runs\": [\n{entries}\n  ]\n}}"
+    );
+    println!("{json}");
+    if let Ok(path) = std::env::var("P4AUTH_SCALE_OUT") {
+        std::fs::write(&path, format!("{json}\n")).expect("write P4AUTH_SCALE_OUT");
+        println!("wrote {path}");
+    }
+}
+
 /// §XI digest-width ablation.
 pub fn ablation_digest() {
     banner(

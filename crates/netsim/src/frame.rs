@@ -1,0 +1,208 @@
+//! Frame payload storage with a small-buffer optimization.
+//!
+//! Every frame crossing the simulator used to ride in a `Vec<u8>`, which
+//! forces a heap allocation per frame even for tiny probes. [`FrameBytes`]
+//! keeps payloads up to [`FrameBytes::INLINE_CAP`] bytes inline in the
+//! event itself; larger payloads (and payloads that already arrive as a
+//! `Vec<u8>`) stay on the heap with no copying.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A frame payload: inline for small frames, heap-backed otherwise.
+#[derive(Clone)]
+pub struct FrameBytes(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        buf: [u8; FrameBytes::INLINE_CAP],
+    },
+    Heap(Vec<u8>),
+}
+
+impl FrameBytes {
+    /// Largest payload stored without a heap allocation.
+    pub const INLINE_CAP: usize = 62;
+
+    /// An empty payload.
+    pub const fn new() -> Self {
+        FrameBytes(Repr::Inline {
+            len: 0,
+            buf: [0; Self::INLINE_CAP],
+        })
+    }
+
+    /// Copies `bytes`, staying inline when it fits.
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        if bytes.len() <= Self::INLINE_CAP {
+            let mut buf = [0u8; Self::INLINE_CAP];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            FrameBytes(Repr::Inline {
+                len: bytes.len() as u8,
+                buf,
+            })
+        } else {
+            FrameBytes(Repr::Heap(bytes.to_vec()))
+        }
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the payload is stored inline (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, Repr::Inline { .. })
+    }
+
+    /// Converts into a `Vec<u8>` (allocates only for inline payloads).
+    pub fn into_vec(self) -> Vec<u8> {
+        match self.0 {
+            Repr::Inline { len, buf } => buf[..len as usize].to_vec(),
+            Repr::Heap(v) => v,
+        }
+    }
+}
+
+impl Default for FrameBytes {
+    fn default() -> Self {
+        FrameBytes::new()
+    }
+}
+
+impl Deref for FrameBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for FrameBytes {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        match &mut self.0 {
+            Repr::Inline { len, buf } => &mut buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+}
+
+/// Zero-copy: the vector's buffer is adopted as-is (converting a small
+/// `Vec` to the inline form would trade its existing allocation for a
+/// fresh one at the first `into_vec`).
+impl From<Vec<u8>> for FrameBytes {
+    fn from(v: Vec<u8>) -> Self {
+        FrameBytes(Repr::Heap(v))
+    }
+}
+
+impl From<&[u8]> for FrameBytes {
+    fn from(bytes: &[u8]) -> Self {
+        FrameBytes::from_slice(bytes)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for FrameBytes {
+    fn from(bytes: [u8; N]) -> Self {
+        FrameBytes::from_slice(&bytes)
+    }
+}
+
+impl From<FrameBytes> for Vec<u8> {
+    fn from(f: FrameBytes) -> Vec<u8> {
+        f.into_vec()
+    }
+}
+
+impl PartialEq for FrameBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for FrameBytes {}
+
+impl PartialEq<[u8]> for FrameBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for FrameBytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl fmt::Debug for FrameBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FrameBytes({} B, {})",
+            self.len(),
+            if self.is_inline() { "inline" } else { "heap" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_slices_stay_inline() {
+        let f = FrameBytes::from_slice(&[1, 2, 3]);
+        assert!(f.is_inline());
+        assert_eq!(f.len(), 3);
+        assert_eq!(&f[..], &[1, 2, 3]);
+        assert_eq!(f.into_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn large_slices_and_vecs_use_the_heap() {
+        let big = vec![7u8; FrameBytes::INLINE_CAP + 1];
+        assert!(!FrameBytes::from_slice(&big).is_inline());
+        let small_vec = FrameBytes::from(vec![1, 2]);
+        assert!(
+            !small_vec.is_inline(),
+            "Vec buffers are adopted, not copied"
+        );
+        assert_eq!(small_vec, vec![1, 2]);
+    }
+
+    #[test]
+    fn mutation_through_deref() {
+        let mut f = FrameBytes::from_slice(&[0, 0]);
+        f[0] = 0xff;
+        assert_eq!(f.as_slice(), &[0xff, 0]);
+        let empty = FrameBytes::new();
+        assert!(empty.is_empty());
+        assert_eq!(FrameBytes::default(), empty);
+    }
+
+    #[test]
+    fn equality_is_by_content_not_representation() {
+        let inline = FrameBytes::from_slice(&[9, 9]);
+        let heap = FrameBytes::from(vec![9, 9]);
+        assert_eq!(inline, heap);
+        assert_eq!(format!("{heap:?}"), "FrameBytes(2 B, heap)");
+    }
+}

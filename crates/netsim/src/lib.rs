@@ -23,7 +23,14 @@
 //!   serialization delay and per-direction FIFO queueing, which is what
 //!   turns a traffic-concentration attack into measurable FCT damage.
 //!
+//! * **Scale** ([`fattree`], [`sched`]): `Topology::fat_tree(k)` builds
+//!   k-ary Clos networks (hundreds of switches), and the event queue is a
+//!   pluggable [`sched::Scheduler`] — a calendar queue by default, with the
+//!   reference binary heap available for differential testing. Both drain
+//!   events in the identical `(time, seq)` order.
+//!
 //! ```
+//! use p4auth_netsim::frame::FrameBytes;
 //! use p4auth_netsim::sim::{Outbox, SimNode, Simulator};
 //! use p4auth_netsim::time::SimTime;
 //! use p4auth_netsim::topology::{Endpoint, Topology};
@@ -31,7 +38,7 @@
 //!
 //! struct Echo;
 //! impl SimNode for Echo {
-//!     fn on_frame(&mut self, _t: SimTime, port: PortId, frame: Vec<u8>, out: &mut Outbox) {
+//!     fn on_frame(&mut self, _t: SimTime, port: PortId, frame: FrameBytes, out: &mut Outbox) {
 //!         out.send_delayed(port, frame, 10); // bounce back after 10ns
 //!     }
 //! }
@@ -56,10 +63,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fattree;
+pub mod frame;
+pub mod sched;
 pub mod sim;
 pub mod time;
 pub mod topology;
 
+pub use fattree::FatTree;
+pub use frame::FrameBytes;
+pub use sched::SchedulerKind;
 pub use sim::{Outbox, SimNode, Simulator, TapAction};
 pub use time::SimTime;
 pub use topology::{LinkId, Topology};

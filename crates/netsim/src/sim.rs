@@ -1,11 +1,11 @@
 //! The discrete-event simulator core.
 
+use crate::frame::FrameBytes;
+use crate::sched::{CalendarQueue, HeapScheduler, Scheduler, SchedulerKind};
 use crate::time::SimTime;
-use crate::topology::{Endpoint, LinkId, Topology};
+use crate::topology::{Endpoint, Link, LinkId, Topology};
 use p4auth_telemetry::{Counter, DropCause, Event as TelemetryEvent, Histogram, Registry};
 use p4auth_wire::ids::{PortId, SwitchId};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
 /// What a MitM tap does to an intercepted frame.
@@ -25,19 +25,24 @@ pub type Tap = Box<dyn FnMut(SimTime, Endpoint, Endpoint, &mut Vec<u8>) -> TapAc
 /// callback.
 #[derive(Default)]
 pub struct Outbox {
-    frames: Vec<(PortId, Vec<u8>, u64)>,
+    frames: Vec<(PortId, FrameBytes, u64)>,
     timers: Vec<(u64, u64)>,
 }
 
 impl Outbox {
     /// Sends `payload` out of `port` after `processing_ns` of local
     /// processing delay.
-    pub fn send_delayed(&mut self, port: PortId, payload: Vec<u8>, processing_ns: u64) {
-        self.frames.push((port, payload, processing_ns));
+    pub fn send_delayed(
+        &mut self,
+        port: PortId,
+        payload: impl Into<FrameBytes>,
+        processing_ns: u64,
+    ) {
+        self.frames.push((port, payload.into(), processing_ns));
     }
 
     /// Sends `payload` out of `port` immediately.
-    pub fn send(&mut self, port: PortId, payload: Vec<u8>) {
+    pub fn send(&mut self, port: PortId, payload: impl Into<FrameBytes>) {
         self.send_delayed(port, payload, 0);
     }
 
@@ -49,6 +54,10 @@ impl Outbox {
     /// Number of queued frames (for tests).
     pub fn pending_frames(&self) -> usize {
         self.frames.len()
+    }
+
+    fn is_clear(&self) -> bool {
+        self.frames.is_empty() && self.timers.is_empty()
     }
 }
 
@@ -78,7 +87,7 @@ pub enum TopologyEvent {
 /// Behaviour of a simulated node (switch, controller or host).
 pub trait SimNode {
     /// A frame arrived on `ingress`.
-    fn on_frame(&mut self, now: SimTime, ingress: PortId, payload: Vec<u8>, out: &mut Outbox);
+    fn on_frame(&mut self, now: SimTime, ingress: PortId, payload: FrameBytes, out: &mut Outbox);
 
     /// A timer set earlier fired.
     fn on_timer(&mut self, _now: SimTime, _timer_id: u64, _out: &mut Outbox) {}
@@ -90,31 +99,8 @@ pub trait SimNode {
 
 #[derive(Debug)]
 enum EventKind {
-    FrameArrival { dst: Endpoint, payload: Vec<u8> },
+    FrameArrival { dst: Endpoint, payload: FrameBytes },
     Timer { node: SwitchId, timer_id: u64 },
-}
-
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// Simulation statistics.
@@ -145,12 +131,13 @@ struct SimTelemetry {
     /// Distribution of how far into the simulated future events are
     /// scheduled (ns between enqueue and fire time).
     event_lead_ns: Arc<Histogram>,
-    /// Lazily created per-(link, sender) frame counters.
-    link_frames: HashMap<(LinkId, SwitchId), Arc<Counter>>,
+    /// Lazily created per-(link, direction) frame counters, dense by
+    /// `link * 2 + direction`.
+    link_frames: Vec<Option<Arc<Counter>>>,
 }
 
 impl SimTelemetry {
-    fn new(registry: Arc<Registry>) -> Self {
+    fn new(registry: Arc<Registry>, link_count: usize) -> Self {
         SimTelemetry {
             events_scheduled: registry.counter("sim_events_scheduled"),
             frames_delivered: registry.counter("sim_frames_delivered"),
@@ -159,13 +146,13 @@ impl SimTelemetry {
             frames_undeliverable: registry.counter("sim_frames_undeliverable"),
             timers_fired: registry.counter("sim_timers_fired"),
             event_lead_ns: registry.histogram("sim_event_lead_ns"),
-            link_frames: HashMap::new(),
+            link_frames: vec![None; link_count * 2],
             registry,
         }
     }
 
-    fn link_frames(&mut self, link: LinkId, from: SwitchId) -> &Counter {
-        self.link_frames.entry((link, from)).or_insert_with(|| {
+    fn link_frames(&mut self, link: LinkId, dir: usize, from: SwitchId) -> &Counter {
+        self.link_frames[link.0 as usize * 2 + dir].get_or_insert_with(|| {
             self.registry
                 .counter_with("sim_link_frames", &format!("link{}:from_{from}", link.0))
         })
@@ -178,33 +165,89 @@ impl SimTelemetry {
 /// experience sender processing delay plus link latency; taps installed on
 /// a link see (and may rewrite or drop) every frame crossing it in the
 /// tapped direction.
+///
+/// Hot-path state is dense: nodes, taps, per-direction transmitter
+/// occupancy and the port dispatch table are flat vectors indexed by node
+/// id, link id and port number, sized once from the topology. The event
+/// queue itself is pluggable ([`SchedulerKind`]): the default calendar
+/// queue and the reference binary heap drain events in exactly the same
+/// `(time, seq)` order, so results are bit-identical either way.
 pub struct Simulator {
     topology: Topology,
-    nodes: HashMap<SwitchId, Box<dyn SimNode>>,
-    queue: BinaryHeap<Reverse<Event>>,
+    /// Node behaviours, dense by raw switch id.
+    nodes: Vec<Option<Box<dyn SimNode>>>,
+    queue: Box<dyn Scheduler<EventKind>>,
+    scheduler_kind: SchedulerKind,
     now: SimTime,
     seq: u64,
-    taps: HashMap<(LinkId, SwitchId), Tap>,
-    /// Per (link, sender) FIFO state: when the link's transmitter is next
-    /// free (bandwidth-constrained links only).
-    tx_free_at: HashMap<(LinkId, SwitchId), SimTime>,
+    /// Installed taps, dense by `link * 2 + direction`.
+    taps: Vec<Option<Tap>>,
+    /// Number of installed taps (skips tap bookkeeping when zero).
+    tap_count: usize,
+    /// Per (link, direction) FIFO state: when the link's transmitter is
+    /// next free (bandwidth-constrained links only), dense by
+    /// `link * 2 + direction`.
+    tx_free_at: Vec<SimTime>,
+    /// `dispatch[node][port]` = where a frame sent from that endpoint
+    /// lands (link and opposite endpoint), ignoring link up/down state.
+    dispatch: Vec<Vec<Option<(LinkId, Endpoint)>>>,
+    /// Reusable outbox so per-event delivery does not allocate.
+    spare_outbox: Outbox,
     stats: SimStats,
     telemetry: Option<SimTelemetry>,
 }
 
 impl Simulator {
-    /// Creates a simulator over `topology`.
+    /// Creates a simulator over `topology` with the default scheduler.
     pub fn new(topology: Topology) -> Self {
+        Simulator::with_scheduler(topology, SchedulerKind::default())
+    }
+
+    /// Creates a simulator over `topology` running on the given event
+    /// scheduler. Calendar-queue buckets are sized from the topology's
+    /// minimum link latency (the floor on how far apart causally related
+    /// events can be).
+    pub fn with_scheduler(topology: Topology, kind: SchedulerKind) -> Self {
+        let queue: Box<dyn Scheduler<EventKind>> = match kind {
+            SchedulerKind::Heap => Box::new(HeapScheduler::new()),
+            SchedulerKind::Calendar => {
+                let width = topology.min_link_latency_ns().unwrap_or(1_024);
+                Box::new(CalendarQueue::with_bucket_width(width))
+            }
+        };
+        let max_id = topology
+            .nodes()
+            .iter()
+            .map(|n| n.value() as usize)
+            .max()
+            .unwrap_or(0);
+        let mut dispatch: Vec<Vec<Option<(LinkId, Endpoint)>>> = vec![Vec::new(); max_id + 1];
+        for (i, link) in topology.links().iter().enumerate() {
+            let id = LinkId(i as u32);
+            for (ep, opposite) in [(link.a, link.b), (link.b, link.a)] {
+                let ports = &mut dispatch[ep.node.value() as usize];
+                let idx = ep.port.value() as usize;
+                if ports.len() <= idx {
+                    ports.resize(idx + 1, None);
+                }
+                ports[idx] = Some((id, opposite));
+            }
+        }
+        let link_slots = topology.links().len() * 2;
         Simulator {
-            topology,
-            nodes: HashMap::new(),
-            queue: BinaryHeap::new(),
+            nodes: (0..=max_id).map(|_| None).collect(),
+            queue,
+            scheduler_kind: kind,
             now: SimTime::ZERO,
             seq: 0,
-            taps: HashMap::new(),
-            tx_free_at: HashMap::new(),
+            taps: (0..link_slots).map(|_| None).collect(),
+            tap_count: 0,
+            tx_free_at: vec![SimTime::ZERO; link_slots],
+            dispatch,
+            spare_outbox: Outbox::default(),
             stats: SimStats::default(),
             telemetry: None,
+            topology,
         }
     }
 
@@ -213,7 +256,12 @@ impl Simulator {
     /// histograms and (if the registry's event log is enabled) emits
     /// `FrameDelivered`/`FrameDropped` events.
     pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
-        self.telemetry = Some(SimTelemetry::new(registry));
+        self.telemetry = Some(SimTelemetry::new(registry, self.topology.links().len()));
+    }
+
+    /// The scheduler implementation this simulator runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.scheduler_kind
     }
 
     /// Registers the behaviour for `id`.
@@ -226,8 +274,24 @@ impl Simulator {
             self.topology.nodes().contains(&id),
             "node {id} not in topology"
         );
-        let prev = self.nodes.insert(id, node);
-        assert!(prev.is_none(), "node {id} registered twice");
+        let slot = &mut self.nodes[id.value() as usize];
+        assert!(slot.is_none(), "node {id} registered twice");
+        *slot = Some(node);
+    }
+
+    /// The direction index of `from` on `link`: 0 when `from` is endpoint
+    /// `a`, 1 when it is endpoint `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` does not terminate the link.
+    fn dir_index(link: &Link, from: SwitchId) -> usize {
+        if link.a.node == from {
+            0
+        } else {
+            assert!(link.b.node == from, "{from} does not terminate this link");
+            1
+        }
     }
 
     /// Installs a MitM tap on `link` for frames *sent by* `from_node`.
@@ -235,13 +299,34 @@ impl Simulator {
     /// Models the §II-A adversaries: a tap on a C-DP link is the
     /// compromised switch OS rewriting driver calls; a tap on a DP-DP link
     /// is the in-network MitM rerouting probes through an attacker host.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown link or a `from_node` that does not terminate
+    /// it.
     pub fn install_tap(&mut self, link: LinkId, from_node: SwitchId, tap: Tap) {
-        self.taps.insert((link, from_node), tap);
+        let l = self.topology.link(link).expect("valid link id");
+        let dir = Self::dir_index(l, from_node);
+        let slot = &mut self.taps[link.0 as usize * 2 + dir];
+        if slot.replace(tap).is_none() {
+            self.tap_count += 1;
+        }
     }
 
     /// Removes a tap, returning whether one was present.
     pub fn remove_tap(&mut self, link: LinkId, from_node: SwitchId) -> bool {
-        self.taps.remove(&(link, from_node)).is_some()
+        let Some(l) = self.topology.link(link) else {
+            return false;
+        };
+        if l.a.node != from_node && l.b.node != from_node {
+            return false;
+        }
+        let dir = Self::dir_index(l, from_node);
+        let removed = self.taps[link.0 as usize * 2 + dir].take().is_some();
+        if removed {
+            self.tap_count -= 1;
+        }
+        removed
     }
 
     /// Current simulated time.
@@ -262,7 +347,30 @@ impl Simulator {
     /// Immutable access to a registered node (downcasting is the caller's
     /// business via `as_any`-style patterns in higher layers).
     pub fn node(&self, id: SwitchId) -> Option<&dyn SimNode> {
-        self.nodes.get(&id).map(|n| n.as_ref())
+        self.nodes
+            .get(id.value() as usize)?
+            .as_ref()
+            .map(|n| n.as_ref())
+    }
+
+    fn take_node(&mut self, id: SwitchId) -> Option<Box<dyn SimNode>> {
+        self.nodes.get_mut(id.value() as usize)?.take()
+    }
+
+    fn put_node(&mut self, id: SwitchId, node: Box<dyn SimNode>) {
+        self.nodes[id.value() as usize] = Some(node);
+    }
+
+    /// Takes the spare outbox (empty, but with retained capacity).
+    fn checkout_outbox(&mut self) -> Outbox {
+        std::mem::take(&mut self.spare_outbox)
+    }
+
+    /// Flushes and returns an outbox to the spare slot for reuse.
+    fn flush_and_return(&mut self, from: SwitchId, mut out: Outbox) {
+        self.flush_outbox(from, &mut out);
+        debug_assert!(out.is_clear());
+        self.spare_outbox = out;
     }
 
     /// Runs `f` against a registered node, with outbox plumbing, outside a
@@ -278,18 +386,17 @@ impl Simulator {
         f: impl FnOnce(&mut dyn SimNode, &mut Outbox) -> R,
     ) -> R {
         let mut node = self
-            .nodes
-            .remove(&id)
+            .take_node(id)
             .unwrap_or_else(|| panic!("unknown node {id}"));
-        let mut out = Outbox::default();
+        let mut out = self.checkout_outbox();
         let r = f(node.as_mut(), &mut out);
-        self.nodes.insert(id, node);
-        self.flush_outbox(id, out);
+        self.put_node(id, node);
+        self.flush_and_return(id, out);
         r
     }
 
     /// Injects a frame transmission from `src`:`port` at the current time.
-    pub fn inject_frame(&mut self, src: SwitchId, port: PortId, payload: Vec<u8>) {
+    pub fn inject_frame(&mut self, src: SwitchId, port: PortId, payload: impl Into<FrameBytes>) {
         self.inject_frame_delayed(src, port, payload, 0);
     }
 
@@ -300,12 +407,12 @@ impl Simulator {
         &mut self,
         src: SwitchId,
         port: PortId,
-        payload: Vec<u8>,
+        payload: impl Into<FrameBytes>,
         delay_ns: u64,
     ) {
-        let mut out = Outbox::default();
+        let mut out = self.checkout_outbox();
         out.send_delayed(port, payload, delay_ns);
-        self.flush_outbox(src, out);
+        self.flush_and_return(src, out);
     }
 
     /// Schedules a timer for `node` `delay_ns` from now.
@@ -334,13 +441,15 @@ impl Simulator {
                 b: l.b,
             }
         };
-        let ids: Vec<SwitchId> = self.nodes.keys().copied().collect();
-        for id in ids {
-            let mut node = self.nodes.remove(&id).expect("node present");
-            let mut out = Outbox::default();
+        for raw in 0..self.nodes.len() {
+            let id = SwitchId::new(raw as u16);
+            let Some(mut node) = self.take_node(id) else {
+                continue;
+            };
+            let mut out = self.checkout_outbox();
             node.on_topology(self.now, event, &mut out);
-            self.nodes.insert(id, node);
-            self.flush_outbox(id, out);
+            self.put_node(id, node);
+            self.flush_and_return(id, out);
         }
     }
 
@@ -349,60 +458,69 @@ impl Simulator {
             t.events_scheduled.inc();
             t.event_lead_ns.record(at.since(self.now));
         }
-        self.seq += 1;
-        self.queue.push(Reverse(Event {
-            at,
-            seq: self.seq,
-            kind,
-        }));
+        self.seq = self
+            .seq
+            .checked_add(1)
+            .expect("simulator event sequence counter overflowed");
+        self.queue.schedule(at, self.seq, kind);
     }
 
-    fn flush_outbox(&mut self, from: SwitchId, out: Outbox) {
-        for (port, mut payload, processing_ns) in out.frames {
-            match self.topology.deliver_target(from, port) {
+    fn flush_outbox(&mut self, from: SwitchId, out: &mut Outbox) {
+        for (port, mut payload, processing_ns) in out.frames.drain(..) {
+            let target = self
+                .dispatch
+                .get(from.value() as usize)
+                .and_then(|ports| ports.get(port.value() as usize))
+                .and_then(|t| *t);
+            let live = target.filter(|(link_id, _)| self.topology.links()[link_id.0 as usize].up);
+            match live {
                 Some((link_id, dst)) => {
+                    let link = self.topology.links()[link_id.0 as usize];
+                    let dir = Self::dir_index(&link, from);
                     let src = Endpoint::new(from, port);
                     let mut dropped = false;
-                    if let Some(tap) = self.taps.get_mut(&(link_id, from)) {
-                        let before = payload.clone();
-                        match tap(self.now, src, dst, &mut payload) {
-                            TapAction::Forward => {
-                                if payload != before {
-                                    self.stats.frames_tapped_modified += 1;
+                    if self.tap_count > 0 {
+                        if let Some(tap) = self.taps[link_id.0 as usize * 2 + dir].as_mut() {
+                            // Taps operate on plain byte vectors (the
+                            // adversary API predates FrameBytes); this
+                            // conversion only runs when a tap is installed.
+                            let mut bytes = payload.into_vec();
+                            let before = bytes.clone();
+                            match tap(self.now, src, dst, &mut bytes) {
+                                TapAction::Forward => {
+                                    if bytes != before {
+                                        self.stats.frames_tapped_modified += 1;
+                                        if let Some(t) = &self.telemetry {
+                                            t.frames_tap_modified.inc();
+                                        }
+                                    }
+                                }
+                                TapAction::Drop => {
+                                    dropped = true;
+                                    self.stats.frames_tapped_dropped += 1;
                                     if let Some(t) = &self.telemetry {
-                                        t.frames_tap_modified.inc();
+                                        t.frames_tap_dropped.inc();
+                                        t.registry.record(
+                                            self.now.as_ns(),
+                                            TelemetryEvent::FrameDropped {
+                                                node: from.value(),
+                                                cause: DropCause::Tap,
+                                            },
+                                        );
                                     }
                                 }
                             }
-                            TapAction::Drop => {
-                                dropped = true;
-                                self.stats.frames_tapped_dropped += 1;
-                                if let Some(t) = &self.telemetry {
-                                    t.frames_tap_dropped.inc();
-                                    t.registry.record(
-                                        self.now.as_ns(),
-                                        TelemetryEvent::FrameDropped {
-                                            node: from.value(),
-                                            cause: DropCause::Tap,
-                                        },
-                                    );
-                                }
-                            }
+                            payload = FrameBytes::from(bytes);
                         }
                     }
                     if !dropped {
-                        let link = *self.topology.link(link_id).expect("valid link");
                         let ready = self.now + processing_ns;
                         // Bandwidth model: the frame starts serializing when
                         // the transmitter frees up (FIFO per direction),
                         // then propagates.
                         let ser = link.serialization_ns(payload.len());
                         let tx_start = if ser > 0 {
-                            let free = self
-                                .tx_free_at
-                                .get(&(link_id, from))
-                                .copied()
-                                .unwrap_or(SimTime::ZERO);
+                            let free = self.tx_free_at[link_id.0 as usize * 2 + dir];
                             if free > ready {
                                 free
                             } else {
@@ -413,11 +531,11 @@ impl Simulator {
                         };
                         let tx_end = tx_start + ser;
                         if ser > 0 {
-                            self.tx_free_at.insert((link_id, from), tx_end);
+                            self.tx_free_at[link_id.0 as usize * 2 + dir] = tx_end;
                         }
                         let at = tx_end + link.latency_ns;
                         if let Some(t) = &mut self.telemetry {
-                            t.link_frames(link_id, from).inc();
+                            t.link_frames(link_id, dir, from).inc();
                         }
                         self.push(at, EventKind::FrameArrival { dst, payload });
                     }
@@ -437,7 +555,7 @@ impl Simulator {
                 }
             }
         }
-        for (timer_id, delay_ns) in out.timers {
+        for (timer_id, delay_ns) in out.timers.drain(..) {
             let at = self.now + delay_ns;
             self.push(
                 at,
@@ -451,14 +569,14 @@ impl Simulator {
 
     /// Processes a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(event)) = self.queue.pop() else {
+        let Some(event) = self.queue.pop() else {
             return false;
         };
         debug_assert!(event.at >= self.now, "time went backwards");
         self.now = event.at;
-        match event.kind {
+        match event.payload {
             EventKind::FrameArrival { dst, payload } => {
-                if let Some(mut node) = self.nodes.remove(&dst.node) {
+                if let Some(mut node) = self.take_node(dst.node) {
                     if let Some(t) = &self.telemetry {
                         t.frames_delivered.inc();
                         t.registry.record(
@@ -470,11 +588,11 @@ impl Simulator {
                             },
                         );
                     }
-                    let mut out = Outbox::default();
+                    let mut out = self.checkout_outbox();
                     node.on_frame(self.now, dst.port, payload, &mut out);
                     self.stats.frames_delivered += 1;
-                    self.nodes.insert(dst.node, node);
-                    self.flush_outbox(dst.node, out);
+                    self.put_node(dst.node, node);
+                    self.flush_and_return(dst.node, out);
                 } else {
                     self.stats.frames_undeliverable += 1;
                     if let Some(t) = &self.telemetry {
@@ -483,27 +601,28 @@ impl Simulator {
                 }
             }
             EventKind::Timer { node: id, timer_id } => {
-                if let Some(mut node) = self.nodes.remove(&id) {
+                if let Some(mut node) = self.take_node(id) {
                     if let Some(t) = &self.telemetry {
                         t.timers_fired.inc();
                     }
-                    let mut out = Outbox::default();
+                    let mut out = self.checkout_outbox();
                     node.on_timer(self.now, timer_id, &mut out);
                     self.stats.timers_fired += 1;
-                    self.nodes.insert(id, node);
-                    self.flush_outbox(id, out);
+                    self.put_node(id, node);
+                    self.flush_and_return(id, out);
                 }
             }
         }
         true
     }
 
-    /// Runs until the queue drains or `deadline` passes. Returns the number
-    /// of events processed.
+    /// Runs until the queue drains or `deadline` passes. Events scheduled
+    /// exactly at `deadline` are processed. Returns the number of events
+    /// processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut processed = 0;
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.at > deadline {
+        while let Some(at) = self.queue.next_at() {
+            if at > deadline {
                 break;
             }
             self.step();
@@ -540,7 +659,13 @@ mod tests {
     }
 
     impl SimNode for Echo {
-        fn on_frame(&mut self, _now: SimTime, ingress: PortId, payload: Vec<u8>, out: &mut Outbox) {
+        fn on_frame(
+            &mut self,
+            _now: SimTime,
+            ingress: PortId,
+            payload: FrameBytes,
+            out: &mut Outbox,
+        ) {
             self.arrivals.fetch_add(1, Ordering::Relaxed);
             if self.reply {
                 out.send_delayed(ingress, payload, 10);
@@ -548,7 +673,7 @@ mod tests {
         }
     }
 
-    fn pair() -> (Simulator, Arc<AtomicU64>, Arc<AtomicU64>) {
+    fn pair_with(kind: SchedulerKind) -> (Simulator, Arc<AtomicU64>, Arc<AtomicU64>) {
         let mut t = Topology::new();
         t.add_node(SwitchId::new(1)).unwrap();
         t.add_node(SwitchId::new(2)).unwrap();
@@ -560,7 +685,7 @@ mod tests {
         .unwrap();
         let a = Arc::new(AtomicU64::new(0));
         let b = Arc::new(AtomicU64::new(0));
-        let mut sim = Simulator::new(t);
+        let mut sim = Simulator::with_scheduler(t, kind);
         sim.register_node(
             SwitchId::new(1),
             Box::new(Echo {
@@ -578,17 +703,24 @@ mod tests {
         (sim, a, b)
     }
 
+    fn pair() -> (Simulator, Arc<AtomicU64>, Arc<AtomicU64>) {
+        pair_with(SchedulerKind::default())
+    }
+
     #[test]
     fn frame_delivery_with_latency() {
-        let (mut sim, a, b) = pair();
-        sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![1, 2, 3]);
-        sim.run_to_completion();
-        // S2 received it, replied; S1 received the echo.
-        assert_eq!(b.load(Ordering::Relaxed), 1);
-        assert_eq!(a.load(Ordering::Relaxed), 1);
-        // 1000ns there + 10ns processing + 1000ns back.
-        assert_eq!(sim.now().as_ns(), 2_010);
-        assert_eq!(sim.stats().frames_delivered, 2);
+        for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            let (mut sim, a, b) = pair_with(kind);
+            sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![1, 2, 3]);
+            sim.run_to_completion();
+            // S2 received it, replied; S1 received the echo.
+            assert_eq!(b.load(Ordering::Relaxed), 1);
+            assert_eq!(a.load(Ordering::Relaxed), 1);
+            // 1000ns there + 10ns processing + 1000ns back.
+            assert_eq!(sim.now().as_ns(), 2_010);
+            assert_eq!(sim.stats().frames_delivered, 2);
+            assert_eq!(sim.scheduler_kind(), kind);
+        }
     }
 
     #[test]
@@ -653,6 +785,9 @@ mod tests {
         assert_eq!(sim.stats().frames_tapped_dropped, 1);
         assert!(sim.remove_tap(link, SwitchId::new(1)));
         assert!(!sim.remove_tap(link, SwitchId::new(1)));
+        // Unknown direction / link are a no-op, not a panic.
+        assert!(!sim.remove_tap(link, SwitchId::new(9)));
+        assert!(!sim.remove_tap(LinkId(99), SwitchId::new(1)));
     }
 
     #[test]
@@ -675,7 +810,7 @@ mod tests {
             fired: Arc<parking_lot::Mutex<Vec<u64>>>,
         }
         impl SimNode for Recorder {
-            fn on_frame(&mut self, _: SimTime, _: PortId, _: Vec<u8>, _: &mut Outbox) {}
+            fn on_frame(&mut self, _: SimTime, _: PortId, _: FrameBytes, _: &mut Outbox) {}
             fn on_timer(&mut self, _now: SimTime, id: u64, _out: &mut Outbox) {
                 self.fired.lock().push(id);
             }
@@ -712,12 +847,75 @@ mod tests {
     }
 
     #[test]
+    fn run_until_honours_deadline_at_bucket_boundaries() {
+        // Regression for the calendar queue: deadlines that land exactly
+        // on a bucket boundary (the link latency is the bucket width,
+        // 1000 → 1024ns here) must process events at the boundary and
+        // nothing after it.
+        struct Recorder {
+            fired: Arc<parking_lot::Mutex<Vec<u64>>>,
+        }
+        impl SimNode for Recorder {
+            fn on_frame(&mut self, _: SimTime, _: PortId, _: FrameBytes, _: &mut Outbox) {}
+            fn on_timer(&mut self, now: SimTime, _: u64, _: &mut Outbox) {
+                self.fired.lock().push(now.as_ns());
+            }
+        }
+        let mut t = Topology::new();
+        t.add_node(SwitchId::new(1)).unwrap();
+        t.add_node(SwitchId::new(2)).unwrap();
+        t.add_link(
+            Endpoint::new(SwitchId::new(1), PortId::new(1)),
+            Endpoint::new(SwitchId::new(2), PortId::new(1)),
+            1_000,
+        )
+        .unwrap();
+        let fired = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut sim = Simulator::with_scheduler(t, SchedulerKind::Calendar);
+        sim.register_node(
+            SwitchId::new(1),
+            Box::new(Recorder {
+                fired: fired.clone(),
+            }),
+        );
+        // Timers exactly at bucket boundaries (multiples of 1024) and one
+        // just past the deadline boundary.
+        for delay in [1_024, 2_048, 2_049, 4_096] {
+            sim.schedule_timer(SwitchId::new(1), delay, delay);
+        }
+        let n = sim.run_until(SimTime::from_ns(2_048));
+        assert_eq!(n, 2, "boundary event at the deadline must fire");
+        assert_eq!(*fired.lock(), vec![1_024, 2_048]);
+        assert_eq!(sim.now().as_ns(), 2_048);
+        sim.run_to_completion();
+        assert_eq!(*fired.lock(), vec![1_024, 2_048, 2_049, 4_096]);
+    }
+
+    #[test]
+    fn injection_after_deadline_pause_stays_ordered() {
+        // run_until parks `now` beyond the drained events; a frame
+        // injected afterwards must not be reordered against the pending
+        // far-future timer (exercises the calendar queue's peek-no-jump
+        // rule).
+        let (mut sim, _a, b) = pair();
+        sim.schedule_timer(SwitchId::new(1), 7, 1_000_000_000);
+        sim.run_until(SimTime::from_ns(10_000));
+        assert_eq!(sim.now().as_ns(), 10_000);
+        sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![1]);
+        sim.run_until(SimTime::from_ns(20_000));
+        assert_eq!(b.load(Ordering::Relaxed), 1);
+        assert!(sim.now().as_ns() <= 20_000);
+        sim.run_to_completion();
+        assert_eq!(sim.stats().timers_fired, 1);
+    }
+
+    #[test]
     fn link_state_change_notifies_nodes() {
         struct TopoWatcher {
             events: Arc<AtomicU64>,
         }
         impl SimNode for TopoWatcher {
-            fn on_frame(&mut self, _: SimTime, _: PortId, _: Vec<u8>, _: &mut Outbox) {}
+            fn on_frame(&mut self, _: SimTime, _: PortId, _: FrameBytes, _: &mut Outbox) {}
             fn on_topology(&mut self, _: SimTime, _: TopologyEvent, _: &mut Outbox) {
                 self.events.fetch_add(1, Ordering::Relaxed);
             }

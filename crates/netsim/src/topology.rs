@@ -5,6 +5,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
+/// First node id used for hosts in generated topologies (see
+/// [`Topology::fat_tree`]); ids below this are switches or the controller.
+pub const HOST_ID_BASE: u16 = 1000;
+
 /// Identifies a link (index into the topology's link list).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct LinkId(pub u32);
@@ -164,6 +168,15 @@ impl Topology {
         self.links[id.0 as usize].bandwidth_bps = Some(bits_per_second);
     }
 
+    /// Pre-sizes the node, link and port-map tables for `nodes` more
+    /// nodes and `links` more links (generated topologies know their
+    /// final shape up front).
+    pub fn reserve(&mut self, nodes: usize, links: usize) {
+        self.nodes.reserve(nodes);
+        self.links.reserve(links);
+        self.port_map.reserve(links * 2);
+    }
+
     /// All nodes.
     pub fn nodes(&self) -> &[SwitchId] {
         &self.nodes
@@ -210,6 +223,17 @@ impl Topology {
         std::mem::replace(&mut link.up, up)
     }
 
+    /// The smallest positive one-way link latency, if any link has one.
+    /// This is the floor on how far apart causally related events can be,
+    /// which makes it the natural calendar-queue bucket width.
+    pub fn min_link_latency_ns(&self) -> Option<u64> {
+        self.links
+            .iter()
+            .map(|l| l.latency_ns)
+            .filter(|&l| l > 0)
+            .min()
+    }
+
     /// The neighbours of `node` over up links: `(local port, neighbour)`.
     pub fn neighbors(&self, node: SwitchId) -> Vec<(PortId, Endpoint)> {
         let mut out: Vec<(PortId, Endpoint)> = self
@@ -243,6 +267,7 @@ impl Topology {
     pub fn chain(n: u16, dp_latency_ns: u64, cp_latency_ns: u64) -> Self {
         assert!(n > 0, "chain needs at least one switch");
         let mut t = Topology::new();
+        t.reserve(n as usize + 1, 2 * n as usize - 1);
         t.add_node(SwitchId::CONTROLLER).unwrap();
         for i in 1..=n {
             t.add_node(SwitchId::new(i)).unwrap();
@@ -265,6 +290,20 @@ impl Topology {
             .unwrap();
         }
         t
+    }
+
+    /// Builds a `k`-ary fat-tree (Clos) data-plane topology with uniform
+    /// link latency: `(k/2)²` core switches, `k` pods of `k/2` aggregation
+    /// and `k/2` edge switches each, and `k/2` hosts per edge switch
+    /// (`k³/4` hosts total, ids starting at [`HOST_ID_BASE`]). See
+    /// [`crate::fattree::FatTree`] for the id/port layout and the
+    /// deterministic ECMP routing helper.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k` is even and `2 ≤ k ≤ 16`.
+    pub fn fat_tree(k: u16, latency_ns: u64) -> Self {
+        crate::fattree::FatTree::new(k).build(latency_ns)
     }
 }
 

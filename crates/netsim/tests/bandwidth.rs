@@ -1,5 +1,6 @@
 //! Tests for the link bandwidth / FIFO queueing model.
 
+use p4auth_netsim::frame::FrameBytes;
 use p4auth_netsim::sim::{Outbox, SimNode, Simulator};
 use p4auth_netsim::time::SimTime;
 use p4auth_netsim::topology::{Endpoint, Topology};
@@ -12,7 +13,13 @@ struct Sink {
 }
 
 impl SimNode for Sink {
-    fn on_frame(&mut self, now: SimTime, _ingress: PortId, _payload: Vec<u8>, _out: &mut Outbox) {
+    fn on_frame(
+        &mut self,
+        now: SimTime,
+        _ingress: PortId,
+        _payload: FrameBytes,
+        _out: &mut Outbox,
+    ) {
         self.arrivals.borrow_mut().push(now.as_ns());
     }
 }
@@ -35,7 +42,7 @@ fn pair(bandwidth_bps: Option<u64>) -> (Simulator, Rc<RefCell<Vec<u64>>>) {
     let mut sim = Simulator::new(t);
     struct Quiet;
     impl SimNode for Quiet {
-        fn on_frame(&mut self, _: SimTime, _: PortId, _: Vec<u8>, _: &mut Outbox) {}
+        fn on_frame(&mut self, _: SimTime, _: PortId, _: FrameBytes, _: &mut Outbox) {}
     }
     sim.register_node(SwitchId::new(1), Box::new(Quiet));
     sim.register_node(

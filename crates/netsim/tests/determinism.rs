@@ -1,6 +1,8 @@
 //! The simulator must be bit-for-bit deterministic: identical inputs give
 //! identical event orders, clocks and statistics.
 
+use p4auth_netsim::frame::FrameBytes;
+use p4auth_netsim::sched::SchedulerKind;
 use p4auth_netsim::sim::{Outbox, SimNode, Simulator};
 use p4auth_netsim::time::SimTime;
 use p4auth_netsim::topology::{Endpoint, Topology};
@@ -18,7 +20,7 @@ struct Ring {
 }
 
 impl SimNode for Ring {
-    fn on_frame(&mut self, now: SimTime, ingress: PortId, payload: Vec<u8>, out: &mut Outbox) {
+    fn on_frame(&mut self, now: SimTime, ingress: PortId, payload: FrameBytes, out: &mut Outbox) {
         self.trace
             .borrow_mut()
             .push((now.as_ns(), ingress.value(), payload.len()));
@@ -37,6 +39,14 @@ impl SimNode for Ring {
 }
 
 fn run_once(frames: &[(u8, Vec<u8>)], bandwidth: Option<u64>) -> (Vec<(u64, u8, usize)>, u64, u64) {
+    run_once_with(frames, bandwidth, SchedulerKind::default())
+}
+
+fn run_once_with(
+    frames: &[(u8, Vec<u8>)],
+    bandwidth: Option<u64>,
+    scheduler: SchedulerKind,
+) -> (Vec<(u64, u8, usize)>, u64, u64) {
     // Triangle: S1 -p1- S2, S2 -p2- S3, S3 -p2- S1.
     let mut t = Topology::new();
     for i in 1..=3 {
@@ -66,7 +76,7 @@ fn run_once(frames: &[(u8, Vec<u8>)], bandwidth: Option<u64>) -> (Vec<(u64, u8, 
     }
     let trace: Trace = Rc::new(RefCell::new(Vec::new()));
     let hops = Rc::new(RefCell::new(64u32));
-    let mut sim = Simulator::new(t);
+    let mut sim = Simulator::with_scheduler(t, scheduler);
     for i in 1..=3 {
         sim.register_node(
             SwitchId::new(i),
@@ -101,6 +111,22 @@ proptest! {
         let a = run_once(&frames, bw);
         let b = run_once(&frames, bw);
         prop_assert_eq!(a, b);
+    }
+
+    /// The calendar queue is not just deterministic — it produces the
+    /// exact trace the reference heap does, bandwidth model included.
+    #[test]
+    fn schedulers_are_bit_identical(
+        frames in proptest::collection::vec(
+            (1u8..=2, proptest::collection::vec(any::<u8>(), 1..64)),
+            1..8,
+        ),
+        constrained: bool,
+    ) {
+        let bw = constrained.then_some(1_000_000u64);
+        let heap = run_once_with(&frames, bw, SchedulerKind::Heap);
+        let cal = run_once_with(&frames, bw, SchedulerKind::Calendar);
+        prop_assert_eq!(heap, cal);
     }
 
     /// Time never runs backwards in a trace.

@@ -1,0 +1,102 @@
+//! Differential property test: random event schedules drained through the
+//! reference `BinaryHeap` scheduler and the calendar queue must produce
+//! identical `(time, seq)` sequences — including same-timestamp bursts,
+//! far-future outliers, and pushes interleaved with pops and peeks under
+//! the simulator's `at >= now` discipline.
+
+use p4auth_netsim::sched::{CalendarQueue, HeapScheduler, Scheduler};
+use p4auth_netsim::time::SimTime;
+use proptest::prelude::*;
+
+/// One step of a randomly generated scheduler workload. Leads are relative
+/// to the virtual `now` (the timestamp of the last popped event), matching
+/// the simulator's only scheduling pattern.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Push one event `lead` ns into the future.
+    Push(u64),
+    /// Push a same-timestamp burst of `n` events, all at `now + lead`.
+    Burst { lead: u64, n: u8 },
+    /// Push an event far beyond any plausible bucket window.
+    FarFuture(u64),
+    /// Pop up to `n` events, advancing `now` to each popped timestamp.
+    Pop(u8),
+    /// Peek at the minimum, then push something possibly earlier than it
+    /// (exercises the calendar queue's cursor pull-back and the
+    /// peek-must-not-jump rule).
+    PeekThenPush(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..200_000).prop_map(Op::Push),
+        ((0u64..5_000), 2u8..6).prop_map(|(lead, n)| Op::Burst { lead, n }),
+        (1u64 << 32..1u64 << 44).prop_map(Op::FarFuture),
+        (1u8..8).prop_map(Op::Pop),
+        (0u64..10_000).prop_map(Op::PeekThenPush),
+    ]
+}
+
+/// Applies the op sequence to both schedulers in lockstep, checking every
+/// pop and peek agrees, then drains both and compares the tails.
+fn run_diff(ops: &[Op], bucket_width_ns: u64) {
+    let mut heap: HeapScheduler<u64> = HeapScheduler::new();
+    let mut cal: CalendarQueue<u64> = CalendarQueue::with_bucket_width(bucket_width_ns);
+    let mut seq = 0u64;
+    let mut now = 0u64;
+    let mut push = |h: &mut HeapScheduler<u64>, c: &mut CalendarQueue<u64>, at: u64| {
+        seq += 1;
+        h.schedule(SimTime::from_ns(at), seq, seq);
+        c.schedule(SimTime::from_ns(at), seq, seq);
+    };
+    for op in ops {
+        match *op {
+            Op::Push(lead) => push(&mut heap, &mut cal, now + lead),
+            Op::Burst { lead, n } => {
+                for _ in 0..n {
+                    push(&mut heap, &mut cal, now + lead);
+                }
+            }
+            Op::FarFuture(lead) => push(&mut heap, &mut cal, now + lead),
+            Op::Pop(n) => {
+                for _ in 0..n {
+                    let a = heap.pop().map(|e| (e.at, e.seq, e.payload));
+                    let b = cal.pop().map(|e| (e.at, e.seq, e.payload));
+                    assert_eq!(a, b);
+                    if let Some((at, _, _)) = a {
+                        now = at.as_ns();
+                    }
+                }
+            }
+            Op::PeekThenPush(lead) => {
+                assert_eq!(heap.next_at(), cal.next_at());
+                push(&mut heap, &mut cal, now + lead);
+            }
+        }
+        assert_eq!(heap.len(), cal.len());
+    }
+    loop {
+        assert_eq!(heap.next_at(), cal.next_at());
+        let a = heap.pop().map(|e| (e.at, e.seq, e.payload));
+        let b = cal.pop().map(|e| (e.at, e.seq, e.payload));
+        assert_eq!(a, b);
+        if a.is_none() {
+            assert!(cal.is_empty());
+            return;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn calendar_drains_identically_to_heap(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        // Spans the clamp floor, a mid value and widths larger than most
+        // leads (so bucket occupancy patterns vary).
+        width in prop_oneof![Just(1u64), Just(64), Just(1_000), Just(1 << 20)],
+    ) {
+        run_diff(&ops, width);
+    }
+}

@@ -161,7 +161,7 @@ pub fn run(scenario: Scenario, config: Fig16Config) -> Fig16Result {
             let bytes = frame.encode();
             let now = net.sim.now();
             net.sim.with_node(sw, |node, out| {
-                node.on_frame(now, PortId::new(9), bytes.clone(), out);
+                node.on_frame(now, PortId::new(9), bytes.clone().into(), out);
             });
         }
         net.sim.run_to_completion();

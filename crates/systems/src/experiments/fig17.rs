@@ -219,7 +219,7 @@ pub fn run(scenario: Scenario, config: Fig17Config) -> Fig17Result {
             .encode();
             let now = net.sim.now();
             net.sim.with_node(S1, |node, out| {
-                node.on_frame(now, PortId::new(9), bytes.clone(), out);
+                node.on_frame(now, PortId::new(9), bytes.clone().into(), out);
             });
         }
         net.sim.run_to_completion();

@@ -6,9 +6,13 @@ use p4auth_controller::{
     Controller, ControllerConfig, ControllerEvent, DefenceConfig, MitigationKind, Outgoing,
 };
 use p4auth_core::agent::{AgentConfig, AgentEvent, InNetworkApp, P4AuthSwitch};
+use p4auth_netsim::frame::FrameBytes;
 use p4auth_netsim::sim::{Outbox, SimNode, Simulator, TopologyEvent};
 use p4auth_netsim::time::SimTime;
 use p4auth_netsim::topology::Topology;
+
+pub use p4auth_netsim::sched::SchedulerKind;
+pub use p4auth_netsim::topology::HOST_ID_BASE;
 use p4auth_primitives::Key64;
 use p4auth_wire::ids::{PortId, RegId, SwitchId};
 use std::cell::RefCell;
@@ -70,7 +74,7 @@ impl SwitchNode {
 }
 
 impl SimNode for SwitchNode {
-    fn on_frame(&mut self, now: SimTime, ingress: PortId, payload: Vec<u8>, out: &mut Outbox) {
+    fn on_frame(&mut self, now: SimTime, ingress: PortId, payload: FrameBytes, out: &mut Outbox) {
         let logical_ingress = if Some(ingress) == self.cpu_netport {
             PortId::CPU
         } else {
@@ -124,11 +128,6 @@ pub type SharedRollover = Rc<RefCell<Option<RolloverPlan>>>;
 /// Timer id the controller node uses for periodic rollover.
 pub const ROLLOVER_TIMER: u64 = 0x5011;
 
-/// Node ids at or above this value are *hosts*: the network builder does
-/// not mount a P4Auth agent on them; attach behaviour with
-/// [`Network::attach_traffic_source`] (or register a custom node).
-pub const HOST_ID_BASE: u16 = 1000;
-
 /// Timer id used by [`TrafficSource`].
 const TRAFFIC_TIMER: u64 = 0x7a1c;
 
@@ -171,13 +170,19 @@ impl SinkHost {
 }
 
 impl SimNode for SinkHost {
-    fn on_frame(&mut self, now: SimTime, ingress: PortId, payload: Vec<u8>, _out: &mut Outbox) {
+    fn on_frame(&mut self, now: SimTime, ingress: PortId, payload: FrameBytes, _out: &mut Outbox) {
         (self.on_arrival)(now, ingress, &payload);
     }
 }
 
 impl SimNode for TrafficSource {
-    fn on_frame(&mut self, _now: SimTime, _ingress: PortId, _payload: Vec<u8>, _out: &mut Outbox) {
+    fn on_frame(
+        &mut self,
+        _now: SimTime,
+        _ingress: PortId,
+        _payload: FrameBytes,
+        _out: &mut Outbox,
+    ) {
         // Hosts sink whatever comes back.
     }
 
@@ -267,7 +272,7 @@ impl ControllerNode {
 }
 
 impl SimNode for ControllerNode {
-    fn on_frame(&mut self, now: SimTime, ingress: PortId, payload: Vec<u8>, out: &mut Outbox) {
+    fn on_frame(&mut self, now: SimTime, ingress: PortId, payload: FrameBytes, out: &mut Outbox) {
         let from = Self::switch_for(ingress);
         let (outgoing, events) = {
             let mut controller = self.controller.borrow_mut();
@@ -346,10 +351,31 @@ impl Network {
         topology: Topology,
         controller_config: ControllerConfig,
         seed_base: u64,
+        make_app: impl FnMut(SwitchId) -> Option<Box<dyn InNetworkApp>>,
+        configure: impl FnMut(SwitchId, AgentConfig) -> AgentConfig,
+    ) -> Network {
+        Network::build_with_scheduler(
+            topology,
+            SchedulerKind::default(),
+            controller_config,
+            seed_base,
+            make_app,
+            configure,
+        )
+    }
+
+    /// Like [`Network::build`] but with an explicit event-scheduler choice
+    /// (the calendar queue and the reference heap produce bit-identical
+    /// runs; the heap exists for differential testing).
+    pub fn build_with_scheduler(
+        topology: Topology,
+        scheduler: SchedulerKind,
+        controller_config: ControllerConfig,
+        seed_base: u64,
         mut make_app: impl FnMut(SwitchId) -> Option<Box<dyn InNetworkApp>>,
         mut configure: impl FnMut(SwitchId, AgentConfig) -> AgentConfig,
     ) -> Network {
-        let mut sim = Simulator::new(topology);
+        let mut sim = Simulator::with_scheduler(topology, scheduler);
         let mut switches = HashMap::new();
         let controller = Rc::new(RefCell::new(Controller::new(controller_config)));
         let events = Rc::new(RefCell::new(Vec::new()));
@@ -700,6 +726,29 @@ mod tests {
             .keys()
             .port(PortId::new(1))
             .is_installed());
+    }
+
+    #[test]
+    fn schedulers_produce_identical_bootstraps() {
+        // The full key-management bootstrap — timers, retries,
+        // bidirectional exchanges — must land on the same simulated
+        // timeline under both schedulers.
+        let run = |kind: SchedulerKind| {
+            let mut net = Network::build_with_scheduler(
+                Topology::chain(4, 1_000, 200_000),
+                kind,
+                ControllerConfig::default(),
+                0xb007_5eed,
+                |_| None,
+                |_, c| c,
+            );
+            assert_eq!(net.sim.scheduler_kind(), kind);
+            let took = net.bootstrap_keys();
+            net.controller_write(SwitchId::new(2), RegId::new(5), 0, 9);
+            net.sim.run_to_completion();
+            (took, net.sim.now(), net.sim.stats())
+        };
+        assert_eq!(run(SchedulerKind::Heap), run(SchedulerKind::Calendar));
     }
 
     #[test]

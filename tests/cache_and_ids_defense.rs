@@ -43,7 +43,7 @@ fn send_queries(net: &mut Network, key: u32, n: u32) {
         let bytes = Query { key }.encode();
         let now = net.sim.now();
         net.sim.with_node(S1, |node, out| {
-            node.on_frame(now, PortId::new(9), bytes.clone(), out);
+            node.on_frame(now, PortId::new(9), bytes.clone().into(), out);
         });
     }
     net.sim.run_to_completion();
@@ -183,7 +183,7 @@ fn send_conn(net: &mut Network, conn: u32, ts: &[u32]) {
         let bytes = ConnPacket { conn, ts_us: t }.encode();
         let now = net.sim.now();
         net.sim.with_node(S1, |node, out| {
-            node.on_frame(now, PortId::new(9), bytes.clone(), out);
+            node.on_frame(now, PortId::new(9), bytes.clone().into(), out);
         });
     }
     net.sim.run_to_completion();
