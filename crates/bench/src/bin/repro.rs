@@ -2,14 +2,38 @@
 //! in one run, without Criterion's timing loops.
 //!
 //! ```sh
-//! cargo run -p p4auth-bench --bin repro            # everything
-//! cargo run -p p4auth-bench --bin repro -- fig17   # one experiment
+//! cargo run -p p4auth-bench --bin repro                       # everything
+//! cargo run -p p4auth-bench --bin repro -- fig17              # one experiment
+//! cargo run -p p4auth-bench --bin repro -- scale --shards 4 --short
 //! ```
+//!
+//! `--short` and `--shards <n>` are consumed before name filtering and
+//! set `P4AUTH_SCALE_SHORT` / `P4AUTH_SCALE_SHARDS` for the scale report.
 
 use p4auth_bench::report;
 
 fn main() {
-    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut filter: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--short" => std::env::set_var("P4AUTH_SCALE_SHORT", "1"),
+            "--shards" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--shards needs a positive integer");
+                        std::process::exit(1);
+                    });
+                std::env::set_var("P4AUTH_SCALE_SHARDS", n.to_string());
+            }
+            other => filter.push(other.to_string()),
+        }
+        i += 1;
+    }
     let want = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
 
     let experiments: [(&str, fn()); 12] = [

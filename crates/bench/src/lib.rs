@@ -22,7 +22,9 @@
 //! | `sim_scale` | simulator events/sec, heap vs. calendar scheduler on fat-trees |
 
 pub mod report;
-pub mod scale;
+/// The fat-tree scale workload, shared with the systems crate so CI, the
+/// Criterion bench and `repro -- scale` all drive identical runs.
+pub use p4auth_systems::scaleload as scale;
 
 use p4auth_dataplane::cost::{
     request_completion_ns, sequential_throughput_rps, AccessMethod, CostModel, RwDirection,

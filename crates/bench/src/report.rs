@@ -469,25 +469,35 @@ pub fn metrics() {
 }
 
 /// Simulator scale report (`repro -- scale`): heap vs. calendar scheduler
-/// events/sec on fat-tree workloads, plus `sim_event_lead_ns` percentiles,
-/// printed as one JSON object.
+/// vs. sharded-engine events/sec on fat-tree workloads, plus
+/// `sim_event_lead_ns` percentiles, printed as one JSON object. Every
+/// engine's deterministic fingerprint (events, frames delivered, final
+/// clock) is asserted equal before anything is reported.
 ///
 /// Short mode (`P4AUTH_SCALE_SHORT=1`, used by CI) runs only a capped k=4
-/// workload. Set `P4AUTH_SCALE_OUT=<path>` to also write the JSON to a
-/// file (how `BENCH_sim_scale.json` is regenerated).
+/// workload. `P4AUTH_SCALE_SHARDS=<n>` sets the shard count (default 4).
+/// Set `P4AUTH_SCALE_OUT=<path>` to also write the JSON to a file (how
+/// `BENCH_sim_scale.json` is regenerated).
 pub fn scale() {
-    use crate::scale::{run_scale, ScaleConfig};
+    use crate::scale::{run_scale_engine, Engine, ScaleConfig};
     use p4auth_netsim::sched::SchedulerKind;
     use p4auth_telemetry::Registry;
     use std::fmt::Write as _;
     use std::sync::Arc;
 
     banner(
-        "scale — simulator events/sec, heap vs. calendar scheduler",
-        "ROADMAP \"scale the simulator\"; sim_event_lead_ns from PR 1",
+        "scale — simulator events/sec: heap vs. calendar vs. sharded",
+        "ROADMAP \"scale/shard the simulator\"; sim_event_lead_ns from PR 1",
     );
 
     let short = std::env::var("P4AUTH_SCALE_SHORT").is_ok_and(|v| v != "0");
+    let shards: usize = std::env::var("P4AUTH_SCALE_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let configs: Vec<(u16, u32)> = if short {
         vec![(4, 50)]
     } else {
@@ -495,48 +505,68 @@ pub fn scale() {
     };
 
     println!(
-        "{:>3} {:>9} {:>14} {:>16} {:>16} {:>8}",
-        "k", "events", "heap (ev/s)", "calendar (ev/s)", "speedup", "lead p50"
+        "{:>3} {:>9} {:>14} {:>16} {:>16} {:>10} {:>10} {:>8}",
+        "k",
+        "events",
+        "heap (ev/s)",
+        "calendar (ev/s)",
+        "sharded (ev/s)",
+        "cal/heap",
+        "shard/cal",
+        "lead p50"
     );
     let mut entries = String::new();
     for (i, &(k, frames)) in configs.iter().enumerate() {
         let cfg = ScaleConfig::for_k(k, frames);
         // Best of three: the runs are short enough that a stray scheduler
         // preemption would otherwise swing the reported speedup.
-        let measure = |kind: SchedulerKind| {
-            let mut best = run_scale(cfg, kind, None);
+        let measure = |engine: Engine| {
+            let mut best = run_scale_engine(cfg, engine, None);
             for _ in 1..3 {
-                let run = run_scale(cfg, kind, None);
+                let run = run_scale_engine(cfg, engine, None);
                 if run.wall_ns < best.wall_ns {
                     best = run;
                 }
             }
             best
         };
-        let heap = measure(SchedulerKind::Heap);
-        let cal = measure(SchedulerKind::Calendar);
+        let heap = measure(Engine::Sequential(SchedulerKind::Heap));
+        let cal = measure(Engine::Sequential(SchedulerKind::Calendar));
+        let sharded = measure(Engine::Sharded { shards });
         assert_eq!(
             heap.fingerprint(),
             cal.fingerprint(),
             "schedulers diverged at k={k}"
         );
+        assert_eq!(
+            cal.fingerprint(),
+            sharded.fingerprint(),
+            "sharded engine diverged from sequential at k={k}"
+        );
         // Separate instrumented run for the lead distribution (telemetry
         // adds per-event work, so it stays out of the timed runs).
         let registry = Arc::new(Registry::new());
-        run_scale(cfg, SchedulerKind::Calendar, Some(registry.clone()));
+        run_scale_engine(
+            cfg,
+            Engine::Sequential(SchedulerKind::Calendar),
+            Some(registry.clone()),
+        );
         let lead = registry
             .snapshot()
             .histogram("sim_event_lead_ns", "")
             .expect("instrumented run records event leads")
             .clone();
         let speedup = cal.events_per_sec() / heap.events_per_sec();
+        let shard_speedup = sharded.events_per_sec() / cal.events_per_sec();
         println!(
-            "{:>3} {:>9} {:>14.0} {:>16.0} {:>15.2}x {:>8}",
+            "{:>3} {:>9} {:>14.0} {:>16.0} {:>16.0} {:>9.2}x {:>9.2}x {:>8}",
             k,
             cal.events,
             heap.events_per_sec(),
             cal.events_per_sec(),
+            sharded.events_per_sec(),
             speedup,
+            shard_speedup,
             lead.p50,
         );
         if i > 0 {
@@ -547,13 +577,15 @@ pub fn scale() {
             "    {{\"k\": {k}, \"frames_per_host\": {frames}, \"events\": {}, \
              \"frames_delivered\": {}, \"sim_ns\": {}, \
              \"heap_events_per_sec\": {:.0}, \"calendar_events_per_sec\": {:.0}, \
-             \"speedup\": {speedup:.3}, \
+             \"sharded_events_per_sec\": {:.0}, \"shards\": {shards}, \
+             \"speedup\": {speedup:.3}, \"sharded_speedup\": {shard_speedup:.3}, \
              \"event_lead_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}}}",
             cal.events,
             cal.frames_delivered,
             cal.sim_ns,
             heap.events_per_sec(),
             cal.events_per_sec(),
+            sharded.events_per_sec(),
             lead.p50,
             lead.p90,
             lead.p99,
@@ -562,7 +594,8 @@ pub fn scale() {
         .expect("writing to a String cannot fail");
     }
     let json = format!(
-        "{{\n  \"experiment\": \"sim_scale\",\n  \"short_mode\": {short},\n  \"runs\": [\n{entries}\n  ]\n}}"
+        "{{\n  \"experiment\": \"sim_scale\",\n  \"short_mode\": {short},\n  \
+         \"cores\": {cores},\n  \"runs\": [\n{entries}\n  ]\n}}"
     );
     println!("{json}");
     if let Ok(path) = std::env::var("P4AUTH_SCALE_OUT") {

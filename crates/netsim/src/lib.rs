@@ -28,6 +28,11 @@
 //!   pluggable [`sched::Scheduler`] — a calendar queue by default, with the
 //!   reference binary heap available for differential testing. Both drain
 //!   events in the identical `(time, seq)` order.
+//! * **Sharded execution** ([`shard`]): the node set can be partitioned
+//!   across worker threads (pod-aligned on fat-trees), synchronized with
+//!   conservative lookahead derived from link latency floors. The merge
+//!   order reproduces the sequential tiebreak, so sharded runs are
+//!   bit-identical to single-threaded ones.
 //!
 //! ```
 //! use p4auth_netsim::frame::FrameBytes;
@@ -66,6 +71,7 @@
 pub mod fattree;
 pub mod frame;
 pub mod sched;
+pub mod shard;
 pub mod sim;
 pub mod time;
 pub mod topology;
@@ -73,6 +79,7 @@ pub mod topology;
 pub use fattree::FatTree;
 pub use frame::FrameBytes;
 pub use sched::SchedulerKind;
+pub use shard::{ShardPlan, ShardRunReport, ShardedSimulator};
 pub use sim::{Outbox, SimNode, Simulator, TapAction};
 pub use time::SimTime;
 pub use topology::{LinkId, Topology};

@@ -6,9 +6,15 @@
 //! latency floors — the `sim_event_lead_ns` histogram quantifies this), so
 //! a calendar queue (bucketed timing wheel) gets amortized `O(1)` per
 //! event instead. Both implementations order events by `(time, seq)` with
-//! `seq` as a FIFO-stable tiebreaker, so they drain any schedule in
-//! exactly the same order and simulation results are bit-identical
-//! regardless of which scheduler is selected.
+//! `seq` as a stable tiebreaker, so they drain any schedule in exactly
+//! the same order and simulation results are bit-identical regardless of
+//! which scheduler is selected.
+//!
+//! `seq` values only have to be *unique*, not monotone: the simulator
+//! packs `(source node, per-source count)` into them (see
+//! [`crate::sim::Simulator`]), which keeps the tiebreak locally
+//! computable by any shard of a partitioned run ([`crate::shard`]) while
+//! preserving a total drain order.
 
 use crate::time::SimTime;
 use std::cmp::Reverse;
@@ -41,7 +47,8 @@ impl SchedulerKind {
 pub struct Scheduled<T> {
     /// When the event fires.
     pub at: SimTime,
-    /// Scheduling order tiebreaker (unique, monotonically increasing).
+    /// Scheduling order tiebreaker (unique; ties at equal `at` drain in
+    /// ascending `seq`).
     pub seq: u64,
     /// The event payload.
     pub payload: T,
@@ -59,12 +66,23 @@ impl<T> Scheduled<T> {
 /// bucket cursor while locating the minimum; the observable state (the
 /// set of pending events and their drain order) never changes under it.
 pub trait Scheduler<T> {
-    /// Enqueues an event. `seq` values must be unique and increasing, and
-    /// `at` must be `>=` the timestamp of the last popped event.
+    /// Enqueues an event. `seq` values must be unique (they need not be
+    /// monotone — the simulator packs `(source, per-source count)` keys),
+    /// and `at` must be `>=` the timestamp of the last popped event.
     fn schedule(&mut self, at: SimTime, seq: u64, payload: T);
 
     /// Timestamp of the earliest pending event, without removing it.
     fn next_at(&mut self) -> Option<SimTime>;
+
+    /// The scheduler's horizon: a lower bound on the timestamp of any
+    /// event this queue can still yield, i.e. the earliest pending event
+    /// (or `None` when empty, meaning "no bound from local state"). The
+    /// shard runtime ([`crate::shard`]) grants each shard a processing
+    /// window derived from its neighbours' horizons plus the minimum
+    /// inter-shard link latency.
+    fn horizon(&mut self) -> Option<SimTime> {
+        self.next_at()
+    }
 
     /// Removes and returns the earliest pending event.
     fn pop(&mut self) -> Option<Scheduled<T>>;
@@ -267,13 +285,30 @@ impl<T> CalendarQueue<T> {
     /// The trigger threshold doubles each time, so re-bucketing stays
     /// amortized `O(1)` per event.
     fn retune(&mut self) {
+        // Survey the live population *before* draining anything: a queue
+        // that drained to (near) empty, or whose bucketed events all share
+        // one timestamp, has no meaningful inter-event gap. Re-deriving a
+        // width from it would collapse to the 1ns floor (a degenerate
+        // geometry the next real burst then pays for), so keep the current
+        // layout and just push the next re-tune out.
+        let mut min_ns = u64::MAX;
+        let mut max_ns = 0u64;
+        for bucket in &self.buckets {
+            for e in bucket {
+                let ns = e.at.as_ns();
+                min_ns = min_ns.min(ns);
+                max_ns = max_ns.max(ns);
+            }
+        }
+        if self.in_buckets < 2 || min_ns == max_ns {
+            self.retune_threshold = self.len().max(self.retune_threshold) * 2;
+            return;
+        }
         let mut pending: Vec<Scheduled<T>> = Vec::with_capacity(self.in_buckets);
         for bucket in &mut self.buckets {
             pending.extend(bucket.drain(..));
         }
-        let n = pending.len().max(1) as u64;
-        let min_ns = pending.iter().map(|e| e.at.as_ns()).min().unwrap_or(0);
-        let max_ns = pending.iter().map(|e| e.at.as_ns()).max().unwrap_or(0);
+        let n = pending.len() as u64;
         let width = ((max_ns - min_ns) / n)
             .clamp(1, 1 << 30)
             .next_power_of_two();
@@ -541,6 +576,55 @@ mod tests {
         c.schedule(SimTime::from_ns(3), 2, ());
         c.schedule(SimTime::from_ns(1 << 41), 3, ());
         assert_eq!(drain(&mut c), vec![(3, 2), (1 << 41, 3)]);
+    }
+
+    #[test]
+    fn retune_keeps_width_on_same_timestamp_burst() {
+        // A burst of equal timestamps crossing the re-tune threshold has a
+        // zero average inter-event gap; re-deriving the width from it would
+        // collapse the geometry to the 1ns floor. The guard keeps the
+        // current width instead.
+        let mut c = CalendarQueue::with_bucket_width(1_000);
+        let width = c.bucket_width_ns();
+        let mut h = HeapScheduler::new();
+        for i in 0..(FIRST_RETUNE_AT as u64 * 2) {
+            c.schedule(SimTime::from_ns(5_000), i + 1, ());
+            h.schedule(SimTime::from_ns(5_000), i + 1, ());
+        }
+        assert_eq!(
+            c.bucket_width_ns(),
+            width,
+            "degenerate gap must not re-derive the width"
+        );
+        assert_eq!(drain(&mut c), drain(&mut h));
+    }
+
+    #[test]
+    fn retune_after_drain_to_empty_and_refill() {
+        let mut c = CalendarQueue::with_bucket_width(64);
+        let mut h = HeapScheduler::new();
+        let mut seq = 0u64;
+        // A spread population triggers genuine re-tunes, then drains to
+        // empty.
+        for i in 0..200u64 {
+            seq += 1;
+            c.schedule(SimTime::from_ns(i * 97), seq, ());
+            h.schedule(SimTime::from_ns(i * 97), seq, ());
+        }
+        assert_eq!(drain(&mut c), drain(&mut h));
+        assert!(c.is_empty());
+        let width = c.bucket_width_ns();
+        // Refill with a same-timestamp flood big enough to cross the
+        // (doubled) threshold: the re-tune must hit the degenerate-gap
+        // guard, keep the geometry, and still drain correctly.
+        for _ in 0..600u64 {
+            seq += 1;
+            c.schedule(SimTime::from_ns(1 << 20), seq, ());
+            h.schedule(SimTime::from_ns(1 << 20), seq, ());
+        }
+        assert_eq!(c.bucket_width_ns(), width);
+        assert_eq!(drain(&mut c), drain(&mut h));
+        assert!(c.is_empty() && c.next_at().is_none());
     }
 
     #[test]

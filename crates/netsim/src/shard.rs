@@ -1,0 +1,727 @@
+//! Sharded simulation with conservative lookahead.
+//!
+//! The node set is partitioned into shards, each driven by its own
+//! [`Simulator`] (own calendar queue, own clock) on a worker thread. The
+//! shards synchronize with a barrier-based variant of conservative
+//! (Chandy–Misra–Bryant) lookahead: every link latency is a floor on how
+//! soon one shard's events can influence another, so each round the
+//! coordinator grants every shard a *safe window* it may process without
+//! hearing from anyone else.
+//!
+//! # The horizon rule
+//!
+//! Let `next[i]` be shard `i`'s earliest pending event (queued or already
+//! in its inbox) and `L(j, i)` the minimum latency over links crossing
+//! from shard `j` to shard `i`. A naive per-neighbour window
+//! `min_j(next[j] + L(j, i))` is **unsafe**: an idle intermediate shard
+//! has `next = ∞` but can still relay traffic (A→B→C with B idle must not
+//! unblock C past A's reach). The coordinator therefore first computes
+//! each shard's *earliest possible action*
+//!
+//! ```text
+//! ea[i] = min( next[i], min over links j→i of ea[j] + L(j, i) )
+//! ```
+//!
+//! by relaxing to a fixpoint (a Bellman–Ford pass over the shard graph;
+//! intra-shard transit is conservatively treated as free). `ea[i]` is a
+//! true lower bound on the timestamp of any event that can *ever* occur
+//! on shard `i` given current global state. The granted window is then
+//!
+//! ```text
+//! bound[i] = min over links j→i of ea[j] + L(j, i)    (∞ if no such link)
+//! ```
+//!
+//! and shard `i` processes events with `at < bound[i]`. Any frame another
+//! shard ever sends it arrives at `≥ ea[j] + L(j, i) ≥ bound[i]`, so
+//! nothing processed this round can be invalidated later. Because every
+//! cross-shard link has `L ≥ 1` (enforced at plan time), the shard
+//! holding the globally earliest event always has `next < bound` — each
+//! round makes progress and the protocol cannot deadlock.
+//!
+//! # Why bit-identity holds
+//!
+//! Event tiebreak keys pack `(source node, per-source count)`
+//! ([`crate::sched`]), so a shard assigns a frame exactly the key the
+//! sequential run would have assigned — no global counter needed. Within
+//! a round, same-timestamp events on different shards are causally
+//! independent (any cross influence lands `≥ L ≥ 1` ns later), and
+//! per-link transmitter state lives entirely on the sending shard, so
+//! each shard's pop sequence is precisely the sequential `(time, seq)`
+//! drain order restricted to its own nodes. Merging per-node streams back
+//! together therefore reproduces the sequential execution bit for bit;
+//! `tests/shard_diff.rs` and the CI smoke step enforce this.
+
+use crate::sched::SchedulerKind;
+use crate::sim::{SimNode, SimStats, Simulator};
+use crate::time::SimTime;
+use crate::topology::Topology;
+use p4auth_telemetry::Registry;
+use p4auth_wire::ids::SwitchId;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread;
+
+use crate::sim::RemoteEvent;
+
+/// An assignment of every topology node to a shard.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    nshards: usize,
+    /// Shard index dense by raw switch id; `u32::MAX` for ids that are not
+    /// topology nodes.
+    assign: Vec<u32>,
+}
+
+impl ShardPlan {
+    fn from_fn(topology: &Topology, nshards: usize, f: impl Fn(SwitchId) -> usize) -> Self {
+        assert!(nshards >= 1, "need at least one shard");
+        let max_id = topology
+            .nodes()
+            .iter()
+            .map(|n| n.value() as usize)
+            .max()
+            .unwrap_or(0);
+        let mut assign = vec![u32::MAX; max_id + 1];
+        for &node in topology.nodes() {
+            let s = f(node);
+            assert!(s < nshards, "shard index {s} out of range for {node}");
+            assign[node.value() as usize] = s as u32;
+        }
+        let plan = ShardPlan { nshards, assign };
+        plan.validate_cross_latencies(topology);
+        plan
+    }
+
+    /// Partitions along the topology's partition hints (fat-tree pods and
+    /// core groups): community `c` lands on shard `c % nshards`, so pods
+    /// stay whole and only the sparse agg–core cut crosses shards. Nodes
+    /// without a hint — and hint-free topologies entirely — fall back to
+    /// round-robin in node order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nshards == 0` or a cross-shard link has zero latency
+    /// (zero lookahead would livelock the safe-window protocol).
+    pub fn pod_aligned(topology: &Topology, nshards: usize) -> Self {
+        let mut fallback = 0usize;
+        let nodes = topology.nodes().to_vec();
+        let mut by_node = std::collections::HashMap::new();
+        for &node in &nodes {
+            let s = match topology.partition_hint(node) {
+                Some(c) => c as usize % nshards,
+                None => {
+                    let s = fallback % nshards;
+                    fallback += 1;
+                    s
+                }
+            };
+            by_node.insert(node, s);
+        }
+        Self::from_fn(topology, nshards, |n| by_node[&n])
+    }
+
+    /// Partitions nodes round-robin in node order — the fallback for
+    /// arbitrary topologies with no locality to exploit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nshards == 0` or a cross-shard link has zero latency.
+    pub fn round_robin(topology: &Topology, nshards: usize) -> Self {
+        let nodes = topology.nodes().to_vec();
+        let mut by_node = std::collections::HashMap::new();
+        for (i, &node) in nodes.iter().enumerate() {
+            by_node.insert(node, i % nshards);
+        }
+        Self::from_fn(topology, nshards, |n| by_node[&n])
+    }
+
+    /// Partitions with an explicit assignment function (tests and custom
+    /// planners).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nshards == 0`, `f` returns an out-of-range shard, or a
+    /// cross-shard link has zero latency.
+    pub fn custom(topology: &Topology, nshards: usize, f: impl Fn(SwitchId) -> usize) -> Self {
+        Self::from_fn(topology, nshards, f)
+    }
+
+    /// Number of shards.
+    pub fn nshards(&self) -> usize {
+        self.nshards
+    }
+
+    /// The shard owning `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not part of the planned topology.
+    pub fn shard_of(&self, node: SwitchId) -> usize {
+        let s = self
+            .assign
+            .get(node.value() as usize)
+            .copied()
+            .unwrap_or(u32::MAX);
+        assert!(s != u32::MAX, "node {node} is not in the shard plan");
+        s as usize
+    }
+
+    /// Minimum latency over links crossing from shard `from` to shard
+    /// `to`, or `None` when no link crosses that pair. Symmetric (links
+    /// are bidirectional).
+    pub fn min_cross_latency_ns(&self, topology: &Topology, from: usize, to: usize) -> Option<u64> {
+        topology
+            .links()
+            .iter()
+            .filter(|l| {
+                let (sa, sb) = (self.shard_of(l.a.node), self.shard_of(l.b.node));
+                (sa == from && sb == to) || (sa == to && sb == from)
+            })
+            .map(|l| l.latency_ns)
+            .min()
+    }
+
+    /// Pairwise cross-shard minimum latencies: `lat[j][i]` bounds how soon
+    /// shard `j` can influence shard `i` directly.
+    fn cross_latency_matrix(&self, topology: &Topology) -> Vec<Vec<Option<u64>>> {
+        let n = self.nshards;
+        let mut lat = vec![vec![None; n]; n];
+        for link in topology.links() {
+            let (sa, sb) = (self.shard_of(link.a.node), self.shard_of(link.b.node));
+            if sa == sb {
+                continue;
+            }
+            for (j, i) in [(sa, sb), (sb, sa)] {
+                let slot: &mut Option<u64> = &mut lat[j][i];
+                *slot = Some(slot.map_or(link.latency_ns, |v| v.min(link.latency_ns)));
+            }
+        }
+        lat
+    }
+
+    fn validate_cross_latencies(&self, topology: &Topology) {
+        for link in topology.links() {
+            let (sa, sb) = (self.shard_of(link.a.node), self.shard_of(link.b.node));
+            assert!(
+                sa == sb || link.latency_ns >= 1,
+                "cross-shard link {} -- {} has zero latency: zero lookahead \
+                 would livelock the safe-window protocol",
+                link.a,
+                link.b
+            );
+        }
+    }
+}
+
+/// Outcome of a sharded run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardRunReport {
+    /// Events processed across all shards (equals the sequential count).
+    pub events: u64,
+    /// Aggregated statistics (field-wise sum over shards; equals the
+    /// sequential [`SimStats`]).
+    pub stats: SimStats,
+    /// Final simulated time: the max over shard clocks, which is the time
+    /// of the globally last event — exactly the sequential final `now`.
+    pub now: SimTime,
+    /// Synchronization rounds executed.
+    pub rounds: u64,
+}
+
+/// Per-round synchronization record from [`ShardedSimulator::run_audited`],
+/// for invariant checking in tests.
+#[derive(Clone, Debug)]
+pub struct RoundAudit {
+    /// Each shard's effective earliest pending event (queue or inbox) at
+    /// the round start, `None` when idle.
+    pub next_at_ns: Vec<Option<u64>>,
+    /// The safe-window bound granted to each shard (exclusive;
+    /// `u64::MAX` means unbounded).
+    pub bound_ns: Vec<u64>,
+    /// Timestamp of the latest event each shard popped this round,
+    /// `None` when it processed nothing.
+    pub max_popped_ns: Vec<Option<u64>>,
+}
+
+enum ToWorker {
+    Round {
+        bound_ns: u64,
+        inbox: Vec<RemoteEvent>,
+    },
+    Finish,
+}
+
+struct RoundReply {
+    outbound: Vec<RemoteEvent>,
+    next_at_ns: Option<u64>,
+    processed: u64,
+    max_popped_ns: Option<u64>,
+}
+
+/// A partitioned simulator: builds one [`Simulator`] per shard on worker
+/// threads and drives them in safe-window rounds (see the module docs).
+///
+/// Usage mirrors [`Simulator`]: register nodes, schedule boot timers,
+/// optionally attach telemetry, then [`ShardedSimulator::run`] to
+/// completion. Telemetry counters and histograms aggregate across shards
+/// commutatively, so snapshots match a sequential run's; attach a
+/// registry *without* an event log if you need snapshot bit-equality (the
+/// log's interleaving is the one execution-order-dependent piece).
+pub struct ShardedSimulator {
+    topology: Topology,
+    plan: ShardPlan,
+    nodes: Vec<Option<Box<dyn SimNode + Send>>>,
+    /// Boot timers `(node, timer_id, delay_ns)` in registration order.
+    timers: Vec<(SwitchId, u64, u64)>,
+    telemetry: Option<Arc<Registry>>,
+}
+
+impl ShardedSimulator {
+    /// Creates a sharded simulator over `topology` partitioned by `plan`.
+    pub fn new(topology: Topology, plan: ShardPlan) -> Self {
+        let max_id = topology
+            .nodes()
+            .iter()
+            .map(|n| n.value() as usize)
+            .max()
+            .unwrap_or(0);
+        ShardedSimulator {
+            topology,
+            plan,
+            nodes: (0..=max_id).map(|_| None).collect(),
+            timers: Vec::new(),
+            telemetry: None,
+        }
+    }
+
+    /// The shard plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Registers the behaviour for `id` (must be `Send`: it is shipped to
+    /// its owning shard's worker thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not in the topology or already registered.
+    pub fn register_node(&mut self, id: SwitchId, node: Box<dyn SimNode + Send>) {
+        assert!(
+            self.topology.nodes().contains(&id),
+            "node {id} not in topology"
+        );
+        let slot = &mut self.nodes[id.value() as usize];
+        assert!(slot.is_none(), "node {id} registered twice");
+        *slot = Some(node);
+    }
+
+    /// Schedules a boot timer for `node`, `delay_ns` after t=0 (the
+    /// sharded equivalent of calling [`Simulator::schedule_timer`] before
+    /// the run starts).
+    pub fn schedule_timer(&mut self, node: SwitchId, timer_id: u64, delay_ns: u64) {
+        self.timers.push((node, timer_id, delay_ns));
+    }
+
+    /// Attaches a telemetry registry, shared by every shard.
+    pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
+        self.telemetry = Some(registry);
+    }
+
+    /// Runs to completion and reports the aggregate outcome.
+    pub fn run(self) -> ShardRunReport {
+        self.run_inner(false).0
+    }
+
+    /// Runs to completion, additionally recording every synchronization
+    /// round for lookahead-invariant checks in tests.
+    pub fn run_audited(self) -> (ShardRunReport, Vec<RoundAudit>) {
+        let (report, audits) = self.run_inner(true);
+        (report, audits)
+    }
+
+    fn run_inner(mut self, audit: bool) -> (ShardRunReport, Vec<RoundAudit>) {
+        let n = self.plan.nshards();
+        let lat = self.plan.cross_latency_matrix(&self.topology);
+
+        // Split registered nodes and boot timers by owning shard.
+        let mut shard_nodes: Vec<Vec<(SwitchId, Box<dyn SimNode + Send>)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for raw in 0..self.nodes.len() {
+            if let Some(node) = self.nodes[raw].take() {
+                let id = SwitchId::new(raw as u16);
+                shard_nodes[self.plan.shard_of(id)].push((id, node));
+            }
+        }
+        let mut shard_timers: Vec<Vec<(SwitchId, u64, u64)>> = (0..n).map(|_| Vec::new()).collect();
+        for (node, timer_id, delay_ns) in self.timers.drain(..) {
+            shard_timers[self.plan.shard_of(node)].push((node, timer_id, delay_ns));
+        }
+
+        // Spawn one worker per shard. Each builds its own Simulator from
+        // the shared topology, masked to the nodes it owns.
+        let mut cmd_txs: Vec<SyncSender<ToWorker>> = Vec::with_capacity(n);
+        let mut reply_rxs: Vec<Receiver<RoundReply>> = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for s in 0..n {
+            let (cmd_tx, cmd_rx) = sync_channel::<ToWorker>(1);
+            let (reply_tx, reply_rx) = sync_channel::<RoundReply>(1);
+            let topology = self.topology.clone();
+            let plan = self.plan.clone();
+            let nodes = std::mem::take(&mut shard_nodes[s]);
+            let timers = std::mem::take(&mut shard_timers[s]);
+            let telemetry = self.telemetry.clone();
+            handles.push(thread::spawn(move || {
+                worker(
+                    s, topology, plan, nodes, timers, telemetry, cmd_rx, reply_tx,
+                )
+            }));
+            cmd_txs.push(cmd_tx);
+            reply_rxs.push(reply_rx);
+        }
+
+        // Initial replies carry each shard's boot-timer horizon.
+        let mut replies: Vec<RoundReply> = reply_rxs
+            .iter()
+            .map(|rx| rx.recv().expect("worker died before first reply"))
+            .collect();
+        let mut inboxes: Vec<Vec<RemoteEvent>> = (0..n).map(|_| Vec::new()).collect();
+        let mut audits = Vec::new();
+        let mut events = 0u64;
+        let mut rounds = 0u64;
+
+        loop {
+            // Effective horizon per shard: its queue plus its inbox.
+            let next: Vec<u64> = (0..n)
+                .map(|i| {
+                    let q = replies[i].next_at_ns.unwrap_or(u64::MAX);
+                    let inbox = inboxes[i]
+                        .iter()
+                        .map(|ev| ev.at.as_ns())
+                        .min()
+                        .unwrap_or(u64::MAX);
+                    q.min(inbox)
+                })
+                .collect();
+            if next.iter().all(|&v| v == u64::MAX) {
+                break;
+            }
+
+            // Earliest-possible-action fixpoint over the shard graph.
+            let mut ea = next.clone();
+            loop {
+                let mut changed = false;
+                for i in 0..n {
+                    for j in 0..n {
+                        if let Some(l) = lat[j][i] {
+                            let via = ea[j].saturating_add(l);
+                            if via < ea[i] {
+                                ea[i] = via;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            let bound: Vec<u64> = (0..n)
+                .map(|i| {
+                    (0..n)
+                        .filter_map(|j| lat[j][i].map(|l| ea[j].saturating_add(l)))
+                        .min()
+                        .unwrap_or(u64::MAX)
+                })
+                .collect();
+
+            rounds += 1;
+            for (i, tx) in cmd_txs.iter().enumerate() {
+                tx.send(ToWorker::Round {
+                    bound_ns: bound[i],
+                    inbox: std::mem::take(&mut inboxes[i]),
+                })
+                .expect("worker hung up mid-run");
+            }
+            let mut processed_this_round = 0u64;
+            let mut max_popped = Vec::new();
+            for (i, rx) in reply_rxs.iter().enumerate() {
+                let reply = rx.recv().expect("worker died mid-round");
+                processed_this_round += reply.processed;
+                if audit {
+                    max_popped.push(reply.max_popped_ns);
+                }
+                replies[i] = reply;
+            }
+            for reply in &mut replies {
+                for ev in reply.outbound.drain(..) {
+                    inboxes[self.plan.shard_of(ev.dst.node)].push(ev);
+                }
+            }
+            events += processed_this_round;
+            assert!(
+                processed_this_round > 0,
+                "safe-window round made no progress (lookahead bug)"
+            );
+            if audit {
+                audits.push(RoundAudit {
+                    next_at_ns: next.iter().map(|&v| (v != u64::MAX).then_some(v)).collect(),
+                    bound_ns: bound,
+                    max_popped_ns: max_popped,
+                });
+            }
+        }
+
+        for tx in &cmd_txs {
+            tx.send(ToWorker::Finish).expect("worker hung up at finish");
+        }
+        let mut stats = SimStats::default();
+        let mut now = SimTime::ZERO;
+        for handle in handles {
+            let (shard_stats, shard_now) = handle.join().expect("worker panicked");
+            stats.frames_delivered += shard_stats.frames_delivered;
+            stats.frames_tapped_dropped += shard_stats.frames_tapped_dropped;
+            stats.frames_tapped_modified += shard_stats.frames_tapped_modified;
+            stats.frames_undeliverable += shard_stats.frames_undeliverable;
+            stats.timers_fired += shard_stats.timers_fired;
+            now = now.max(shard_now);
+        }
+        (
+            ShardRunReport {
+                events,
+                stats,
+                now,
+                rounds,
+            },
+            audits,
+        )
+    }
+}
+
+/// Worker-thread body: owns one shard's [`Simulator`] and answers
+/// safe-window rounds until told to finish.
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    shard: usize,
+    topology: Topology,
+    plan: ShardPlan,
+    nodes: Vec<(SwitchId, Box<dyn SimNode + Send>)>,
+    timers: Vec<(SwitchId, u64, u64)>,
+    telemetry: Option<Arc<Registry>>,
+    cmd_rx: Receiver<ToWorker>,
+    reply_tx: SyncSender<RoundReply>,
+) -> (SimStats, SimTime) {
+    let max_id = topology
+        .nodes()
+        .iter()
+        .map(|n| n.value() as usize)
+        .max()
+        .unwrap_or(0);
+    let mut mask = vec![false; max_id + 1];
+    for &node in topology.nodes() {
+        mask[node.value() as usize] = plan.shard_of(node) == shard;
+    }
+    let mut sim = Simulator::with_scheduler(topology, SchedulerKind::Calendar);
+    sim.set_owned_mask(mask);
+    if let Some(registry) = telemetry {
+        sim.set_telemetry(registry);
+    }
+    for (id, node) in nodes {
+        sim.register_node(id, node);
+    }
+    for (node, timer_id, delay_ns) in timers {
+        sim.schedule_timer(node, timer_id, delay_ns);
+    }
+    reply_tx
+        .send(RoundReply {
+            outbound: sim.take_outbound(),
+            next_at_ns: sim.next_event_at().map(|t| t.as_ns()),
+            processed: 0,
+            max_popped_ns: None,
+        })
+        .expect("coordinator hung up before first reply");
+    // A Finish command or either channel closing ends the loop.
+    while let Ok(ToWorker::Round { bound_ns, inbox }) = cmd_rx.recv() {
+        for ev in inbox {
+            sim.inject_remote(ev);
+        }
+        let processed = sim.run_window(SimTime::from_ns(bound_ns));
+        let max_popped_ns = (processed > 0).then(|| sim.now().as_ns());
+        let reply = RoundReply {
+            outbound: sim.take_outbound(),
+            next_at_ns: sim.next_event_at().map(|t| t.as_ns()),
+            processed,
+            max_popped_ns,
+        };
+        if reply_tx.send(reply).is_err() {
+            break;
+        }
+    }
+    (sim.stats(), sim.now())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameBytes;
+    use crate::sim::Outbox;
+    use crate::topology::Endpoint;
+    use p4auth_wire::ids::PortId;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Echo {
+        arrivals: Arc<AtomicU64>,
+        reply: bool,
+    }
+
+    impl SimNode for Echo {
+        fn on_frame(&mut self, _: SimTime, ingress: PortId, payload: FrameBytes, out: &mut Outbox) {
+            self.arrivals.fetch_add(1, Ordering::Relaxed);
+            if self.reply {
+                out.send_delayed(ingress, payload, 10);
+            }
+        }
+        fn on_timer(&mut self, _: SimTime, _: u64, out: &mut Outbox) {
+            out.send(PortId::new(1), vec![0xab]);
+        }
+    }
+
+    fn two_node_topology() -> Topology {
+        let mut t = Topology::new();
+        t.add_node(SwitchId::new(1)).unwrap();
+        t.add_node(SwitchId::new(2)).unwrap();
+        t.add_link(
+            Endpoint::new(SwitchId::new(1), PortId::new(1)),
+            Endpoint::new(SwitchId::new(2), PortId::new(1)),
+            1_000,
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn round_robin_plan_covers_every_node() {
+        let t = two_node_topology();
+        let plan = ShardPlan::round_robin(&t, 2);
+        assert_eq!(plan.nshards(), 2);
+        assert_ne!(
+            plan.shard_of(SwitchId::new(1)),
+            plan.shard_of(SwitchId::new(2))
+        );
+        assert_eq!(plan.min_cross_latency_ns(&t, 0, 1), Some(1_000));
+    }
+
+    #[test]
+    fn pod_aligned_plan_keeps_pods_whole() {
+        let ft = crate::fattree::FatTree::new(4);
+        let t = ft.build(1_500);
+        let plan = ShardPlan::pod_aligned(&t, 4);
+        for pod in 0..4u16 {
+            let home = plan.shard_of(ft.edge(pod, 0));
+            for i in 0..2 {
+                assert_eq!(plan.shard_of(ft.edge(pod, i)), home);
+                assert_eq!(plan.shard_of(ft.agg(pod, i)), home);
+            }
+            for h in 0..4 {
+                assert_eq!(plan.shard_of(ft.host(pod * 4 + h)), home);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero latency")]
+    fn zero_latency_cross_shard_link_rejected() {
+        let mut t = Topology::new();
+        t.add_node(SwitchId::new(1)).unwrap();
+        t.add_node(SwitchId::new(2)).unwrap();
+        t.add_link(
+            Endpoint::new(SwitchId::new(1), PortId::new(1)),
+            Endpoint::new(SwitchId::new(2), PortId::new(1)),
+            0,
+        )
+        .unwrap();
+        let _ = ShardPlan::round_robin(&t, 2);
+    }
+
+    #[test]
+    fn sharded_ping_pong_matches_sequential() {
+        // Sequential reference.
+        let seq_arrivals = [Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0))];
+        let mut seq = Simulator::with_scheduler(two_node_topology(), SchedulerKind::Calendar);
+        seq.register_node(
+            SwitchId::new(1),
+            Box::new(Echo {
+                arrivals: seq_arrivals[0].clone(),
+                reply: false,
+            }),
+        );
+        seq.register_node(
+            SwitchId::new(2),
+            Box::new(Echo {
+                arrivals: seq_arrivals[1].clone(),
+                reply: true,
+            }),
+        );
+        seq.schedule_timer(SwitchId::new(1), 7, 50);
+        let seq_events = seq.run_to_completion();
+
+        // Sharded run, one node per shard.
+        let t = two_node_topology();
+        let plan = ShardPlan::round_robin(&t, 2);
+        let arrivals = [Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0))];
+        let mut sharded = ShardedSimulator::new(t, plan);
+        sharded.register_node(
+            SwitchId::new(1),
+            Box::new(Echo {
+                arrivals: arrivals[0].clone(),
+                reply: false,
+            }),
+        );
+        sharded.register_node(
+            SwitchId::new(2),
+            Box::new(Echo {
+                arrivals: arrivals[1].clone(),
+                reply: true,
+            }),
+        );
+        sharded.schedule_timer(SwitchId::new(1), 7, 50);
+        let report = sharded.run();
+
+        assert_eq!(report.events, seq_events);
+        assert_eq!(report.stats, seq.stats());
+        assert_eq!(report.now, seq.now());
+        for (a, b) in arrivals.iter().zip(&seq_arrivals) {
+            assert_eq!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
+        }
+        assert!(report.rounds >= 2, "ping-pong needs multiple rounds");
+    }
+
+    #[test]
+    fn single_shard_run_is_the_sequential_run() {
+        let t = two_node_topology();
+        let plan = ShardPlan::round_robin(&t, 1);
+        let arrivals = Arc::new(AtomicU64::new(0));
+        let mut sharded = ShardedSimulator::new(t, plan);
+        sharded.register_node(
+            SwitchId::new(1),
+            Box::new(Echo {
+                arrivals: arrivals.clone(),
+                reply: false,
+            }),
+        );
+        sharded.register_node(
+            SwitchId::new(2),
+            Box::new(Echo {
+                arrivals: Arc::new(AtomicU64::new(0)),
+                reply: true,
+            }),
+        );
+        sharded.schedule_timer(SwitchId::new(1), 7, 50);
+        let (report, audits) = sharded.run_audited();
+        assert_eq!(report.stats.timers_fired, 1);
+        assert_eq!(report.events, 3, "timer + arrival + echoed arrival");
+        assert_eq!(audits.len() as u64, report.rounds);
+        // One shard has no incoming cross links: unbounded window, one
+        // productive round.
+        assert_eq!(audits[0].bound_ns, vec![u64::MAX]);
+    }
+}

@@ -103,6 +103,24 @@ enum EventKind {
     Timer { node: SwitchId, timer_id: u64 },
 }
 
+/// Bits of the tiebreak key reserved for the per-source event count; the
+/// top 16 bits carry the source's raw switch id. Any engine that knows a
+/// frame's sender can therefore compute the exact key a sequential run
+/// would have assigned, which is what lets [`crate::shard`] reproduce the
+/// sequential drain order without a global counter.
+const SRC_SEQ_BITS: u32 = 48;
+
+/// A frame arrival destined for a node owned by another shard, diverted
+/// out of the local queue at schedule time and carried to the owning
+/// shard by the shard runtime.
+#[derive(Debug)]
+pub(crate) struct RemoteEvent {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) dst: Endpoint,
+    pub(crate) payload: FrameBytes,
+}
+
 /// Simulation statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
@@ -171,7 +189,10 @@ impl SimTelemetry {
 /// id, link id and port number, sized once from the topology. The event
 /// queue itself is pluggable ([`SchedulerKind`]): the default calendar
 /// queue and the reference binary heap drain events in exactly the same
-/// `(time, seq)` order, so results are bit-identical either way.
+/// `(time, seq)` order, so results are bit-identical either way. Tiebreak
+/// keys pack `(source node, per-source count)` rather than a global push
+/// counter, so a partitioned run ([`crate::shard`]) computes the very same
+/// keys shard-locally and reproduces the sequential drain order exactly.
 pub struct Simulator {
     topology: Topology,
     /// Node behaviours, dense by raw switch id.
@@ -179,7 +200,14 @@ pub struct Simulator {
     queue: Box<dyn Scheduler<EventKind>>,
     scheduler_kind: SchedulerKind,
     now: SimTime,
-    seq: u64,
+    /// Per-source event counts, dense by raw switch id: the low
+    /// [`SRC_SEQ_BITS`] of each event's tiebreak key.
+    src_seq: Vec<u64>,
+    /// When sharded: which nodes this simulator owns (dense by raw id).
+    /// `None` means it owns everything (the sequential case).
+    owned: Option<Vec<bool>>,
+    /// Frame arrivals diverted to other shards, awaiting collection.
+    outbound: Vec<RemoteEvent>,
     /// Installed taps, dense by `link * 2 + direction`.
     taps: Vec<Option<Tap>>,
     /// Number of installed taps (skips tap bookkeeping when zero).
@@ -239,7 +267,9 @@ impl Simulator {
             queue,
             scheduler_kind: kind,
             now: SimTime::ZERO,
-            seq: 0,
+            src_seq: vec![0; max_id + 1],
+            owned: None,
+            outbound: Vec::new(),
             taps: (0..link_slots).map(|_| None).collect(),
             tap_count: 0,
             tx_free_at: vec![SimTime::ZERO; link_slots],
@@ -418,7 +448,7 @@ impl Simulator {
     /// Schedules a timer for `node` `delay_ns` from now.
     pub fn schedule_timer(&mut self, node: SwitchId, timer_id: u64, delay_ns: u64) {
         let at = self.now + delay_ns;
-        self.push(at, EventKind::Timer { node, timer_id });
+        self.push(node, at, EventKind::Timer { node, timer_id });
     }
 
     /// Changes a link's state and notifies every registered node.
@@ -453,16 +483,35 @@ impl Simulator {
         }
     }
 
-    fn push(&mut self, at: SimTime, kind: EventKind) {
+    fn push(&mut self, src: SwitchId, at: SimTime, kind: EventKind) {
         if let Some(t) = &self.telemetry {
             t.events_scheduled.inc();
             t.event_lead_ns.record(at.since(self.now));
         }
-        self.seq = self
-            .seq
-            .checked_add(1)
-            .expect("simulator event sequence counter overflowed");
-        self.queue.schedule(at, self.seq, kind);
+        let count = &mut self.src_seq[src.value() as usize];
+        *count += 1;
+        assert!(
+            *count < (1u64 << SRC_SEQ_BITS),
+            "per-source event sequence counter overflowed"
+        );
+        let seq = ((src.value() as u64) << SRC_SEQ_BITS) | *count;
+        let divert = match (&self.owned, &kind) {
+            (Some(owned), EventKind::FrameArrival { dst, .. }) => !owned[dst.node.value() as usize],
+            _ => false,
+        };
+        if divert {
+            let EventKind::FrameArrival { dst, payload } = kind else {
+                unreachable!("only frame arrivals can cross shards")
+            };
+            self.outbound.push(RemoteEvent {
+                at,
+                seq,
+                dst,
+                payload,
+            });
+            return;
+        }
+        self.queue.schedule(at, seq, kind);
     }
 
     fn flush_outbox(&mut self, from: SwitchId, out: &mut Outbox) {
@@ -537,7 +586,7 @@ impl Simulator {
                         if let Some(t) = &mut self.telemetry {
                             t.link_frames(link_id, dir, from).inc();
                         }
-                        self.push(at, EventKind::FrameArrival { dst, payload });
+                        self.push(from, at, EventKind::FrameArrival { dst, payload });
                     }
                 }
                 None => {
@@ -558,6 +607,7 @@ impl Simulator {
         for (timer_id, delay_ns) in out.timers.drain(..) {
             let at = self.now + delay_ns;
             self.push(
+                from,
                 at,
                 EventKind::Timer {
                     node: from,
@@ -638,6 +688,58 @@ impl Simulator {
     pub fn run_to_completion(&mut self) -> u64 {
         let mut processed = 0;
         while self.step() {
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn next_event_at(&mut self) -> Option<SimTime> {
+        self.queue.next_at()
+    }
+
+    /// Restricts event ownership to the masked nodes (dense by raw switch
+    /// id): frame arrivals for nodes outside the mask are diverted to the
+    /// outbound buffer instead of the local queue, for the shard runtime
+    /// to route to the owning shard. Timers never cross shards (a node's
+    /// timers are its own), so they always stay local.
+    pub(crate) fn set_owned_mask(&mut self, mask: Vec<bool>) {
+        assert_eq!(mask.len(), self.nodes.len(), "mask must cover every id");
+        self.owned = Some(mask);
+    }
+
+    /// Drains the buffer of frame arrivals diverted to other shards.
+    pub(crate) fn take_outbound(&mut self) -> Vec<RemoteEvent> {
+        std::mem::take(&mut self.outbound)
+    }
+
+    /// Enqueues a frame arrival diverted from another shard. Its tiebreak
+    /// key was already allocated (and its telemetry counted) on the
+    /// sending shard, so this is a plain insert.
+    pub(crate) fn inject_remote(&mut self, ev: RemoteEvent) {
+        debug_assert!(ev.at >= self.now, "remote event would move time backwards");
+        self.queue.schedule(
+            ev.at,
+            ev.seq,
+            EventKind::FrameArrival {
+                dst: ev.dst,
+                payload: ev.payload,
+            },
+        );
+    }
+
+    /// Processes every pending event strictly below `bound` (the shard's
+    /// granted safe window). Unlike [`Simulator::run_until`], the clock is
+    /// moved only by pops — never parked at the bound — so `now` matches
+    /// what a sequential run would show after the same pops. Returns the
+    /// number of events processed.
+    pub(crate) fn run_window(&mut self, bound: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(at) = self.queue.next_at() {
+            if at >= bound {
+                break;
+            }
+            self.step();
             processed += 1;
         }
         processed

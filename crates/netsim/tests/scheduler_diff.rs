@@ -25,6 +25,11 @@ enum Op {
     /// (exercises the calendar queue's cursor pull-back and the
     /// peek-must-not-jump rule).
     PeekThenPush(u64),
+    /// Push a same-timestamp burst attributed to several sources, with
+    /// the simulator's packed `(source, per-source count)` tiebreak keys
+    /// arriving in non-monotone key order — the insertion pattern sharded
+    /// runs produce at shard boundaries.
+    CrossBurst { lead: u64, srcs: Vec<u8> },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -34,6 +39,8 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (1u64 << 32..1u64 << 44).prop_map(Op::FarFuture),
         (1u8..8).prop_map(Op::Pop),
         (0u64..10_000).prop_map(Op::PeekThenPush),
+        ((0u64..5_000), proptest::collection::vec(0u8..4, 2..6))
+            .prop_map(|(lead, srcs)| Op::CrossBurst { lead, srcs }),
     ]
 }
 
@@ -42,22 +49,30 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 fn run_diff(ops: &[Op], bucket_width_ns: u64) {
     let mut heap: HeapScheduler<u64> = HeapScheduler::new();
     let mut cal: CalendarQueue<u64> = CalendarQueue::with_bucket_width(bucket_width_ns);
-    let mut seq = 0u64;
+    // Per-source counts: seq keys pack `(source << 48) | count`, matching
+    // the simulator's tiebreak discipline (unique, not globally monotone).
+    let mut counts = [0u64; 4];
     let mut now = 0u64;
-    let mut push = |h: &mut HeapScheduler<u64>, c: &mut CalendarQueue<u64>, at: u64| {
-        seq += 1;
+    let mut push = |h: &mut HeapScheduler<u64>, c: &mut CalendarQueue<u64>, at: u64, src: usize| {
+        counts[src] += 1;
+        let seq = ((src as u64) << 48) | counts[src];
         h.schedule(SimTime::from_ns(at), seq, seq);
         c.schedule(SimTime::from_ns(at), seq, seq);
     };
     for op in ops {
         match *op {
-            Op::Push(lead) => push(&mut heap, &mut cal, now + lead),
+            Op::Push(lead) => push(&mut heap, &mut cal, now + lead, 0),
             Op::Burst { lead, n } => {
                 for _ in 0..n {
-                    push(&mut heap, &mut cal, now + lead);
+                    push(&mut heap, &mut cal, now + lead, 0);
                 }
             }
-            Op::FarFuture(lead) => push(&mut heap, &mut cal, now + lead),
+            Op::CrossBurst { lead, ref srcs } => {
+                for &src in srcs {
+                    push(&mut heap, &mut cal, now + lead, src as usize);
+                }
+            }
+            Op::FarFuture(lead) => push(&mut heap, &mut cal, now + lead, 0),
             Op::Pop(n) => {
                 for _ in 0..n {
                     let a = heap.pop().map(|e| (e.at, e.seq, e.payload));
@@ -70,7 +85,7 @@ fn run_diff(ops: &[Op], bucket_width_ns: u64) {
             }
             Op::PeekThenPush(lead) => {
                 assert_eq!(heap.next_at(), cal.next_at());
-                push(&mut heap, &mut cal, now + lead);
+                push(&mut heap, &mut cal, now + lead, 0);
             }
         }
         assert_eq!(heap.len(), cal.len());

@@ -1,0 +1,250 @@
+//! Differential test for the sharded engine: the fig19-mix fat-tree
+//! workload must be bit-identical — per-node delivery streams, aggregate
+//! stats, final clock and telemetry fingerprints — across five engines:
+//! sequential heap, sequential calendar, and sharded with 1, 2 and 4
+//! shards.
+//!
+//! Every node records each frame it receives as `(time, ingress port,
+//! payload bytes)`. Comparing those streams per node (rather than one
+//! global log) is exactly the bit-identity claim: shards interleave
+//! differently in wall time, but each node must observe the identical
+//! sequence of deliveries at identical simulated instants.
+
+use p4auth_netsim::fattree::FatTree;
+use p4auth_netsim::frame::FrameBytes;
+use p4auth_netsim::sched::SchedulerKind;
+use p4auth_netsim::shard::{ShardPlan, ShardedSimulator};
+use p4auth_netsim::sim::{Outbox, SimNode, SimStats, Simulator};
+use p4auth_netsim::time::SimTime;
+use p4auth_primitives::rng::{RandomSource, SplitMix64};
+use p4auth_telemetry::Registry;
+use p4auth_wire::ids::{PortId, SwitchId};
+use std::sync::{Arc, Mutex};
+
+const READ_FRAME_BYTES: usize = 34;
+const WRITE_FRAME_BYTES: usize = 58;
+const SEND_TIMER: u64 = 1;
+const LATENCY_NS: u64 = 1_500;
+const PROC_NS: u64 = 500;
+const INTERVAL_NS: u64 = 25;
+
+/// One recorded delivery: `(sim time ns, ingress port, payload)`.
+type Delivery = (u64, u8, Vec<u8>);
+/// Per-node delivery streams, dense by stream index (switches then hosts).
+type Streams = Arc<Vec<Mutex<Vec<Delivery>>>>;
+
+struct Forwarder {
+    ft: FatTree,
+    id: SwitchId,
+    stream: usize,
+    streams: Streams,
+}
+
+fn frame_dst(payload: &[u8]) -> SwitchId {
+    SwitchId::new(u16::from_le_bytes([payload[0], payload[1]]))
+}
+
+impl SimNode for Forwarder {
+    fn on_frame(&mut self, now: SimTime, ingress: PortId, payload: FrameBytes, out: &mut Outbox) {
+        self.streams[self.stream].lock().unwrap().push((
+            now.as_ns(),
+            ingress.value(),
+            payload.to_vec(),
+        ));
+        let dst = frame_dst(&payload);
+        let flow = payload[2] as u64;
+        if let Some(port) = self.ft.next_hop(self.id, dst, flow) {
+            out.send_delayed(port, payload, PROC_NS);
+        }
+    }
+}
+
+struct Host {
+    index: u16,
+    remaining: u32,
+    sent: u32,
+    rng: SplitMix64,
+    ft: FatTree,
+    stream: usize,
+    streams: Streams,
+}
+
+impl SimNode for Host {
+    fn on_frame(&mut self, now: SimTime, ingress: PortId, payload: FrameBytes, _: &mut Outbox) {
+        self.streams[self.stream].lock().unwrap().push((
+            now.as_ns(),
+            ingress.value(),
+            payload.to_vec(),
+        ));
+    }
+
+    fn on_timer(&mut self, _now: SimTime, _timer_id: u64, out: &mut Outbox) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        let hosts = self.ft.host_count();
+        let mut dst = (self.rng.next_u64() % (hosts as u64 - 1)) as u16;
+        if dst >= self.index {
+            dst += 1;
+        }
+        let len = if self.sent % 3 == 2 {
+            WRITE_FRAME_BYTES
+        } else {
+            READ_FRAME_BYTES
+        };
+        self.sent += 1;
+        let mut buf = [0u8; WRITE_FRAME_BYTES];
+        buf[..2].copy_from_slice(&self.ft.host(dst).value().to_le_bytes());
+        buf[2] = (self.rng.next_u64() & 0xff) as u8;
+        out.send(PortId::new(1), FrameBytes::from_slice(&buf[..len]));
+        if self.remaining > 0 {
+            out.set_timer(SEND_TIMER, INTERVAL_NS);
+        }
+    }
+}
+
+fn host_rng(k: u16, h: u16) -> SplitMix64 {
+    let seed = 0x5ca1_e000 ^ k as u64;
+    SplitMix64::new(seed ^ (h as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+fn make_streams(ft: &FatTree) -> Streams {
+    let n = ft.switch_count() as usize + ft.host_count() as usize;
+    Arc::new((0..n).map(|_| Mutex::new(Vec::new())).collect())
+}
+
+fn forwarder(ft: FatTree, id: SwitchId, streams: &Streams) -> Box<Forwarder> {
+    Box::new(Forwarder {
+        ft,
+        id,
+        stream: id.value() as usize - 1,
+        streams: streams.clone(),
+    })
+}
+
+fn host(ft: FatTree, k: u16, h: u16, frames: u32, streams: &Streams) -> Box<Host> {
+    Box::new(Host {
+        index: h,
+        remaining: frames,
+        sent: 0,
+        rng: host_rng(k, h),
+        ft,
+        stream: ft.switch_count() as usize + h as usize,
+        streams: streams.clone(),
+    })
+}
+
+/// Everything a run produces that must be engine-invariant.
+struct RunResult {
+    label: String,
+    streams: Vec<Vec<Delivery>>,
+    events: u64,
+    stats: SimStats,
+    now_ns: u64,
+    telemetry_json: String,
+}
+
+fn run_sequential(k: u16, frames: u32, kind: SchedulerKind) -> RunResult {
+    let ft = FatTree::new(k);
+    let streams = make_streams(&ft);
+    let registry = Arc::new(Registry::new());
+    let mut sim = Simulator::with_scheduler(ft.build(LATENCY_NS), kind);
+    sim.set_telemetry(registry.clone());
+    for id in 1..=ft.switch_count() {
+        let id = SwitchId::new(id);
+        sim.register_node(id, forwarder(ft, id, &streams));
+    }
+    for h in 0..ft.host_count() {
+        sim.register_node(ft.host(h), host(ft, k, h, frames, &streams));
+        sim.schedule_timer(ft.host(h), SEND_TIMER, 1 + (h as u64 % 97) * 11);
+    }
+    let events = sim.run_to_completion();
+    let (stats, now_ns) = (sim.stats(), sim.now().as_ns());
+    drop(sim); // release the nodes' stream handles
+    RunResult {
+        label: format!("sequential-{}", kind.label()),
+        streams: unwrap_streams(streams),
+        events,
+        stats,
+        now_ns,
+        telemetry_json: registry.snapshot().to_json(),
+    }
+}
+
+fn run_sharded(k: u16, frames: u32, shards: usize) -> RunResult {
+    let ft = FatTree::new(k);
+    let streams = make_streams(&ft);
+    let registry = Arc::new(Registry::new());
+    let topo = ft.build(LATENCY_NS);
+    let plan = ShardPlan::pod_aligned(&topo, shards);
+    let mut sim = ShardedSimulator::new(topo, plan);
+    sim.set_telemetry(registry.clone());
+    for id in 1..=ft.switch_count() {
+        let id = SwitchId::new(id);
+        sim.register_node(id, forwarder(ft, id, &streams));
+    }
+    for h in 0..ft.host_count() {
+        sim.register_node(ft.host(h), host(ft, k, h, frames, &streams));
+        sim.schedule_timer(ft.host(h), SEND_TIMER, 1 + (h as u64 % 97) * 11);
+    }
+    let report = sim.run();
+    RunResult {
+        label: format!("sharded-{shards}"),
+        streams: unwrap_streams(streams),
+        events: report.events,
+        stats: report.stats,
+        now_ns: report.now.as_ns(),
+        telemetry_json: registry.snapshot().to_json(),
+    }
+}
+
+fn unwrap_streams(streams: Streams) -> Vec<Vec<Delivery>> {
+    Arc::try_unwrap(streams)
+        .expect("all nodes dropped")
+        .into_iter()
+        .map(|m| m.into_inner().unwrap())
+        .collect()
+}
+
+fn assert_bit_identical(k: u16, frames: u32) {
+    let reference = run_sequential(k, frames, SchedulerKind::Calendar);
+    assert!(
+        reference.stats.frames_delivered > 0,
+        "workload must generate traffic"
+    );
+    let others = [
+        run_sequential(k, frames, SchedulerKind::Heap),
+        run_sharded(k, frames, 1),
+        run_sharded(k, frames, 2),
+        run_sharded(k, frames, 4),
+    ];
+    for other in &others {
+        let ctx = format!("k={k}: {} vs {}", reference.label, other.label);
+        assert_eq!(reference.events, other.events, "{ctx}: event count");
+        assert_eq!(reference.stats, other.stats, "{ctx}: stats");
+        assert_eq!(reference.now_ns, other.now_ns, "{ctx}: final clock");
+        assert_eq!(
+            reference.streams.len(),
+            other.streams.len(),
+            "{ctx}: stream count"
+        );
+        for (i, (a, b)) in reference.streams.iter().zip(&other.streams).enumerate() {
+            assert_eq!(a, b, "{ctx}: delivery stream of node index {i}");
+        }
+        assert_eq!(
+            reference.telemetry_json, other.telemetry_json,
+            "{ctx}: telemetry fingerprint"
+        );
+    }
+}
+
+#[test]
+fn fat_tree_4_bit_identical_across_engines() {
+    assert_bit_identical(4, 30);
+}
+
+#[test]
+fn fat_tree_8_bit_identical_across_engines() {
+    assert_bit_identical(8, 8);
+}

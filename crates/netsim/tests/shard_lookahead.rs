@@ -1,0 +1,237 @@
+//! Property test for the conservative-lookahead invariant: on random
+//! topologies with random shard assignments, no shard ever pops an event
+//! with a timestamp at or beyond a neighbour's granted horizon
+//! (`neighbour's earliest pending event + min cross link latency`), and
+//! the sharded drain — observed through per-node delivery streams —
+//! equals the sequential reference exactly.
+//!
+//! Topologies are rings with random chords; link latencies collide on a
+//! small set {1, 2, 5} and boot timers collide on small delays, so
+//! same-timestamp events regularly straddle shard boundaries (the case
+//! the packed per-source tiebreak keys exist for).
+
+use p4auth_netsim::frame::FrameBytes;
+use p4auth_netsim::sched::SchedulerKind;
+use p4auth_netsim::shard::{ShardPlan, ShardedSimulator};
+use p4auth_netsim::sim::{Outbox, SimNode, Simulator};
+use p4auth_netsim::time::SimTime;
+use p4auth_netsim::topology::{Endpoint, Topology};
+use p4auth_wire::ids::{PortId, SwitchId};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+type Delivery = (u64, u8, Vec<u8>);
+type Streams = Arc<Vec<Mutex<Vec<Delivery>>>>;
+
+/// A relay node: records every arrival; while the frame's TTL (byte 0)
+/// is positive it forwards a decremented copy out a port chosen by the
+/// TTL, with a processing delay driven by the flow byte. Everything is a
+/// function of payload + topology, so runs are engine-independent.
+struct Relay {
+    index: usize,
+    ports: Vec<PortId>,
+    streams: Streams,
+}
+
+impl Relay {
+    fn egress(&self, selector: usize) -> PortId {
+        self.ports[selector % self.ports.len()]
+    }
+}
+
+impl SimNode for Relay {
+    fn on_frame(&mut self, now: SimTime, ingress: PortId, payload: FrameBytes, out: &mut Outbox) {
+        self.streams[self.index].lock().unwrap().push((
+            now.as_ns(),
+            ingress.value(),
+            payload.to_vec(),
+        ));
+        let ttl = payload[0];
+        if ttl > 0 {
+            let flow = payload[1];
+            let port = self.egress(ttl as usize + flow as usize);
+            out.send_delayed(port, vec![ttl - 1, flow], (flow % 3) as u64);
+        }
+    }
+
+    fn on_timer(&mut self, _now: SimTime, timer_id: u64, out: &mut Outbox) {
+        // timer_id packs (ttl << 8) | flow.
+        let ttl = (timer_id >> 8) as u8;
+        let flow = (timer_id & 0xff) as u8;
+        out.send(self.egress(flow as usize), vec![ttl, flow]);
+    }
+}
+
+/// Builds a ring of `n` nodes (ids 1..=n, port 1 = previous, port 2 =
+/// next) plus chords on fresh ports, with latencies from {1, 2, 5}.
+fn build_topology(n: usize, chords: &[(usize, usize)], lat_picks: &[usize]) -> Topology {
+    const LATS: [u64; 3] = [1, 2, 5];
+    let mut t = Topology::new();
+    for i in 1..=n {
+        t.add_node(SwitchId::new(i as u16)).unwrap();
+    }
+    let mut lat_idx = 0usize;
+    let next_lat = |lat_idx: &mut usize| {
+        let l = LATS[lat_picks[*lat_idx % lat_picks.len()] % LATS.len()];
+        *lat_idx += 1;
+        l
+    };
+    for i in 0..n {
+        let a = SwitchId::new(i as u16 + 1);
+        let b = SwitchId::new(((i + 1) % n) as u16 + 1);
+        t.add_link(
+            Endpoint::new(a, PortId::new(2)),
+            Endpoint::new(b, PortId::new(1)),
+            next_lat(&mut lat_idx),
+        )
+        .unwrap();
+    }
+    let mut next_port = vec![3u8; n + 1];
+    for &(a, b) in chords {
+        let (a, b) = (a % n, b % n);
+        if a == b {
+            continue;
+        }
+        let (pa, pb) = (next_port[a + 1], next_port[b + 1]);
+        next_port[a + 1] += 1;
+        next_port[b + 1] += 1;
+        t.add_link(
+            Endpoint::new(SwitchId::new(a as u16 + 1), PortId::new(pa)),
+            Endpoint::new(SwitchId::new(b as u16 + 1), PortId::new(pb)),
+            next_lat(&mut lat_idx),
+        )
+        .unwrap();
+    }
+    t
+}
+
+fn register_relays(
+    t: &Topology,
+    n: usize,
+    streams: &Streams,
+    mut register: impl FnMut(SwitchId, Box<Relay>),
+) {
+    for i in 0..n {
+        let id = SwitchId::new(i as u16 + 1);
+        let ports: Vec<PortId> = t.neighbors(id).into_iter().map(|(p, _)| p).collect();
+        register(
+            id,
+            Box::new(Relay {
+                index: i,
+                ports,
+                streams: streams.clone(),
+            }),
+        );
+    }
+}
+
+fn fresh_streams(n: usize) -> Streams {
+    Arc::new((0..n).map(|_| Mutex::new(Vec::new())).collect())
+}
+
+fn unwrap_streams(streams: Streams) -> Vec<Vec<Delivery>> {
+    Arc::try_unwrap(streams)
+        .expect("all nodes dropped")
+        .into_iter()
+        .map(|m| m.into_inner().unwrap())
+        .collect()
+}
+
+#[allow(clippy::type_complexity)]
+fn run_case(
+    n: usize,
+    nshards: usize,
+    assign: &[usize],
+    chords: &[(usize, usize)],
+    lat_picks: &[usize],
+    timers: &[(usize, u64, u8)],
+) {
+    let topo = build_topology(n, chords, lat_picks);
+
+    // Sequential calendar reference.
+    let seq_streams = fresh_streams(n);
+    let mut seq = Simulator::with_scheduler(topo.clone(), SchedulerKind::Calendar);
+    register_relays(&topo, n, &seq_streams, |id, relay| {
+        seq.register_node(id, relay)
+    });
+    for (i, &(node, delay, ttl)) in timers.iter().enumerate() {
+        let node = SwitchId::new((node % n) as u16 + 1);
+        let timer_id = ((ttl as u64) << 8) | (i as u64 & 0xff);
+        seq.schedule_timer(node, timer_id, delay);
+    }
+    let seq_events = seq.run_to_completion();
+    let (seq_stats, seq_now) = (seq.stats(), seq.now());
+    drop(seq);
+    let seq_streams = unwrap_streams(seq_streams);
+
+    // Sharded run under a random assignment.
+    let plan = ShardPlan::custom(&topo, nshards, |id| {
+        assign[(id.value() as usize - 1) % assign.len()] % nshards
+    });
+    let shard_streams = fresh_streams(n);
+    let mut sharded = ShardedSimulator::new(topo.clone(), plan.clone());
+    register_relays(&topo, n, &shard_streams, |id, relay| {
+        sharded.register_node(id, relay)
+    });
+    for (i, &(node, delay, ttl)) in timers.iter().enumerate() {
+        let node = SwitchId::new((node % n) as u16 + 1);
+        let timer_id = ((ttl as u64) << 8) | (i as u64 & 0xff);
+        sharded.schedule_timer(node, timer_id, delay);
+    }
+    let (report, audits) = sharded.run_audited();
+    let shard_streams = unwrap_streams(shard_streams);
+
+    // Drain order equals the sequential reference.
+    assert_eq!(report.events, seq_events, "event count");
+    assert_eq!(report.stats, seq_stats, "stats");
+    assert_eq!(report.now, seq_now, "final clock");
+    assert_eq!(shard_streams, seq_streams, "per-node delivery streams");
+
+    // Lookahead invariant, checked from the raw per-round records: a
+    // shard's latest pop this round must lie strictly below every
+    // neighbour's granted horizon (its earliest pending event at the
+    // round start plus the minimum latency of any link crossing from it).
+    for (round, audit) in audits.iter().enumerate() {
+        for i in 0..nshards {
+            let Some(popped) = audit.max_popped_ns[i] else {
+                continue;
+            };
+            assert!(
+                popped < audit.bound_ns[i],
+                "round {round}: shard {i} popped {popped} at/past its bound {}",
+                audit.bound_ns[i]
+            );
+            for j in 0..nshards {
+                if j == i {
+                    continue;
+                }
+                let Some(lat) = plan.min_cross_latency_ns(&topo, j, i) else {
+                    continue;
+                };
+                if let Some(neighbor_next) = audit.next_at_ns[j] {
+                    assert!(
+                        popped < neighbor_next + lat,
+                        "round {round}: shard {i} popped {popped}, but neighbour \
+                         {j}'s horizon was {neighbor_next} + {lat}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sharded_drain_respects_lookahead_and_matches_sequential(
+        n in 3usize..7,
+        nshards in 1usize..5,
+        assign in proptest::collection::vec(0usize..4, 8),
+        chords in proptest::collection::vec((0usize..8, 0usize..8), 0..3),
+        lat_picks in proptest::collection::vec(0usize..3, 16),
+        timers in proptest::collection::vec((0usize..8, 1u64..5, 1u8..4), 1..6),
+    ) {
+        run_case(n, nshards, &assign, &chords, &lat_picks, &timers);
+    }
+}

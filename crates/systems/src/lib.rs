@@ -27,6 +27,9 @@
 //!   Table I "LB" row as a working system).
 //! * [`flowradar`] — a FlowRadar-style IBLT measurement system (the
 //!   Table I "Measurement" row as a working system).
+//! * [`scaleload`] — the fat-tree scale workload behind `repro -- scale`
+//!   and the `sim_scale` bench, runnable on the sequential schedulers or
+//!   the sharded engine with a bit-identical fingerprint.
 //!
 //! Together with [`blink`], [`netcache`] and [`netwarden`], every Table I
 //! row exists here as a *working* miniature of the cited system, not just
@@ -43,4 +46,5 @@ pub mod hula;
 pub mod netcache;
 pub mod netwarden;
 pub mod routescout;
+pub mod scaleload;
 pub mod silkroad;

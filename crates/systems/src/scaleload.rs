@@ -1,23 +1,28 @@
 //! Fat-tree scale workload: the events/sec measurement behind the
-//! calendar-queue scheduler (`repro -- scale` and the `sim_scale` bench).
+//! calendar-queue scheduler and the sharded engine (`repro -- scale` and
+//! the `sim_scale` bench).
 //!
 //! Hundreds of switches forward a fig19-style register traffic mix (two
 //! 34-byte reads per 58-byte write) between random host pairs over
 //! `Topology::fat_tree(k)`. Forwarding is deterministic-ECMP arithmetic
 //! ([`FatTree::next_hop`]) so the run is bit-identical across schedulers
-//! and the measurement isolates the event queue plus the simulator's
-//! dense hot path.
+//! *and* across shard counts, and the measurement isolates the event
+//! queue plus the simulator's dense hot path.
+//!
+//! The module lives in `p4auth-systems` (rather than the bench crate) so
+//! the CI smoke runner, the Criterion bench and the `repro` reporter all
+//! drive the exact same workload.
 
 use p4auth_netsim::fattree::FatTree;
 use p4auth_netsim::frame::FrameBytes;
 use p4auth_netsim::sched::SchedulerKind;
+use p4auth_netsim::shard::{ShardPlan, ShardedSimulator};
 use p4auth_netsim::sim::{Outbox, SimNode, Simulator};
 use p4auth_netsim::time::SimTime;
 use p4auth_primitives::rng::{RandomSource, SplitMix64};
 use p4auth_telemetry::Registry;
 use p4auth_wire::ids::{PortId, SwitchId};
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Fig19-style request sizes: header + digest + read body / write body.
@@ -58,11 +63,34 @@ impl ScaleConfig {
     }
 }
 
+/// Which execution engine a scale run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Single-threaded run on the given scheduler.
+    Sequential(SchedulerKind),
+    /// Sharded run: pod-aligned partition, conservative safe-window
+    /// rounds, always on the calendar scheduler per shard.
+    Sharded {
+        /// Worker shard count.
+        shards: usize,
+    },
+}
+
+impl Engine {
+    /// Short human-readable label (`heap`, `calendar`, `sharded-4`).
+    pub fn label(&self) -> String {
+        match self {
+            Engine::Sequential(kind) => kind.label().to_string(),
+            Engine::Sharded { shards } => format!("sharded-{shards}"),
+        }
+    }
+}
+
 /// Result of one scale run.
 #[derive(Clone, Copy, Debug)]
 pub struct ScaleRun {
-    /// Scheduler the run used.
-    pub kind: SchedulerKind,
+    /// Engine the run used.
+    pub engine: Engine,
     /// Events processed (pops).
     pub events: u64,
     /// Frames that reached their destination host.
@@ -80,7 +108,7 @@ impl ScaleRun {
     }
 
     /// The deterministic portion of the run (everything but wall time) —
-    /// must be identical across schedulers.
+    /// must be identical across schedulers and shard counts.
     pub fn fingerprint(&self) -> (u64, u64, u64) {
         (self.events, self.frames_delivered, self.sim_ns)
     }
@@ -110,7 +138,8 @@ impl SimNode for Forwarder {
 }
 
 /// A host: transmits its share of the traffic mix on a timer, sinks and
-/// counts whatever arrives.
+/// counts whatever arrives. The arrival counter is atomic so the same
+/// node type serves both the sequential and the sharded engine.
 struct Host {
     index: u16,
     remaining: u32,
@@ -118,14 +147,14 @@ struct Host {
     interval_ns: u64,
     rng: SplitMix64,
     ft: FatTree,
-    arrivals: Rc<Cell<u64>>,
+    arrivals: Arc<AtomicU64>,
 }
 
 const SEND_TIMER: u64 = 1;
 
 impl SimNode for Host {
     fn on_frame(&mut self, _now: SimTime, _ingress: PortId, _payload: FrameBytes, _: &mut Outbox) {
-        self.arrivals.set(self.arrivals.get() + 1);
+        self.arrivals.fetch_add(1, Ordering::Relaxed);
     }
 
     fn on_timer(&mut self, _now: SimTime, _timer_id: u64, out: &mut Outbox) {
@@ -156,57 +185,100 @@ impl SimNode for Host {
     }
 }
 
-/// Runs the workload on the given scheduler. Pass a registry to collect
+fn forwarder(cfg: &ScaleConfig, ft: FatTree, id: SwitchId) -> Box<Forwarder> {
+    Box::new(Forwarder {
+        ft,
+        id,
+        proc_ns: cfg.proc_ns,
+    })
+}
+
+fn host(cfg: &ScaleConfig, ft: FatTree, h: u16, arrivals: &Arc<AtomicU64>) -> Box<Host> {
+    Box::new(Host {
+        index: h,
+        remaining: cfg.frames_per_host,
+        sent: 0,
+        interval_ns: cfg.interval_ns,
+        rng: SplitMix64::new(cfg.seed ^ (h as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        ft,
+        arrivals: arrivals.clone(),
+    })
+}
+
+/// Staggered start so transmissions interleave instead of phasing.
+fn boot_delay(h: u16) -> u64 {
+    1 + (h as u64 % 97) * 11
+}
+
+/// Runs the workload on the given engine. Pass a registry to collect
 /// `sim_event_lead_ns` (instrumentation adds per-event work, so keep
 /// timed comparison runs uninstrumented).
+pub fn run_scale_engine(
+    cfg: ScaleConfig,
+    engine: Engine,
+    registry: Option<Arc<Registry>>,
+) -> ScaleRun {
+    let ft = FatTree::new(cfg.k);
+    let arrivals = Arc::new(AtomicU64::new(0));
+    let (events, sim_ns, wall_ns) = match engine {
+        Engine::Sequential(kind) => {
+            let mut sim = Simulator::with_scheduler(ft.build(cfg.latency_ns), kind);
+            if let Some(r) = registry {
+                sim.set_telemetry(r);
+            }
+            for id in 1..=ft.switch_count() {
+                let id = SwitchId::new(id);
+                sim.register_node(id, forwarder(&cfg, ft, id));
+            }
+            for h in 0..ft.host_count() {
+                sim.register_node(ft.host(h), host(&cfg, ft, h, &arrivals));
+                sim.schedule_timer(ft.host(h), SEND_TIMER, boot_delay(h));
+            }
+            let start = std::time::Instant::now();
+            let events = sim.run_to_completion();
+            (events, sim.now().as_ns(), start.elapsed().as_nanos() as u64)
+        }
+        Engine::Sharded { shards } => {
+            let topo = ft.build(cfg.latency_ns);
+            let plan = ShardPlan::pod_aligned(&topo, shards);
+            let mut sim = ShardedSimulator::new(topo, plan);
+            if let Some(r) = registry {
+                sim.set_telemetry(r);
+            }
+            for id in 1..=ft.switch_count() {
+                let id = SwitchId::new(id);
+                sim.register_node(id, forwarder(&cfg, ft, id));
+            }
+            for h in 0..ft.host_count() {
+                sim.register_node(ft.host(h), host(&cfg, ft, h, &arrivals));
+                sim.schedule_timer(ft.host(h), SEND_TIMER, boot_delay(h));
+            }
+            let start = std::time::Instant::now();
+            let report = sim.run();
+            (
+                report.events,
+                report.now.as_ns(),
+                start.elapsed().as_nanos() as u64,
+            )
+        }
+    };
+    ScaleRun {
+        engine,
+        events,
+        frames_delivered: arrivals.load(Ordering::Relaxed),
+        sim_ns,
+        wall_ns,
+    }
+}
+
+/// Runs the workload single-threaded on the given scheduler (the original
+/// entry point; see [`run_scale_engine`] for the sharded variant).
 pub fn run_scale(
     cfg: ScaleConfig,
     kind: SchedulerKind,
     registry: Option<Arc<Registry>>,
 ) -> ScaleRun {
-    let ft = FatTree::new(cfg.k);
-    let mut sim = Simulator::with_scheduler(ft.build(cfg.latency_ns), kind);
-    if let Some(r) = registry {
-        sim.set_telemetry(r);
-    }
-    for id in 1..=ft.switch_count() {
-        let id = SwitchId::new(id);
-        sim.register_node(
-            id,
-            Box::new(Forwarder {
-                ft,
-                id,
-                proc_ns: cfg.proc_ns,
-            }),
-        );
-    }
-    let arrivals = Rc::new(Cell::new(0u64));
-    for h in 0..ft.host_count() {
-        sim.register_node(
-            ft.host(h),
-            Box::new(Host {
-                index: h,
-                remaining: cfg.frames_per_host,
-                sent: 0,
-                interval_ns: cfg.interval_ns,
-                rng: SplitMix64::new(cfg.seed ^ (h as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
-                ft,
-                arrivals: arrivals.clone(),
-            }),
-        );
-        // Staggered start so transmissions interleave instead of phasing.
-        sim.schedule_timer(ft.host(h), SEND_TIMER, 1 + (h as u64 % 97) * 11);
-    }
-    let start = std::time::Instant::now();
-    let events = sim.run_to_completion();
-    let wall_ns = start.elapsed().as_nanos() as u64;
-    ScaleRun {
-        kind,
-        events,
-        frames_delivered: arrivals.get(),
-        sim_ns: sim.now().as_ns(),
-        wall_ns,
-    }
+    run_scale_engine(cfg, Engine::Sequential(kind), registry)
 }
 
 #[cfg(test)]
@@ -224,6 +296,20 @@ mod tests {
         assert_eq!(cal.frames_delivered, 16 * 20);
         assert!(cal.events > cal.frames_delivered);
         assert!(cal.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn sharded_engine_agrees_on_the_scale_workload() {
+        let cfg = ScaleConfig::for_k(4, 20);
+        let cal = run_scale(cfg, SchedulerKind::Calendar, None);
+        for shards in [1, 2, 4] {
+            let sharded = run_scale_engine(cfg, Engine::Sharded { shards }, None);
+            assert_eq!(
+                cal.fingerprint(),
+                sharded.fingerprint(),
+                "sharded-{shards} diverged from calendar"
+            );
+        }
     }
 
     #[test]
