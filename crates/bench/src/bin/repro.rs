@@ -5,16 +5,24 @@
 //! cargo run -p p4auth-bench --bin repro                       # everything
 //! cargo run -p p4auth-bench --bin repro -- fig17              # one experiment
 //! cargo run -p p4auth-bench --bin repro -- scale --shards 4 --short
+//! cargo run -p p4auth-bench --bin repro -- timeline --out /tmp/tl.json
+//! cargo run -p p4auth-bench --bin repro -- decode /tmp/tl.json.bin
 //! ```
 //!
 //! `--short` and `--shards <n>` are consumed before name filtering and
-//! set `P4AUTH_SCALE_SHORT` / `P4AUTH_SCALE_SHARDS` for the scale report.
+//! set `P4AUTH_SCALE_SHORT` / `P4AUTH_SCALE_SHARDS` for the scale and
+//! timeline reports. `--out <path>` requires selecting exactly one of
+//! `metrics`, `timeline` or `decode`, and writes that experiment's
+//! machine-readable output to `<path>` (plus `<path>.bin` for the binary
+//! form, where one exists). `decode <file>` re-emits a binary artifact
+//! (`P4TS` snapshot/delta or `P4TL` timeline) as canonical JSON.
 
 use p4auth_bench::report;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut filter: Vec<String> = Vec::new();
+    let mut out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,13 +38,45 @@ fn main() {
                     });
                 std::env::set_var("P4AUTH_SCALE_SHARDS", n.to_string());
             }
+            "--out" => {
+                i += 1;
+                let path = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(1);
+                });
+                out = Some(path);
+            }
             other => filter.push(other.to_string()),
         }
         i += 1;
     }
+
+    // `decode <file>` is a converter, not an experiment: handle it before
+    // the table loop so the file operand is not treated as a filter.
+    if filter.first().map(String::as_str) == Some("decode") {
+        let Some(input) = filter.get(1) else {
+            eprintln!("decode needs a binary artifact path");
+            std::process::exit(1);
+        };
+        if let Some(path) = &out {
+            std::env::set_var("P4AUTH_DECODE_OUT", path);
+        }
+        report::decode(input);
+        return;
+    }
+    if let Some(path) = &out {
+        match filter.as_slice() {
+            [one] if one == "metrics" => std::env::set_var("P4AUTH_METRICS_OUT", path),
+            [one] if one == "timeline" => std::env::set_var("P4AUTH_TIMELINE_OUT", path),
+            _ => {
+                eprintln!("--out needs exactly one of: metrics, timeline, decode");
+                std::process::exit(1);
+            }
+        }
+    }
     let want = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
 
-    let experiments: [(&str, fn()); 12] = [
+    let experiments: [(&str, fn()); 13] = [
         ("table1", report::table1),
         ("fig16", report::fig16),
         ("fig17", report::fig17),
@@ -49,6 +89,7 @@ fn main() {
         ("fct", report::motivation_fct),
         ("metrics", report::metrics),
         ("scale", report::scale),
+        ("timeline", report::timeline),
     ];
     let mut ran = 0;
     for (name, run) in experiments {
@@ -62,7 +103,7 @@ fn main() {
         ran += 1;
     }
     if ran == 0 {
-        eprintln!("no experiment matches {filter:?}; available: table1 fig16 fig17 fig18 fig19 fig20 fig21 table2 table3 fct metrics scale ablation");
+        eprintln!("no experiment matches {filter:?}; available: table1 fig16 fig17 fig18 fig19 fig20 fig21 table2 table3 fct metrics scale timeline ablation decode");
         std::process::exit(1);
     }
 }

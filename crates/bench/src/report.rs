@@ -465,7 +465,140 @@ pub fn metrics() {
             .is_some_and(|h| h.count == 1 && h.min > 0),
         "detection-to-mitigation latency must be measured in sim-ns"
     );
-    println!("{}", snapshot.to_json());
+    print!("{}", snapshot.to_json());
+    if let Ok(path) = std::env::var("P4AUTH_METRICS_OUT") {
+        std::fs::write(&path, snapshot.to_json()).expect("write P4AUTH_METRICS_OUT");
+        let bin_path = format!("{path}.bin");
+        std::fs::write(
+            &bin_path,
+            p4auth_telemetry::snapshot::bin::encode_snapshot(&snapshot),
+        )
+        .expect("write binary metrics");
+        println!("wrote {path} and {bin_path}");
+    }
+}
+
+/// Streaming-telemetry timeline (`repro -- timeline`): runs the fig19-mix
+/// fat-tree workload with periodic delta export driven by the sim clock
+/// on all three engines — heap, calendar and sharded — and asserts their
+/// serialized timelines are byte-identical (JSON and binary) before
+/// printing anything. Also checks `baseline + Σdeltas` reconstructs the
+/// final full snapshot and that the binary stream decodes back exactly.
+///
+/// `P4AUTH_SCALE_SHORT=1` caps the workload for CI (`--short`);
+/// `P4AUTH_SCALE_SHARDS=<n>` sets the shard count (`--shards`, default 4);
+/// `P4AUTH_TIMELINE_INTERVAL_NS=<ns>` overrides the export grid (default
+/// 10µs of sim-time). `P4AUTH_TIMELINE_OUT=<path>` (`--out`) writes the
+/// JSON timeline to `<path>` and the binary stream to `<path>.bin`.
+pub fn timeline() {
+    use crate::scale::{run_scale_timeline, Engine, ScaleConfig};
+    use p4auth_netsim::sched::SchedulerKind;
+    use p4auth_netsim::Timeline;
+
+    banner(
+        "timeline — streaming telemetry deltas on the sim clock",
+        "ROADMAP \"streaming snapshots / delta export\"; fig19 request mix",
+    );
+
+    let short = std::env::var("P4AUTH_SCALE_SHORT").is_ok_and(|v| v != "0");
+    let shards: usize = std::env::var("P4AUTH_SCALE_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let interval_ns: u64 = std::env::var("P4AUTH_TIMELINE_INTERVAL_NS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let frames = if short { 50 } else { 400 };
+    let cfg = ScaleConfig::for_k(4, frames);
+
+    let (heap_run, heap_tl) =
+        run_scale_timeline(cfg, Engine::Sequential(SchedulerKind::Heap), interval_ns);
+    let (cal_run, cal_tl) = run_scale_timeline(
+        cfg,
+        Engine::Sequential(SchedulerKind::Calendar),
+        interval_ns,
+    );
+    let (shard_run, shard_tl) = run_scale_timeline(cfg, Engine::Sharded { shards }, interval_ns);
+    assert_eq!(
+        heap_run.fingerprint(),
+        cal_run.fingerprint(),
+        "schedulers diverged"
+    );
+    assert_eq!(
+        heap_run.fingerprint(),
+        shard_run.fingerprint(),
+        "sharded engine diverged from sequential"
+    );
+    let json = heap_tl.to_json();
+    let bin = heap_tl.to_bin();
+    assert_eq!(cal_tl.to_json(), json, "calendar timeline diverged");
+    assert_eq!(shard_tl.to_json(), json, "sharded timeline diverged");
+    assert_eq!(cal_tl.to_bin(), bin);
+    assert_eq!(shard_tl.to_bin(), bin);
+    assert_eq!(
+        heap_tl.reconstruct(),
+        heap_tl.final_snapshot,
+        "baseline + Σdeltas must reconstruct the final snapshot"
+    );
+    assert_eq!(
+        Timeline::from_bin(&bin).expect("binary stream decodes"),
+        heap_tl
+    );
+
+    println!(
+        "k={} frames/host={} interval={interval_ns}ns shards={shards}: \
+         {} events over {} sim-ns, {} non-empty deltas, {} binary bytes",
+        cfg.k,
+        frames,
+        heap_run.events,
+        heap_run.sim_ns,
+        heap_tl.entries.len(),
+        bin.len(),
+    );
+    print!("{json}");
+    if let Ok(path) = std::env::var("P4AUTH_TIMELINE_OUT") {
+        std::fs::write(&path, &json).expect("write P4AUTH_TIMELINE_OUT");
+        let bin_path = format!("{path}.bin");
+        std::fs::write(&bin_path, &bin).expect("write timeline binary");
+        println!("wrote {path} and {bin_path}");
+    }
+}
+
+/// Decodes a binary telemetry artifact (`repro -- decode <file>`) back to
+/// its canonical JSON: the magic picks the format — `P4TL` timeline
+/// stream, `P4TS` single snapshot or delta. Output goes to stdout, or to
+/// the path in `P4AUTH_DECODE_OUT` (`--out`). CI's codec-equivalence gate
+/// diffs this output against the direct JSON export.
+pub fn decode(input: &str) {
+    use p4auth_netsim::timeline::{Timeline, TIMELINE_MAGIC};
+    use p4auth_telemetry::snapshot::bin;
+
+    let buf = std::fs::read(input).unwrap_or_else(|e| {
+        eprintln!("cannot read {input}: {e}");
+        std::process::exit(1);
+    });
+    let json = if buf.starts_with(&TIMELINE_MAGIC) {
+        Timeline::from_bin(&buf).map(|tl| tl.to_json())
+    } else {
+        match bin::decode_snapshot(&buf) {
+            Ok(snap) => Ok(snap.to_json()),
+            // Kind byte 1: the blob is a delta, not a full snapshot.
+            Err(bin::DecodeError::BadKind(1)) => bin::decode_delta(&buf).map(|d| d.to_json()),
+            Err(e) => Err(e),
+        }
+    };
+    let json = json.unwrap_or_else(|e| {
+        eprintln!("cannot decode {input}: {e}");
+        std::process::exit(1);
+    });
+    match std::env::var("P4AUTH_DECODE_OUT") {
+        Ok(path) => {
+            std::fs::write(&path, &json).expect("write P4AUTH_DECODE_OUT");
+            println!("wrote {path}");
+        }
+        Err(_) => print!("{json}"),
+    }
 }
 
 /// Simulator scale report (`repro -- scale`): heap vs. calendar scheduler

@@ -74,6 +74,7 @@ pub mod sched;
 pub mod shard;
 pub mod sim;
 pub mod time;
+pub mod timeline;
 pub mod topology;
 
 pub use fattree::FatTree;
@@ -82,4 +83,5 @@ pub use sched::SchedulerKind;
 pub use shard::{ShardPlan, ShardRunReport, ShardedSimulator};
 pub use sim::{Outbox, SimNode, Simulator, TapAction};
 pub use time::SimTime;
+pub use timeline::{Timeline, TimelineEntry};
 pub use topology::{LinkId, Topology};

@@ -54,9 +54,11 @@
 use crate::sched::SchedulerKind;
 use crate::sim::{SimNode, SimStats, Simulator};
 use crate::time::SimTime;
+use crate::timeline::Timeline;
 use crate::topology::Topology;
-use p4auth_telemetry::Registry;
+use p4auth_telemetry::{Registry, Snapshot};
 use p4auth_wire::ids::SwitchId;
+use std::collections::BTreeSet;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread;
@@ -248,7 +250,10 @@ enum ToWorker {
         bound_ns: u64,
         inbox: Vec<RemoteEvent>,
     },
-    Finish,
+    /// End of run. Workers with a timeline recorder flush it to
+    /// `flush_to_ns` — the *global* final clock, so every shard's tail
+    /// capture carries the same stamp a sequential recorder would use.
+    Finish { flush_to_ns: u64 },
 }
 
 struct RoundReply {
@@ -256,7 +261,13 @@ struct RoundReply {
     next_at_ns: Option<u64>,
     processed: u64,
     max_popped_ns: Option<u64>,
+    /// The shard's clock after the round (moves only on pops).
+    now_ns: u64,
 }
+
+/// Raw per-shard timeline capture: `(baseline, boundary snapshots,
+/// final)` of the worker's private registry.
+type ShardCaptures = (Snapshot, Vec<(u64, Snapshot)>, Snapshot);
 
 /// A partitioned simulator: builds one [`Simulator`] per shard on worker
 /// threads and drives them in safe-window rounds (see the module docs).
@@ -274,6 +285,7 @@ pub struct ShardedSimulator {
     /// Boot timers `(node, timer_id, delay_ns)` in registration order.
     timers: Vec<(SwitchId, u64, u64)>,
     telemetry: Option<Arc<Registry>>,
+    export_interval_ns: Option<u64>,
 }
 
 impl ShardedSimulator {
@@ -291,6 +303,7 @@ impl ShardedSimulator {
             nodes: (0..=max_id).map(|_| None).collect(),
             timers: Vec::new(),
             telemetry: None,
+            export_interval_ns: None,
         }
     }
 
@@ -324,7 +337,33 @@ impl ShardedSimulator {
 
     /// Attaches a telemetry registry, shared by every shard.
     pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
+        assert!(
+            self.export_interval_ns.is_none(),
+            "timeline export uses per-shard private registries; attach \
+             telemetry OR set an export interval, not both"
+        );
         self.telemetry = Some(registry);
+    }
+
+    /// Starts periodic telemetry export (see
+    /// [`Simulator::set_export_interval`]). Each worker records into a
+    /// *private* registry at safe-window pop boundaries; the coordinator
+    /// merges per-shard captures in shard-index order into one
+    /// [`Timeline`] that is bit-identical to a sequential recording.
+    /// Collect it with [`ShardedSimulator::run_timeline`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shared telemetry registry is attached (the two modes
+    /// are mutually exclusive) or `interval_ns == 0`.
+    pub fn set_export_interval(&mut self, interval_ns: u64) {
+        assert!(
+            self.telemetry.is_none(),
+            "timeline export uses per-shard private registries; attach \
+             telemetry OR set an export interval, not both"
+        );
+        assert!(interval_ns > 0, "export interval must be positive");
+        self.export_interval_ns = Some(interval_ns);
     }
 
     /// Runs to completion and reports the aggregate outcome.
@@ -335,11 +374,26 @@ impl ShardedSimulator {
     /// Runs to completion, additionally recording every synchronization
     /// round for lookahead-invariant checks in tests.
     pub fn run_audited(self) -> (ShardRunReport, Vec<RoundAudit>) {
-        let (report, audits) = self.run_inner(true);
+        let (report, audits, _) = self.run_inner(true);
         (report, audits)
     }
 
-    fn run_inner(mut self, audit: bool) -> (ShardRunReport, Vec<RoundAudit>) {
+    /// Runs to completion and returns the merged telemetry timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ShardedSimulator::set_export_interval`] was not
+    /// called.
+    pub fn run_timeline(self) -> (ShardRunReport, Timeline) {
+        assert!(
+            self.export_interval_ns.is_some(),
+            "set_export_interval must be called before run_timeline"
+        );
+        let (report, _, timeline) = self.run_inner(false);
+        (report, timeline.expect("export interval was set"))
+    }
+
+    fn run_inner(mut self, audit: bool) -> (ShardRunReport, Vec<RoundAudit>, Option<Timeline>) {
         let n = self.plan.nshards();
         let lat = self.plan.cross_latency_matrix(&self.topology);
 
@@ -370,9 +424,18 @@ impl ShardedSimulator {
             let nodes = std::mem::take(&mut shard_nodes[s]);
             let timers = std::mem::take(&mut shard_timers[s]);
             let telemetry = self.telemetry.clone();
+            let export_interval_ns = self.export_interval_ns;
             handles.push(thread::spawn(move || {
                 worker(
-                    s, topology, plan, nodes, timers, telemetry, cmd_rx, reply_tx,
+                    s,
+                    topology,
+                    plan,
+                    nodes,
+                    timers,
+                    telemetry,
+                    export_interval_ns,
+                    cmd_rx,
+                    reply_tx,
                 )
             }));
             cmd_txs.push(cmd_tx);
@@ -471,20 +534,32 @@ impl ShardedSimulator {
             }
         }
 
+        // The global final clock: the time of the last event popped
+        // anywhere. Every recorder flushes to it so tail captures are
+        // stamped exactly as a sequential run's would be.
+        let global_end_ns = replies.iter().map(|r| r.now_ns).max().unwrap_or(0);
         for tx in &cmd_txs {
-            tx.send(ToWorker::Finish).expect("worker hung up at finish");
+            tx.send(ToWorker::Finish {
+                flush_to_ns: global_end_ns,
+            })
+            .expect("worker hung up at finish");
         }
         let mut stats = SimStats::default();
         let mut now = SimTime::ZERO;
+        let mut captures: Vec<Option<ShardCaptures>> = Vec::with_capacity(handles.len());
         for handle in handles {
-            let (shard_stats, shard_now) = handle.join().expect("worker panicked");
+            let (shard_stats, shard_now, shard_caps) = handle.join().expect("worker panicked");
             stats.frames_delivered += shard_stats.frames_delivered;
             stats.frames_tapped_dropped += shard_stats.frames_tapped_dropped;
             stats.frames_tapped_modified += shard_stats.frames_tapped_modified;
             stats.frames_undeliverable += shard_stats.frames_undeliverable;
             stats.timers_fired += shard_stats.timers_fired;
             now = now.max(shard_now);
+            captures.push(shard_caps);
         }
+        let timeline = self
+            .export_interval_ns
+            .map(|interval| merge_timelines(interval, captures));
         (
             ShardRunReport {
                 events,
@@ -493,8 +568,56 @@ impl ShardedSimulator {
                 rounds,
             },
             audits,
+            timeline,
         )
     }
+}
+
+/// Merges per-shard capture streams into the timeline a sequential
+/// recording would have produced.
+///
+/// Shards capture full snapshots of their private registries; metric
+/// updates are attributed to the shard that pops the causing event
+/// (frame telemetry is recorded sender-side at divert time), so the
+/// per-shard registries partition the sequential one. At every grid
+/// boundary any shard captured, each shard's latest capture at or before
+/// it is carried forward (an uncaptured boundary means that shard's
+/// state did not change) and the full states are merged in shard-index
+/// order — giving exactly the sequential state before that boundary,
+/// including histogram min/max. Deltas then come from
+/// [`Timeline::from_captures`], the same code path the sequential
+/// recorder uses, so the result is structurally bit-identical.
+fn merge_timelines(interval_ns: u64, captures: Vec<Option<ShardCaptures>>) -> Timeline {
+    let parts: Vec<ShardCaptures> = captures
+        .into_iter()
+        .map(|c| c.expect("export interval set but a worker recorded nothing"))
+        .collect();
+    let baselines: Vec<Snapshot> = parts.iter().map(|(b, _, _)| b.clone()).collect();
+    let finals: Vec<Snapshot> = parts.iter().map(|(_, _, f)| f.clone()).collect();
+    let boundaries: BTreeSet<u64> = parts
+        .iter()
+        .flat_map(|(_, caps, _)| caps.iter().map(|(t, _)| *t))
+        .collect();
+    // Carried-forward state per shard, advanced through each shard's
+    // captures as the boundary cursor moves.
+    let mut cur: Vec<Snapshot> = baselines.clone();
+    let mut idx = vec![0usize; parts.len()];
+    let mut merged_captures = Vec::with_capacity(boundaries.len());
+    for t in boundaries {
+        for (s, (_, caps, _)) in parts.iter().enumerate() {
+            while idx[s] < caps.len() && caps[idx[s]].0 <= t {
+                cur[s] = caps[idx[s]].1.clone();
+                idx[s] += 1;
+            }
+        }
+        merged_captures.push((t, Snapshot::merged(&cur)));
+    }
+    Timeline::from_captures(
+        interval_ns,
+        Snapshot::merged(&baselines),
+        merged_captures,
+        Snapshot::merged(&finals),
+    )
 }
 
 /// Worker-thread body: owns one shard's [`Simulator`] and answers
@@ -507,9 +630,10 @@ fn worker(
     nodes: Vec<(SwitchId, Box<dyn SimNode + Send>)>,
     timers: Vec<(SwitchId, u64, u64)>,
     telemetry: Option<Arc<Registry>>,
+    export_interval_ns: Option<u64>,
     cmd_rx: Receiver<ToWorker>,
     reply_tx: SyncSender<RoundReply>,
-) -> (SimStats, SimTime) {
+) -> (SimStats, SimTime, Option<ShardCaptures>) {
     let max_id = topology
         .nodes()
         .iter()
@@ -524,6 +648,10 @@ fn worker(
     sim.set_owned_mask(mask);
     if let Some(registry) = telemetry {
         sim.set_telemetry(registry);
+    } else if export_interval_ns.is_some() {
+        // Timeline mode: a private registry per shard, merged by the
+        // coordinator after the run.
+        sim.set_telemetry(Arc::new(Registry::new()));
     }
     for (id, node) in nodes {
         sim.register_node(id, node);
@@ -531,32 +659,55 @@ fn worker(
     for (node, timer_id, delay_ns) in timers {
         sim.schedule_timer(node, timer_id, delay_ns);
     }
+    if let Some(interval) = export_interval_ns {
+        // After boot timers: setup-time pushes belong to the baseline,
+        // exactly as in the sequential recording.
+        sim.set_export_interval(interval);
+    }
     reply_tx
         .send(RoundReply {
             outbound: sim.take_outbound(),
             next_at_ns: sim.next_event_at().map(|t| t.as_ns()),
             processed: 0,
             max_popped_ns: None,
+            now_ns: sim.now().as_ns(),
         })
         .expect("coordinator hung up before first reply");
     // A Finish command or either channel closing ends the loop.
-    while let Ok(ToWorker::Round { bound_ns, inbox }) = cmd_rx.recv() {
-        for ev in inbox {
-            sim.inject_remote(ev);
-        }
-        let processed = sim.run_window(SimTime::from_ns(bound_ns));
-        let max_popped_ns = (processed > 0).then(|| sim.now().as_ns());
-        let reply = RoundReply {
-            outbound: sim.take_outbound(),
-            next_at_ns: sim.next_event_at().map(|t| t.as_ns()),
-            processed,
-            max_popped_ns,
-        };
-        if reply_tx.send(reply).is_err() {
-            break;
+    let mut flush_to = None;
+    loop {
+        match cmd_rx.recv() {
+            Ok(ToWorker::Round { bound_ns, inbox }) => {
+                for ev in inbox {
+                    sim.inject_remote(ev);
+                }
+                let processed = sim.run_window(SimTime::from_ns(bound_ns));
+                let max_popped_ns = (processed > 0).then(|| sim.now().as_ns());
+                let reply = RoundReply {
+                    outbound: sim.take_outbound(),
+                    next_at_ns: sim.next_event_at().map(|t| t.as_ns()),
+                    processed,
+                    max_popped_ns,
+                    now_ns: sim.now().as_ns(),
+                };
+                if reply_tx.send(reply).is_err() {
+                    break;
+                }
+            }
+            Ok(ToWorker::Finish { flush_to_ns }) => {
+                flush_to = Some(flush_to_ns);
+                break;
+            }
+            Err(_) => break,
         }
     }
-    (sim.stats(), sim.now())
+    if let Some(to_ns) = flush_to {
+        sim.flush_timeline(SimTime::from_ns(to_ns));
+    }
+    let captures = sim
+        .take_timeline_parts()
+        .map(|(_, baseline, caps, fin)| (baseline, caps, fin));
+    (sim.stats(), sim.now(), captures)
 }
 
 #[cfg(test)]
@@ -693,6 +844,72 @@ mod tests {
             assert_eq!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
         }
         assert!(report.rounds >= 2, "ping-pong needs multiple rounds");
+    }
+
+    #[test]
+    fn sharded_timeline_is_bit_identical_to_sequential() {
+        // Sequential recording: telemetry, nodes, boot timer, then the
+        // export interval — the same order the workers use.
+        let mut seq = Simulator::with_scheduler(two_node_topology(), SchedulerKind::Calendar);
+        seq.set_telemetry(Arc::new(Registry::new()));
+        seq.register_node(
+            SwitchId::new(1),
+            Box::new(Echo {
+                arrivals: Arc::new(AtomicU64::new(0)),
+                reply: false,
+            }),
+        );
+        seq.register_node(
+            SwitchId::new(2),
+            Box::new(Echo {
+                arrivals: Arc::new(AtomicU64::new(0)),
+                reply: true,
+            }),
+        );
+        seq.schedule_timer(SwitchId::new(1), 7, 50);
+        seq.set_export_interval(400);
+        seq.run_to_completion();
+        let seq_tl = seq.take_timeline().unwrap();
+
+        let t = two_node_topology();
+        let plan = ShardPlan::round_robin(&t, 2);
+        let mut sharded = ShardedSimulator::new(t, plan);
+        sharded.register_node(
+            SwitchId::new(1),
+            Box::new(Echo {
+                arrivals: Arc::new(AtomicU64::new(0)),
+                reply: false,
+            }),
+        );
+        sharded.register_node(
+            SwitchId::new(2),
+            Box::new(Echo {
+                arrivals: Arc::new(AtomicU64::new(0)),
+                reply: true,
+            }),
+        );
+        sharded.schedule_timer(SwitchId::new(1), 7, 50);
+        sharded.set_export_interval(400);
+        let (_, sharded_tl) = sharded.run_timeline();
+
+        assert!(
+            !seq_tl.entries.is_empty(),
+            "the run must cross at least one boundary with changes"
+        );
+        assert_eq!(sharded_tl, seq_tl);
+        assert_eq!(sharded_tl.to_json(), seq_tl.to_json());
+        assert_eq!(sharded_tl.to_bin(), seq_tl.to_bin());
+        assert_eq!(sharded_tl.reconstruct(), sharded_tl.final_snapshot);
+    }
+
+    #[test]
+    #[should_panic(expected = "not both")]
+    fn telemetry_and_export_are_mutually_exclusive() {
+        let t = two_node_topology();
+        let plan = ShardPlan::round_robin(&t, 2);
+        let mut sharded = ShardedSimulator::new(t, plan);
+        sharded.set_telemetry(Arc::new(Registry::new()));
+        sharded.set_export_interval(1_000);
     }
 
     #[test]

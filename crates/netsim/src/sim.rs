@@ -3,6 +3,7 @@
 use crate::frame::FrameBytes;
 use crate::sched::{CalendarQueue, HeapScheduler, Scheduler, SchedulerKind};
 use crate::time::SimTime;
+use crate::timeline::{ExportRecorder, Timeline};
 use crate::topology::{Endpoint, Link, LinkId, Topology};
 use p4auth_telemetry::{Counter, DropCause, Event as TelemetryEvent, Histogram, Registry};
 use p4auth_wire::ids::{PortId, SwitchId};
@@ -223,6 +224,8 @@ pub struct Simulator {
     spare_outbox: Outbox,
     stats: SimStats,
     telemetry: Option<SimTelemetry>,
+    /// Periodic delta-capture state (see [`crate::timeline`]).
+    recorder: Option<ExportRecorder>,
 }
 
 impl Simulator {
@@ -277,6 +280,7 @@ impl Simulator {
             spare_outbox: Outbox::default(),
             stats: SimStats::default(),
             telemetry: None,
+            recorder: None,
             topology,
         }
     }
@@ -287,6 +291,52 @@ impl Simulator {
     /// `FrameDelivered`/`FrameDropped` events.
     pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
         self.telemetry = Some(SimTelemetry::new(registry, self.topology.links().len()));
+    }
+
+    /// Starts periodic telemetry export: every `interval_ns` of simulated
+    /// time, the attached registry is snapshotted just before the first
+    /// event at or past the grid boundary, and the changes are emitted as
+    /// a delta (see [`crate::timeline`]). The recording baseline is the
+    /// registry's state *now*, so call this after topology bootstrap.
+    ///
+    /// Collect the result with [`Simulator::take_timeline`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no telemetry registry is attached or `interval_ns == 0`.
+    pub fn set_export_interval(&mut self, interval_ns: u64) {
+        let registry = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.registry.clone())
+            .expect("set_telemetry must be called before set_export_interval");
+        self.recorder = Some(ExportRecorder::new(registry, interval_ns));
+    }
+
+    /// Ends a recording at sim-time `to` (capturing pending boundaries
+    /// plus a tail snapshot) without consuming it. Used by the shard
+    /// runtime to stop every worker's recorder at the same global end
+    /// time; single-simulator callers normally just use
+    /// [`Simulator::take_timeline`].
+    pub fn flush_timeline(&mut self, to: SimTime) {
+        if let Some(rec) = &mut self.recorder {
+            rec.flush(to.as_ns());
+        }
+    }
+
+    /// Stops recording and returns the finished [`Timeline`] (flushed to
+    /// the current sim clock), or `None` when no export interval was set.
+    pub fn take_timeline(&mut self) -> Option<Timeline> {
+        let mut rec = self.recorder.take()?;
+        rec.flush(self.now.as_ns());
+        Some(rec.into_timeline())
+    }
+
+    /// Stops recording and returns the raw capture parts
+    /// `(interval_ns, baseline, boundary snapshots, final)` for the shard
+    /// coordinator to merge across workers.
+    pub(crate) fn take_timeline_parts(&mut self) -> Option<crate::timeline::TimelineParts> {
+        Some(self.recorder.take()?.into_parts())
     }
 
     /// The scheduler implementation this simulator runs on.
@@ -623,6 +673,11 @@ impl Simulator {
             return false;
         };
         debug_assert!(event.at >= self.now, "time went backwards");
+        if let Some(rec) = &mut self.recorder {
+            // Capture any export-grid boundaries this event is about to
+            // carry the clock across, *before* its effects apply.
+            rec.advance_to(event.at.as_ns());
+        }
         self.now = event.at;
         match event.payload {
             EventKind::FrameArrival { dst, payload } => {

@@ -338,6 +338,8 @@ pub struct Network {
     /// Controller events accumulated during the run.
     pub events: Rc<RefCell<Vec<ControllerEvent>>>,
     rollover: SharedRollover,
+    registry: Option<std::sync::Arc<p4auth_telemetry::Registry>>,
+    ring: Option<p4auth_telemetry::SnapshotRing>,
 }
 
 impl Network {
@@ -448,6 +450,8 @@ impl Network {
             controller,
             events,
             rollover,
+            registry: None,
+            ring: None,
         }
     }
 
@@ -677,6 +681,38 @@ impl Network {
         for agent in self.switches.values() {
             agent.borrow_mut().set_telemetry(registry.clone());
         }
+        self.registry = Some(registry);
+    }
+
+    /// Attaches a [`p4auth_telemetry::SnapshotRing`] holding the last
+    /// `capacity` snapshots, keyed by sim-ns. Call [`Network::sample_ring`]
+    /// at the observation cadence; windowed rates (e.g. per-channel reject
+    /// rates for the defence loop) then come from
+    /// [`p4auth_telemetry::SnapshotRing::rate_gauges`].
+    ///
+    /// # Panics
+    ///
+    /// If [`Network::enable_telemetry`] has not been called first.
+    pub fn enable_snapshot_ring(&mut self, capacity: usize) {
+        assert!(
+            self.registry.is_some(),
+            "enable_telemetry must be called before enable_snapshot_ring"
+        );
+        self.ring = Some(p4auth_telemetry::SnapshotRing::new(capacity));
+    }
+
+    /// Pushes the current registry snapshot into the ring, stamped with the
+    /// simulator clock. No-op unless [`Network::enable_snapshot_ring`] was
+    /// called.
+    pub fn sample_ring(&mut self) {
+        if let (Some(ring), Some(registry)) = (&mut self.ring, &self.registry) {
+            ring.push(self.sim.now().as_ns(), registry.snapshot());
+        }
+    }
+
+    /// The snapshot ring, if enabled.
+    pub fn snapshot_ring(&self) -> Option<&p4auth_telemetry::SnapshotRing> {
+        self.ring.as_ref()
     }
 }
 
@@ -861,5 +897,56 @@ mod tests {
             snap.counter("ctrl_responses_ok", "controller"),
             Some(responses_before + 1)
         );
+    }
+
+    #[test]
+    fn snapshot_ring_turns_reject_counts_into_windowed_rates() {
+        use p4auth_primitives::Digest32;
+        use p4auth_wire::body::{Body, RegisterOp};
+        use p4auth_wire::ids::SeqNum;
+        use p4auth_wire::Message;
+
+        let registry = std::sync::Arc::new(p4auth_telemetry::Registry::new());
+        let mut net = network(2);
+        net.enable_telemetry(registry.clone());
+        net.enable_snapshot_ring(8);
+        net.bootstrap_keys();
+        net.sample_ring(); // window start, after the (noisy) bootstrap
+
+        // A forged-response flood on S1's C-DP channel: every frame is a
+        // bad-digest reject at the controller.
+        let s1 = SwitchId::new(1);
+        for i in 0..20u32 {
+            let mut msg = Message::new(
+                s1,
+                PortId::CPU,
+                SeqNum::new(70_000 + i),
+                Body::Register(RegisterOp::Ack {
+                    reg: RegId::new(9),
+                    index: 0,
+                    value: u64::from(i),
+                }),
+            );
+            msg.header_mut().digest = Digest32::new(0xbad0_0000 + i);
+            net.sim.inject_frame(s1, PortId::new(63), msg.encode());
+        }
+        // One second of sim time makes the expected rate easy to read.
+        net.sim
+            .run_until(SimTime::from_ns(net.sim.now().as_ns() + 1_000_000_000));
+        net.sample_ring();
+
+        let ring = net.snapshot_ring().expect("ring enabled");
+        assert_eq!(ring.len(), 2);
+        let rate = ring
+            .rate("auth_reject_bad_digest", "controller")
+            .expect("reject series present in the window");
+        // 20 rejects over ~1s of sim time: comfortably positive, and no
+        // more than the frames injected.
+        assert!(rate > 1.0, "rate was {rate}");
+        assert!(rate <= 20.5, "rate was {rate}");
+        let gauges = ring.rate_gauges();
+        assert!(gauges
+            .iter()
+            .any(|g| g.name == "auth_reject_bad_digest_per_sec" && g.value > 0));
     }
 }

@@ -19,6 +19,7 @@ use p4auth_netsim::sched::SchedulerKind;
 use p4auth_netsim::shard::{ShardPlan, ShardedSimulator};
 use p4auth_netsim::sim::{Outbox, SimNode, Simulator};
 use p4auth_netsim::time::SimTime;
+use p4auth_netsim::timeline::Timeline;
 use p4auth_primitives::rng::{RandomSource, SplitMix64};
 use p4auth_telemetry::Registry;
 use p4auth_wire::ids::{PortId, SwitchId};
@@ -281,6 +282,77 @@ pub fn run_scale(
     run_scale_engine(cfg, Engine::Sequential(kind), registry)
 }
 
+/// Runs the workload with periodic telemetry export every `interval_ns`
+/// of sim-time, returning the run result and the recorded [`Timeline`].
+///
+/// The timeline is bit-identical across every engine — heap, calendar
+/// and any shard count — because capture is driven by the sim clock and
+/// the sharded merge reproduces the sequential registry state at every
+/// grid boundary (asserted by `timeline_is_bit_identical_across_engines`
+/// below and by the CI determinism step via `repro -- timeline`).
+pub fn run_scale_timeline(
+    cfg: ScaleConfig,
+    engine: Engine,
+    interval_ns: u64,
+) -> (ScaleRun, Timeline) {
+    let ft = FatTree::new(cfg.k);
+    let arrivals = Arc::new(AtomicU64::new(0));
+    let (events, sim_ns, wall_ns, timeline) = match engine {
+        Engine::Sequential(kind) => {
+            let mut sim = Simulator::with_scheduler(ft.build(cfg.latency_ns), kind);
+            sim.set_telemetry(Arc::new(Registry::new()));
+            for id in 1..=ft.switch_count() {
+                let id = SwitchId::new(id);
+                sim.register_node(id, forwarder(&cfg, ft, id));
+            }
+            for h in 0..ft.host_count() {
+                sim.register_node(ft.host(h), host(&cfg, ft, h, &arrivals));
+                sim.schedule_timer(ft.host(h), SEND_TIMER, boot_delay(h));
+            }
+            // After boot timers: setup pushes land in the baseline, the
+            // same cut the sharded workers use.
+            sim.set_export_interval(interval_ns);
+            let start = std::time::Instant::now();
+            let events = sim.run_to_completion();
+            let wall_ns = start.elapsed().as_nanos() as u64;
+            let timeline = sim.take_timeline().expect("export interval was set");
+            (events, sim.now().as_ns(), wall_ns, timeline)
+        }
+        Engine::Sharded { shards } => {
+            let topo = ft.build(cfg.latency_ns);
+            let plan = ShardPlan::pod_aligned(&topo, shards);
+            let mut sim = ShardedSimulator::new(topo, plan);
+            sim.set_export_interval(interval_ns);
+            for id in 1..=ft.switch_count() {
+                let id = SwitchId::new(id);
+                sim.register_node(id, forwarder(&cfg, ft, id));
+            }
+            for h in 0..ft.host_count() {
+                sim.register_node(ft.host(h), host(&cfg, ft, h, &arrivals));
+                sim.schedule_timer(ft.host(h), SEND_TIMER, boot_delay(h));
+            }
+            let start = std::time::Instant::now();
+            let (report, timeline) = sim.run_timeline();
+            (
+                report.events,
+                report.now.as_ns(),
+                start.elapsed().as_nanos() as u64,
+                timeline,
+            )
+        }
+    };
+    (
+        ScaleRun {
+            engine,
+            events,
+            frames_delivered: arrivals.load(Ordering::Relaxed),
+            sim_ns,
+            wall_ns,
+        },
+        timeline,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +382,40 @@ mod tests {
                 "sharded-{shards} diverged from calendar"
             );
         }
+    }
+
+    #[test]
+    fn timeline_is_bit_identical_across_engines() {
+        let cfg = ScaleConfig::for_k(4, 30);
+        let interval_ns = 2_000;
+        let (heap_run, heap_tl) =
+            run_scale_timeline(cfg, Engine::Sequential(SchedulerKind::Heap), interval_ns);
+        let (cal_run, cal_tl) = run_scale_timeline(
+            cfg,
+            Engine::Sequential(SchedulerKind::Calendar),
+            interval_ns,
+        );
+        let (shard_run, shard_tl) =
+            run_scale_timeline(cfg, Engine::Sharded { shards: 4 }, interval_ns);
+        assert_eq!(heap_run.fingerprint(), cal_run.fingerprint());
+        assert_eq!(heap_run.fingerprint(), shard_run.fingerprint());
+        // The serialized timelines are byte-identical across engines.
+        let json = heap_tl.to_json();
+        let bin = heap_tl.to_bin();
+        assert_eq!(cal_tl.to_json(), json, "calendar timeline diverged");
+        assert_eq!(shard_tl.to_json(), json, "sharded timeline diverged");
+        assert_eq!(cal_tl.to_bin(), bin);
+        assert_eq!(shard_tl.to_bin(), bin);
+        // The run spans many boundaries and actually emits deltas.
+        assert!(
+            heap_tl.entries.len() >= 3,
+            "expected several non-empty windows, got {}",
+            heap_tl.entries.len()
+        );
+        // baseline + Σdeltas reconstructs the final full snapshot.
+        assert_eq!(heap_tl.reconstruct(), heap_tl.final_snapshot);
+        // And the binary stream decodes back exactly.
+        assert_eq!(Timeline::from_bin(&bin).unwrap(), heap_tl);
     }
 
     #[test]

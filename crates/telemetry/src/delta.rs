@@ -1,0 +1,624 @@
+//! Delta snapshots: the difference between two [`Snapshot`]s of the same
+//! registry, and the machinery to apply and merge them.
+//!
+//! A [`SnapshotDelta`] carries only what changed since a baseline —
+//! counter increases, gauge restatements, per-bucket histogram
+//! increments, events appended to the log — so periodic exporters ship
+//! O(changed series) instead of O(all series) per window. The contract,
+//! enforced by a property test below, is exact reconstruction:
+//!
+//! ```text
+//! baseline.apply(delta_1).apply(delta_2)...  ==  final full snapshot
+//! ```
+//!
+//! [`Snapshot::merged`] combines per-shard snapshots of *disjoint*
+//! recording streams (each metric update happened on exactly one part)
+//! into the snapshot a single shared registry would have produced:
+//! counters and histogram buckets sum, min/max take the extrema over
+//! non-empty parts, and derived percentiles are recomputed with the same
+//! rank-walk the live [`crate::Histogram`] uses, so a merged snapshot is
+//! byte-identical to its sequential counterpart.
+
+use crate::events::EventRecord;
+use crate::snapshot::{
+    json_string, write_event, CounterSample, GaugeSample, HistogramSample, Snapshot,
+};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Changes to one histogram series since a baseline snapshot.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct HistogramDelta {
+    /// Family name.
+    pub name: String,
+    /// Series label (empty for the unlabeled series).
+    pub label: String,
+    /// Samples recorded since the baseline.
+    pub count: u64,
+    /// Sum increase since the baseline (wrapping, like the live sum).
+    pub sum: u64,
+    /// Absolute minimum at delta time (min only ever decreases, so the
+    /// receiver takes `min(baseline.min, delta.min)`).
+    pub min: u64,
+    /// Absolute maximum at delta time (receiver takes the max).
+    pub max: u64,
+    /// Bucket count increases as `(inclusive upper bound, added)`,
+    /// ascending, only buckets that grew.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// The difference between two snapshots of one registry: `current -
+/// baseline`. Produced by [`Snapshot::delta_from`] /
+/// [`crate::Registry::delta_since`], applied by
+/// [`SnapshotDelta::apply_to`].
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct SnapshotDelta {
+    /// Counter increases, sorted by `(name, label)`. A series absent from
+    /// the baseline appears with its full value (0-valued registrations
+    /// included: appearing *is* the change).
+    pub counters: Vec<CounterSample>,
+    /// Changed gauges restated as absolute values (gauges move both ways,
+    /// so increments would be ambiguous), sorted by `(name, label)`.
+    pub gauges: Vec<GaugeSample>,
+    /// Changed histogram series, sorted by `(name, label)`.
+    pub histograms: Vec<HistogramDelta>,
+    /// Increase of the event-log eviction count.
+    pub events_overflowed: u64,
+    /// Events appended since the baseline that are still buffered,
+    /// oldest first.
+    pub events: Vec<EventRecord>,
+    /// Event-log buffer length at delta time (what reconstruction must
+    /// truncate the concatenated log down to).
+    pub events_len: u64,
+}
+
+impl SnapshotDelta {
+    /// Whether nothing changed between the baseline and the snapshot this
+    /// delta was computed from. Empty deltas can be skipped by exporters
+    /// without affecting reconstruction.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.events.is_empty()
+            && self.events_overflowed == 0
+    }
+
+    /// Applies this delta to the snapshot it was computed against,
+    /// reproducing the later full snapshot exactly (including recomputed
+    /// histogram percentiles).
+    pub fn apply_to(&self, baseline: &Snapshot) -> Snapshot {
+        let mut counters: BTreeMap<(String, String), u64> = baseline
+            .counters
+            .iter()
+            .map(|c| ((c.name.clone(), c.label.clone()), c.value))
+            .collect();
+        for c in &self.counters {
+            let slot = counters
+                .entry((c.name.clone(), c.label.clone()))
+                .or_insert(0);
+            *slot = slot.wrapping_add(c.value);
+        }
+        let mut gauges: BTreeMap<(String, String), i64> = baseline
+            .gauges
+            .iter()
+            .map(|g| ((g.name.clone(), g.label.clone()), g.value))
+            .collect();
+        for g in &self.gauges {
+            gauges.insert((g.name.clone(), g.label.clone()), g.value);
+        }
+        let mut hists: BTreeMap<(String, String), HistParts> = baseline
+            .histograms
+            .iter()
+            .map(|h| ((h.name.clone(), h.label.clone()), HistParts::from_sample(h)))
+            .collect();
+        for d in &self.histograms {
+            let slot = hists
+                .entry((d.name.clone(), d.label.clone()))
+                .or_insert_with(HistParts::empty);
+            slot.add_delta(d);
+        }
+        let mut events = baseline.events.clone();
+        events.extend(self.events.iter().cloned());
+        let keep = self.events_len as usize;
+        if events.len() > keep {
+            events.drain(..events.len() - keep);
+        }
+        Snapshot {
+            counters: counters
+                .into_iter()
+                .map(|((name, label), value)| CounterSample { name, label, value })
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .map(|((name, label), value)| GaugeSample { name, label, value })
+                .collect(),
+            histograms: hists
+                .into_iter()
+                .map(|((name, label), parts)| parts.into_sample(name, label))
+                .collect(),
+            events_overflowed: baseline.events_overflowed + self.events_overflowed,
+            events,
+        }
+    }
+
+    /// Serializes the delta to a JSON object string (same hand-rolled,
+    /// deterministic encoding as [`Snapshot::to_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": ");
+            json_string(&mut out, &c.name);
+            out.push_str(", \"label\": ");
+            json_string(&mut out, &c.label);
+            let _ = write!(out, ", \"value\": {}}}", c.value);
+        }
+        out.push_str("\n  ],\n  \"gauges\": [");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": ");
+            json_string(&mut out, &g.name);
+            out.push_str(", \"label\": ");
+            json_string(&mut out, &g.label);
+            let _ = write!(out, ", \"value\": {}}}", g.value);
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": ");
+            json_string(&mut out, &h.name);
+            out.push_str(", \"label\": ");
+            json_string(&mut out, &h.label);
+            let _ = write!(
+                out,
+                ", \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+                h.count, h.sum, h.min, h.max
+            );
+            for (j, (bound, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{bound}, {n}]");
+            }
+            out.push_str("]}");
+        }
+        let _ = write!(
+            out,
+            "\n  ],\n  \"events_overflowed\": {},\n  \"events_len\": {},\n  \"events\": [",
+            self.events_overflowed, self.events_len
+        );
+        for (i, record) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            write_event(&mut out, record);
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Accumulator for one histogram series while applying or merging.
+struct HistParts {
+    count: u64,
+    sum: u64,
+    /// `None` until a non-empty contribution arrives (an empty histogram
+    /// reports `min = 0`, which must not poison the true minimum).
+    min: Option<u64>,
+    max: u64,
+    buckets: BTreeMap<u64, u64>,
+}
+
+impl HistParts {
+    fn empty() -> Self {
+        HistParts {
+            count: 0,
+            sum: 0,
+            min: None,
+            max: 0,
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    fn from_sample(h: &HistogramSample) -> Self {
+        HistParts {
+            count: h.count,
+            sum: h.sum,
+            min: (h.count > 0).then_some(h.min),
+            max: h.max,
+            buckets: h.buckets.iter().copied().collect(),
+        }
+    }
+
+    fn add_sample(&mut self, h: &HistogramSample) {
+        self.count += h.count;
+        self.sum = self.sum.wrapping_add(h.sum);
+        if h.count > 0 {
+            self.min = Some(self.min.map_or(h.min, |m| m.min(h.min)));
+            self.max = self.max.max(h.max);
+        }
+        for &(bound, n) in &h.buckets {
+            *self.buckets.entry(bound).or_insert(0) += n;
+        }
+    }
+
+    fn add_delta(&mut self, d: &HistogramDelta) {
+        self.count += d.count;
+        self.sum = self.sum.wrapping_add(d.sum);
+        // Delta min/max are absolutes at delta time; a changed histogram
+        // always has samples, so both are meaningful.
+        self.min = Some(self.min.map_or(d.min, |m| m.min(d.min)));
+        self.max = self.max.max(d.max);
+        for &(bound, n) in &d.buckets {
+            *self.buckets.entry(bound).or_insert(0) += n;
+        }
+    }
+
+    /// Builds the [`HistogramSample`], recomputing the percentile fields
+    /// with the same rank-walk (and observed-max clamp) as
+    /// [`crate::Histogram::quantile`], so a reconstructed or merged sample
+    /// is byte-identical to one taken live.
+    fn into_sample(self, name: String, label: String) -> HistogramSample {
+        let buckets: Vec<(u64, u64)> = self.buckets.into_iter().collect();
+        let total: u64 = buckets.iter().map(|&(_, n)| n).sum();
+        let max = self.max;
+        let quantile = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let rank = ((q * total as f64).ceil() as u64).max(1);
+            let mut seen = 0u64;
+            for &(bound, n) in &buckets {
+                seen += n;
+                if seen >= rank {
+                    return bound.min(max);
+                }
+            }
+            max
+        };
+        HistogramSample {
+            name,
+            label,
+            count: self.count,
+            sum: self.sum,
+            min: self.min.unwrap_or(0),
+            max,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+            buckets,
+        }
+    }
+}
+
+impl Snapshot {
+    /// The changes in `self` relative to `baseline`.
+    ///
+    /// `baseline` must be an earlier snapshot of the same registry (series
+    /// never disappear and counters only grow); with mismatched inputs the
+    /// arithmetic wraps rather than panicking, and reconstruction is still
+    /// exact because [`SnapshotDelta::apply_to`] wraps the same way.
+    pub fn delta_from(&self, baseline: &Snapshot) -> SnapshotDelta {
+        let base_counters: BTreeMap<(&str, &str), u64> = baseline
+            .counters
+            .iter()
+            .map(|c| ((c.name.as_str(), c.label.as_str()), c.value))
+            .collect();
+        let mut counters = Vec::new();
+        for c in &self.counters {
+            match base_counters.get(&(c.name.as_str(), c.label.as_str())) {
+                Some(&b) if b == c.value => {}
+                Some(&b) => counters.push(CounterSample {
+                    name: c.name.clone(),
+                    label: c.label.clone(),
+                    value: c.value.wrapping_sub(b),
+                }),
+                None => counters.push(c.clone()),
+            }
+        }
+        let base_gauges: BTreeMap<(&str, &str), i64> = baseline
+            .gauges
+            .iter()
+            .map(|g| ((g.name.as_str(), g.label.as_str()), g.value))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .filter(|g| base_gauges.get(&(g.name.as_str(), g.label.as_str())) != Some(&g.value))
+            .cloned()
+            .collect();
+        let base_hists: BTreeMap<(&str, &str), &HistogramSample> = baseline
+            .histograms
+            .iter()
+            .map(|h| ((h.name.as_str(), h.label.as_str()), h))
+            .collect();
+        let mut histograms = Vec::new();
+        for h in &self.histograms {
+            match base_hists.get(&(h.name.as_str(), h.label.as_str())) {
+                Some(b) if *b == h => {}
+                Some(b) => {
+                    let base_buckets: BTreeMap<u64, u64> = b.buckets.iter().copied().collect();
+                    let buckets = h
+                        .buckets
+                        .iter()
+                        .filter_map(|&(bound, n)| {
+                            let grew = n - base_buckets.get(&bound).copied().unwrap_or(0);
+                            (grew > 0).then_some((bound, grew))
+                        })
+                        .collect();
+                    histograms.push(HistogramDelta {
+                        name: h.name.clone(),
+                        label: h.label.clone(),
+                        count: h.count.wrapping_sub(b.count),
+                        sum: h.sum.wrapping_sub(b.sum),
+                        min: h.min,
+                        max: h.max,
+                        buckets,
+                    });
+                }
+                None => histograms.push(HistogramDelta {
+                    name: h.name.clone(),
+                    label: h.label.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    min: h.min,
+                    max: h.max,
+                    buckets: h.buckets.clone(),
+                }),
+            }
+        }
+        // Events appended since the baseline: everything recorded past the
+        // baseline's total (evicted + buffered), capped at what is still
+        // in the buffer.
+        let base_total = baseline.events_overflowed + baseline.events.len() as u64;
+        let cur_total = self.events_overflowed + self.events.len() as u64;
+        let appended = (cur_total.saturating_sub(base_total)) as usize;
+        let keep = appended.min(self.events.len());
+        SnapshotDelta {
+            counters,
+            gauges,
+            histograms,
+            events_overflowed: self.events_overflowed - baseline.events_overflowed,
+            events: self.events[self.events.len() - keep..].to_vec(),
+            events_len: self.events.len() as u64,
+        }
+    }
+
+    /// Merges snapshots of disjoint recording streams (e.g. one private
+    /// registry per simulator shard) into the snapshot one shared registry
+    /// would have produced.
+    ///
+    /// Counters, histogram counts/sums and buckets add; min/max take the
+    /// extrema over parts with samples; percentiles are recomputed from
+    /// the merged buckets. Gauges are instantaneous single-writer values —
+    /// if the same series appears in several parts with different values,
+    /// the later part (higher index) wins deterministically. Event logs
+    /// concatenate in part order and re-sort by timestamp (stable), and
+    /// eviction counts add.
+    pub fn merged(parts: &[Snapshot]) -> Snapshot {
+        let mut counters: BTreeMap<(String, String), u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<(String, String), i64> = BTreeMap::new();
+        let mut hists: BTreeMap<(String, String), HistParts> = BTreeMap::new();
+        let mut events: Vec<EventRecord> = Vec::new();
+        let mut events_overflowed = 0u64;
+        for part in parts {
+            for c in &part.counters {
+                let slot = counters
+                    .entry((c.name.clone(), c.label.clone()))
+                    .or_insert(0);
+                *slot = slot.wrapping_add(c.value);
+            }
+            for g in &part.gauges {
+                gauges.insert((g.name.clone(), g.label.clone()), g.value);
+            }
+            for h in &part.histograms {
+                hists
+                    .entry((h.name.clone(), h.label.clone()))
+                    .or_insert_with(HistParts::empty)
+                    .add_sample(h);
+            }
+            events.extend(part.events.iter().cloned());
+            events_overflowed += part.events_overflowed;
+        }
+        events.sort_by_key(|r| r.t_ns);
+        Snapshot {
+            counters: counters
+                .into_iter()
+                .map(|((name, label), value)| CounterSample { name, label, value })
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .map(|((name, label), value)| GaugeSample { name, label, value })
+                .collect(),
+            histograms: hists
+                .into_iter()
+                .map(|((name, label), parts)| parts.into_sample(name, label))
+                .collect(),
+            events_overflowed,
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{Event, RejectKind};
+    use crate::registry::Registry;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_baseline_yields_the_full_snapshot_as_delta() {
+        let r = Registry::new();
+        let baseline = r.snapshot();
+        r.counter_with("x", "a").add(3);
+        r.histogram("h").record(100);
+        let delta = r.delta_since(&baseline);
+        assert_eq!(delta.counters.len(), 1);
+        assert_eq!(delta.counters[0].value, 3);
+        assert_eq!(delta.histograms.len(), 1);
+        assert_eq!(delta.histograms[0].count, 1);
+        assert_eq!(delta.apply_to(&baseline), r.snapshot());
+    }
+
+    #[test]
+    fn identical_snapshots_give_an_empty_delta() {
+        let r = Registry::with_event_capacity(4);
+        r.counter("c").add(7);
+        r.gauge("g").set(-2);
+        r.histogram("h").record(9);
+        r.record(1, Event::AlertSuppressed { source: 3 });
+        let snap = r.snapshot();
+        let delta = snap.delta_from(&snap);
+        assert!(delta.is_empty());
+        assert_eq!(delta.apply_to(&snap), snap);
+    }
+
+    #[test]
+    fn new_zero_valued_series_still_appears_in_the_delta() {
+        // Registering a series is itself observable state: reconstruction
+        // must produce it even though its value is 0.
+        let r = Registry::new();
+        let baseline = r.snapshot();
+        let _handle = r.counter("registered_but_untouched");
+        let delta = r.delta_since(&baseline);
+        assert!(!delta.is_empty());
+        assert_eq!(delta.apply_to(&baseline), r.snapshot());
+    }
+
+    #[test]
+    fn histogram_delta_straddling_a_reobserved_max() {
+        // Baseline max 8 sits mid-bucket (bucket bound 15). New samples
+        // re-observe the bucket boundary value 15 (same bucket, new max)
+        // and then cross into the next bucket with 16. The reconstructed
+        // percentiles must match a live snapshot exactly, including the
+        // observed-max clamp.
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        h.record(8);
+        let baseline = r.snapshot();
+        assert_eq!(baseline.histogram("lat", "").unwrap().max, 8);
+        assert_eq!(baseline.histogram("lat", "").unwrap().p99, 8); // clamped
+        h.record(15);
+        let mid = r.snapshot();
+        let d1 = mid.delta_from(&baseline);
+        assert_eq!(d1.histograms[0].buckets, vec![(15, 1)]);
+        assert_eq!(d1.histograms[0].max, 15);
+        assert_eq!(d1.apply_to(&baseline), mid);
+        h.record(16);
+        let fin = r.snapshot();
+        let d2 = fin.delta_from(&mid);
+        assert_eq!(d2.histograms[0].buckets, vec![(31, 1)]);
+        assert_eq!(d2.apply_to(&mid), fin);
+        // Chain from the empty baseline too.
+        assert_eq!(d2.apply_to(&d1.apply_to(&baseline)), fin);
+    }
+
+    #[test]
+    fn event_log_delta_survives_ring_eviction() {
+        let r = Registry::with_event_capacity(3);
+        for t in 0..2 {
+            r.record(t, Event::AlertSuppressed { source: t as u16 });
+        }
+        let baseline = r.snapshot();
+        for t in 2..7 {
+            r.record(t, Event::AlertSuppressed { source: t as u16 });
+        }
+        let cur = r.snapshot();
+        let delta = cur.delta_from(&baseline);
+        // 5 appended, only the last 3 still buffered.
+        assert_eq!(delta.events.len(), 3);
+        assert_eq!(delta.events_overflowed, 4);
+        assert_eq!(delta.apply_to(&baseline), cur);
+    }
+
+    #[test]
+    fn merged_matches_a_shared_registry() {
+        // Two disjoint streams vs. one registry receiving both.
+        let shared = Registry::new();
+        let a = Registry::new();
+        let b = Registry::new();
+        for (r, scale) in [(&a, 1u64), (&b, 100u64)] {
+            for v in [3, 9, 1500] {
+                r.histogram("lat").record(v * scale);
+                shared.histogram("lat").record(v * scale);
+            }
+            r.counter_with("hits", "s1").add(scale);
+            shared.counter_with("hits", "s1").add(scale);
+        }
+        a.gauge("depth").set(5);
+        shared.gauge("depth").set(5);
+        let merged = Snapshot::merged(&[a.snapshot(), b.snapshot()]);
+        assert_eq!(merged, shared.snapshot());
+        assert_eq!(merged.to_json(), shared.snapshot().to_json());
+    }
+
+    #[test]
+    fn merged_with_empty_parts_keeps_true_minimum() {
+        let a = Registry::new();
+        let b = Registry::new();
+        let _empty = a.histogram("lat"); // registered, no samples (min = 0 in sample)
+        b.histogram("lat").record(42);
+        let merged = Snapshot::merged(&[a.snapshot(), b.snapshot()]);
+        let h = merged.histogram("lat", "").unwrap();
+        assert_eq!(h.min, 42, "empty part must not poison the minimum");
+        assert_eq!(h.count, 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn baseline_plus_deltas_reconstructs_the_full_snapshot(
+            ops in proptest::collection::vec((0u8..6, 0u64..1_000_000), 1..120),
+            cuts in proptest::collection::vec(0usize..120, 0..4),
+        ) {
+            let r = Registry::with_event_capacity(8);
+            let baseline = r.snapshot();
+            let mut cuts = cuts;
+            cuts.sort_unstable();
+            let mut checkpoints: Vec<Snapshot> = Vec::new();
+            for (i, &(sel, v)) in ops.iter().enumerate() {
+                match sel {
+                    0 => r.counter_with("c", "a").add(v),
+                    1 => r.counter_with("c", "b").inc(),
+                    2 => r.gauge("g").set(v as i64 - 500_000),
+                    3 => r.histogram_with("h", "x").record(v),
+                    4 => r.histogram_with("h", "y").record(v % 17),
+                    _ => r.record(v, Event::DigestRejected {
+                        peer: (v % 7) as u16,
+                        channel: (v % 3) as u8,
+                        reason: RejectKind::BadDigest,
+                    }),
+                }
+                if cuts.contains(&i) {
+                    checkpoints.push(r.snapshot());
+                }
+            }
+            let fin = r.snapshot();
+            // Reconstruct through every checkpoint chain: baseline +
+            // Σ deltas == final full snapshot, exactly.
+            let mut state = baseline.clone();
+            let mut prev = baseline;
+            for cp in checkpoints {
+                let delta = cp.delta_from(&prev);
+                state = delta.apply_to(&state);
+                prop_assert_eq!(&state, &cp);
+                prev = cp;
+            }
+            let last = fin.delta_from(&prev);
+            state = last.apply_to(&state);
+            prop_assert_eq!(&state, &fin);
+            prop_assert_eq!(state.to_json(), fin.to_json());
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! The [`Registry`]: labeled metric families plus the event log, with
 //! [`Registry::snapshot`] producing a serializable report.
 
+use crate::delta::SnapshotDelta;
 use crate::events::{Event, EventLog};
 use crate::metrics::{Counter, Gauge, Histogram};
 use crate::snapshot::{CounterSample, GaugeSample, HistogramSample, Snapshot};
@@ -120,9 +121,14 @@ impl Registry {
 
     /// A point-in-time copy of every metric series and the event log,
     /// deterministically ordered by `(name, label)`.
+    ///
+    /// When the event log is enabled, its eviction count is also surfaced
+    /// as a synthesized `events_dropped` counter so overflow is visible to
+    /// anything that only reads metric series (rate rings, dashboards)
+    /// and not the raw `events_overflowed` field.
     pub fn snapshot(&self) -> Snapshot {
         let families = self.lock();
-        let counters = families
+        let mut counters: Vec<CounterSample> = families
             .counters
             .iter()
             .map(|((name, label), c)| CounterSample {
@@ -146,13 +152,34 @@ impl Registry {
             .map(|((name, label), h)| HistogramSample::from_histogram(name, label, h))
             .collect();
         drop(families);
+        let events_overflowed = self.events.overflowed();
+        if self.events.enabled() {
+            let key = ("events_dropped", "");
+            match counters.binary_search_by(|c| (c.name.as_str(), c.label.as_str()).cmp(&key)) {
+                Ok(i) => counters[i].value = events_overflowed,
+                Err(i) => counters.insert(
+                    i,
+                    CounterSample {
+                        name: "events_dropped".to_string(),
+                        label: String::new(),
+                        value: events_overflowed,
+                    },
+                ),
+            }
+        }
         Snapshot {
             counters,
             gauges,
             histograms,
-            events_overflowed: self.events.overflowed(),
+            events_overflowed,
             events: self.events.to_vec(),
         }
+    }
+
+    /// The changes since `baseline` (an earlier [`Registry::snapshot`] of
+    /// this registry): equivalent to `self.snapshot().delta_from(baseline)`.
+    pub fn delta_since(&self, baseline: &Snapshot) -> SnapshotDelta {
+        self.snapshot().delta_from(baseline)
     }
 }
 
@@ -190,9 +217,11 @@ mod tests {
             },
         );
         let snap = r.snapshot();
-        assert_eq!(snap.counters.len(), 2);
+        // "a", the synthesized "events_dropped", and "z".
+        assert_eq!(snap.counters.len(), 3);
         assert_eq!(snap.counters[0].name, "a"); // BTreeMap order
         assert_eq!(snap.counters[0].value, 3);
+        assert_eq!(snap.counters[1].name, "events_dropped");
         assert_eq!(snap.gauges[0].value, -2);
         assert_eq!(snap.histograms[0].count, 1);
         assert_eq!(snap.events.len(), 1);
@@ -203,6 +232,22 @@ mod tests {
     fn disabled_events_by_default() {
         let r = Registry::new();
         r.record(1, Event::AlertSuppressed { source: 9 });
-        assert!(r.snapshot().events.is_empty());
+        let snap = r.snapshot();
+        assert!(snap.events.is_empty());
+        // No event log, no synthesized drop counter.
+        assert_eq!(snap.counter("events_dropped", ""), None);
+    }
+
+    #[test]
+    fn overflow_increments_events_dropped_counter() {
+        let r = Registry::with_event_capacity(2);
+        assert_eq!(r.snapshot().counter("events_dropped", ""), Some(0));
+        for t in 0..5 {
+            r.record(t, Event::AlertSuppressed { source: t as u16 });
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("events_dropped", ""), Some(3));
+        assert_eq!(snap.events_overflowed, 3);
+        assert_eq!(snap.events.len(), 2);
     }
 }

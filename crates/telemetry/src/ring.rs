@@ -1,0 +1,209 @@
+//! A fixed-capacity ring of recent snapshots keyed by sim-time, yielding
+//! windowed rates.
+//!
+//! The defence loop (and any dashboard) wants *rates* — rejects/sec per
+//! `(peer, channel)`, frames/sec — not lifetime totals. A
+//! [`SnapshotRing`] holds the last `capacity` `(t_ns, Snapshot)` pairs;
+//! the window it spans is whatever its oldest and newest entries cover,
+//! so pushing at a fixed export interval gives a sliding window of
+//! `capacity × interval`. Rates are computed from counter differences
+//! over the window and exposed either raw ([`SnapshotRing::rate`] /
+//! [`SnapshotRing::rates`]) or as derived `*_per_sec` gauge samples
+//! ([`SnapshotRing::rate_gauges`]) ready to feed back into a report.
+
+use crate::snapshot::{GaugeSample, Snapshot};
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// A windowed per-second rate for one counter series.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct RateSample {
+    /// Counter family name.
+    pub name: String,
+    /// Series label.
+    pub label: String,
+    /// Increase per second of sim-time over the ring's window.
+    pub per_sec: f64,
+}
+
+/// Fixed-capacity ring of `(sim-ns, Snapshot)` pairs with windowed-rate
+/// queries. See the module docs for sizing guidance.
+pub struct SnapshotRing {
+    capacity: usize,
+    entries: VecDeque<(u64, Snapshot)>,
+}
+
+impl SnapshotRing {
+    /// A ring keeping the most recent `capacity` snapshots.
+    ///
+    /// # Panics
+    /// If `capacity < 2` — a single entry can never span a window.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "SnapshotRing needs at least 2 entries");
+        SnapshotRing {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Number of buffered snapshots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ring holds no snapshots yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of buffered snapshots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sim-time span between the oldest and newest entries, in ns.
+    pub fn window_ns(&self) -> u64 {
+        match (self.entries.front(), self.entries.back()) {
+            (Some((t0, _)), Some((t1, _))) => t1 - t0,
+            _ => 0,
+        }
+    }
+
+    /// The newest buffered snapshot, if any.
+    pub fn latest(&self) -> Option<&Snapshot> {
+        self.entries.back().map(|(_, s)| s)
+    }
+
+    /// Pushes a snapshot taken at sim-time `t_ns`, evicting the oldest
+    /// entry when full.
+    ///
+    /// # Panics
+    /// If `t_ns` is older than the newest entry (snapshots must arrive in
+    /// sim-time order).
+    pub fn push(&mut self, t_ns: u64, snapshot: Snapshot) {
+        if let Some(&(last, _)) = self.entries.back() {
+            assert!(
+                t_ns >= last,
+                "snapshot pushed out of order: {t_ns} < {last}"
+            );
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((t_ns, snapshot));
+    }
+
+    /// Per-second rate of counter `name{label}` over the ring's window.
+    ///
+    /// Needs at least two entries spanning non-zero sim-time; a series
+    /// absent from the oldest entry counts from 0 (it was registered
+    /// mid-window). Returns `None` when the window is empty/zero-width or
+    /// the series is absent from the newest snapshot.
+    pub fn rate(&self, name: &str, label: &str) -> Option<f64> {
+        let (t0, oldest) = self.entries.front()?;
+        let (t1, newest) = self.entries.back()?;
+        let span = t1.checked_sub(*t0).filter(|&s| s > 0)?;
+        let end = newest.counter(name, label)?;
+        let start = oldest.counter(name, label).unwrap_or(0);
+        Some(end.wrapping_sub(start) as f64 * 1e9 / span as f64)
+    }
+
+    /// Windowed rates for every counter series in the newest snapshot,
+    /// sorted by `(name, label)`. Empty when no window spans yet.
+    pub fn rates(&self) -> Vec<RateSample> {
+        let Some(newest) = self.latest() else {
+            return Vec::new();
+        };
+        newest
+            .counters
+            .iter()
+            .filter_map(|c| {
+                self.rate(&c.name, &c.label).map(|per_sec| RateSample {
+                    name: c.name.clone(),
+                    label: c.label.clone(),
+                    per_sec,
+                })
+            })
+            .collect()
+    }
+
+    /// The windowed rates as derived gauge samples named
+    /// `{name}_per_sec` (value rounded to the nearest integer), ready to
+    /// splice into a report next to the raw series.
+    pub fn rate_gauges(&self) -> Vec<GaugeSample> {
+        self.rates()
+            .into_iter()
+            .map(|r| GaugeSample {
+                name: format!("{}_per_sec", r.name),
+                label: r.label,
+                value: r.per_sec.round() as i64,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn rates_over_the_window() {
+        let r = Registry::new();
+        let rejects = r.counter_with("auth_rejects", "peer2:ch0");
+        let frames = r.counter("frames");
+        let mut ring = SnapshotRing::new(4);
+        // 1000 ns apart; 5 rejects and 100 frames per tick.
+        for tick in 0..6u64 {
+            rejects.add(5);
+            frames.add(100);
+            ring.push(tick * 1_000, r.snapshot());
+        }
+        assert_eq!(ring.len(), 4); // capacity evicted the first two
+        assert_eq!(ring.window_ns(), 3_000);
+        // 15 rejects over 3 µs = 5e6/sec.
+        let rate = ring.rate("auth_rejects", "peer2:ch0").unwrap();
+        assert!((rate - 5e6).abs() < 1e-6, "rate = {rate}");
+        let gauges = ring.rate_gauges();
+        let fr = gauges
+            .iter()
+            .find(|g| g.name == "frames_per_sec")
+            .expect("derived frames gauge");
+        assert_eq!(fr.value, 100_000_000);
+        assert_eq!(fr.label, "");
+    }
+
+    #[test]
+    fn no_rate_without_a_window() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        let mut ring = SnapshotRing::new(2);
+        assert_eq!(ring.rate("c", ""), None);
+        ring.push(10, r.snapshot());
+        assert_eq!(ring.rate("c", ""), None, "one entry has no span");
+        ring.push(10, r.snapshot());
+        assert_eq!(ring.rate("c", ""), None, "zero-width window");
+        assert!(ring.rates().is_empty());
+    }
+
+    #[test]
+    fn series_registered_mid_window_counts_from_zero() {
+        let r = Registry::new();
+        let mut ring = SnapshotRing::new(3);
+        ring.push(0, r.snapshot());
+        r.counter("late").add(8);
+        ring.push(2_000, r.snapshot());
+        let rate = ring.rate("late", "").unwrap();
+        assert!((rate - 4e6).abs() < 1e-6, "rate = {rate}");
+        assert_eq!(ring.rate("absent", ""), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_push_panics() {
+        let r = Registry::new();
+        let mut ring = SnapshotRing::new(2);
+        ring.push(100, r.snapshot());
+        ring.push(50, r.snapshot());
+    }
+}

@@ -11,6 +11,8 @@ use crate::metrics::Histogram;
 use serde::Serialize;
 use std::fmt::Write as _;
 
+pub mod bin;
+
 /// One counter series.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize)]
 pub struct CounterSample {
@@ -191,7 +193,7 @@ impl Snapshot {
 }
 
 /// Appends `s` as a JSON string literal (with escaping) to `out`.
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -209,13 +211,13 @@ fn json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn write_event(out: &mut String, record: &EventRecord) {
-    let _ = write!(
-        out,
-        "{{\"t_ns\": {}, \"type\": \"{}\"",
-        record.t_ns,
-        record.event.kind()
-    );
+pub(crate) fn write_event(out: &mut String, record: &EventRecord) {
+    // Every string field — including the `&'static str` ones like kex
+    // steps and defence actions — goes through `json_string`, so hostile
+    // content (quotes, backslashes, control bytes) can never break the
+    // document.
+    let _ = write!(out, "{{\"t_ns\": {}, \"type\": ", record.t_ns);
+    json_string(out, record.event.kind());
     match &record.event {
         Event::DigestRejected {
             peer,
@@ -224,9 +226,9 @@ fn write_event(out: &mut String, record: &EventRecord) {
         } => {
             let _ = write!(
                 out,
-                ", \"peer\": {peer}, \"channel\": {channel}, \"reason\": \"{}\"",
-                reason.as_str()
+                ", \"peer\": {peer}, \"channel\": {channel}, \"reason\": "
             );
+            json_string(out, reason.as_str());
         }
         Event::ReplayDetected {
             peer,
@@ -241,11 +243,8 @@ fn write_event(out: &mut String, record: &EventRecord) {
             );
         }
         Event::AlertEmitted { source, reason } => {
-            let _ = write!(
-                out,
-                ", \"source\": {source}, \"reason\": \"{}\"",
-                reason.as_str()
-            );
+            let _ = write!(out, ", \"source\": {source}, \"reason\": ");
+            json_string(out, reason.as_str());
         }
         Event::AlertSuppressed { source } => {
             let _ = write!(out, ", \"source\": {source}");
@@ -261,7 +260,8 @@ fn write_event(out: &mut String, record: &EventRecord) {
             );
         }
         Event::KexStep { node, step } => {
-            let _ = write!(out, ", \"node\": {node}, \"step\": \"{step}\"");
+            let _ = write!(out, ", \"node\": {node}, \"step\": ");
+            json_string(out, step);
         }
         Event::FrameDelivered { node, port, bytes } => {
             let _ = write!(
@@ -270,7 +270,8 @@ fn write_event(out: &mut String, record: &EventRecord) {
             );
         }
         Event::FrameDropped { node, cause } => {
-            let _ = write!(out, ", \"node\": {node}, \"cause\": \"{}\"", cause.as_str());
+            let _ = write!(out, ", \"node\": {node}, \"cause\": ");
+            json_string(out, cause.as_str());
         }
         Event::RecircUsed { switch, count } => {
             let _ = write!(out, ", \"switch\": {switch}, \"count\": {count}");
@@ -282,8 +283,9 @@ fn write_event(out: &mut String, record: &EventRecord) {
         } => {
             let _ = write!(
                 out,
-                ", \"peer\": {peer}, \"channel\": {channel}, \"action\": \"{action}\""
+                ", \"peer\": {peer}, \"channel\": {channel}, \"action\": "
             );
+            json_string(out, action);
         }
     }
     out.push('}');
@@ -329,6 +331,86 @@ mod tests {
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    /// Minimal structural JSON validator: checks string escaping, literal
+    /// nesting, and that every byte is consumed. Enough to prove the
+    /// hand-rolled encoder emits a well-formed document without pulling in
+    /// a parser dependency.
+    fn assert_valid_json(s: &str) {
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        let mut stack: Vec<u8> = Vec::new();
+        while i < b.len() {
+            match b[i] {
+                b'"' => {
+                    i += 1;
+                    loop {
+                        assert!(i < b.len(), "unterminated string in {s:?}");
+                        match b[i] {
+                            b'"' => break,
+                            b'\\' => {
+                                i += 1;
+                                assert!(i < b.len(), "dangling escape");
+                                match b[i] {
+                                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                                    b'u' => {
+                                        assert!(i + 4 < b.len(), "short \\u escape");
+                                        assert!(
+                                            b[i + 1..i + 5].iter().all(u8::is_ascii_hexdigit),
+                                            "bad \\u escape"
+                                        );
+                                        i += 4;
+                                    }
+                                    c => panic!("invalid escape \\{}", c as char),
+                                }
+                            }
+                            c if c < 0x20 => panic!("raw control byte {c:#x} inside string"),
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                }
+                b'{' | b'[' => stack.push(b[i]),
+                b'}' => assert_eq!(stack.pop(), Some(b'{'), "mismatched }} at byte {i}"),
+                b']' => assert_eq!(stack.pop(), Some(b'['), "mismatched ] at byte {i}"),
+                _ => {}
+            }
+            i += 1;
+        }
+        assert!(stack.is_empty(), "unclosed containers: {stack:?}");
+    }
+
+    #[test]
+    fn hostile_names_and_event_strings_stay_valid_json() {
+        let hostile = "evil\"name\\with\nnewline\tand\u{1}ctl";
+        let r = Registry::with_event_capacity(8);
+        r.counter_with(hostile, "lab\"el\\").add(1);
+        r.gauge(hostile).set(-3);
+        r.histogram_with("h", hostile).record(9);
+        r.record(
+            1,
+            Event::KexStep {
+                node: 4,
+                step: "adhkd_offer",
+            },
+        );
+        r.record(
+            2,
+            Event::DefenceAction {
+                peer: 1,
+                channel: 0,
+                action: "key_rollover",
+            },
+        );
+        let json = r.snapshot().to_json();
+        assert_valid_json(&json);
+        // The hostile name round-trips escaped, never raw.
+        assert!(json.contains("evil\\\"name\\\\with\\nnewline\\tand\\u0001ctl"));
+        assert!(!json.contains("evil\"name"));
+        // Event strings go through the same escaper.
+        assert!(json.contains("\"step\": \"adhkd_offer\""));
+        assert!(json.contains("\"action\": \"key_rollover\""));
     }
 
     #[test]
