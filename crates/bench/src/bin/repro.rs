@@ -11,7 +11,13 @@
 //!
 //! `--short` and `--shards <n>` are consumed before name filtering and
 //! set `P4AUTH_SCALE_SHORT` / `P4AUTH_SCALE_SHARDS` for the scale and
-//! timeline reports. `--out <path>` requires selecting exactly one of
+//! timeline reports. `--stagger <ns>` sets `P4AUTH_SHARD_STAGGER`, making
+//! the sharded engine inject deterministic per-worker wall-clock delays —
+//! the determinism gates run twice with different values to prove worker
+//! scheduling cannot affect the output. `--baseline <path>` sets
+//! `P4AUTH_SCALE_BASELINE`, making the scale report assert its measured
+//! `sharded_speedup` against the checked-in JSON (CI non-regression
+//! gate). `--out <path>` requires selecting exactly one of
 //! `metrics`, `timeline` or `decode`, and writes that experiment's
 //! machine-readable output to `<path>` (plus `<path>.bin` for the binary
 //! form, where one exists). `decode <file>` re-emits a binary artifact
@@ -37,6 +43,25 @@ fn main() {
                         std::process::exit(1);
                     });
                 std::env::set_var("P4AUTH_SCALE_SHARDS", n.to_string());
+            }
+            "--stagger" => {
+                i += 1;
+                let ns = args
+                    .get(i)
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--stagger needs a delay in nanoseconds");
+                        std::process::exit(1);
+                    });
+                std::env::set_var("P4AUTH_SHARD_STAGGER", ns.to_string());
+            }
+            "--baseline" => {
+                i += 1;
+                let path = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--baseline needs a scale-JSON path");
+                    std::process::exit(1);
+                });
+                std::env::set_var("P4AUTH_SCALE_BASELINE", path);
             }
             "--out" => {
                 i += 1;

@@ -490,6 +490,10 @@ pub fn metrics() {
 /// `P4AUTH_TIMELINE_INTERVAL_NS=<ns>` overrides the export grid (default
 /// 10µs of sim-time). `P4AUTH_TIMELINE_OUT=<path>` (`--out`) writes the
 /// JSON timeline to `<path>` and the binary stream to `<path>.bin`.
+/// `P4AUTH_SHARD_STAGGER=<ns>` (read by the sharded engine itself)
+/// additionally injects deterministic per-worker wall-clock delays; CI's
+/// two-run determinism gate sets *different* values on its two runs to
+/// prove worker scheduling cannot leak into the output.
 pub fn timeline() {
     use crate::scale::{run_scale_timeline, Engine, ScaleConfig};
     use p4auth_netsim::sched::SchedulerKind;
@@ -601,16 +605,35 @@ pub fn decode(input: &str) {
     }
 }
 
+/// Extracts the `sharded_speedup` recorded for arity `k` from a
+/// checked-in `BENCH_sim_scale.json`, by plain string scanning (the
+/// artifact is written one run-entry per line; no JSON parser in-tree).
+fn baseline_sharded_speedup(json: &str, k: u16) -> Option<f64> {
+    let k_tag = format!("\"k\": {k},");
+    let entry = json.lines().find(|l| l.contains(&k_tag))?;
+    let field = "\"sharded_speedup\": ";
+    let start = entry.find(field)? + field.len();
+    let rest = &entry[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
 /// Simulator scale report (`repro -- scale`): heap vs. calendar scheduler
-/// vs. sharded-engine events/sec on fat-tree workloads, plus
-/// `sim_event_lead_ns` percentiles, printed as one JSON object. Every
-/// engine's deterministic fingerprint (events, frames delivered, final
-/// clock) is asserted equal before anything is reported.
+/// vs. sharded-engine events/sec on fat-tree workloads, plus the sharded
+/// coordination cost (rendezvous rounds, chained windows, cross-shard
+/// frames, barrier wait) and `sim_event_lead_ns` percentiles, printed as
+/// one JSON object. Every engine's deterministic fingerprint (events,
+/// frames delivered, final clock) is asserted equal before anything is
+/// reported.
 ///
 /// Short mode (`P4AUTH_SCALE_SHORT=1`, used by CI) runs only a capped k=4
 /// workload. `P4AUTH_SCALE_SHARDS=<n>` sets the shard count (default 4).
 /// Set `P4AUTH_SCALE_OUT=<path>` to also write the JSON to a file (how
-/// `BENCH_sim_scale.json` is regenerated).
+/// `BENCH_sim_scale.json` is regenerated). Set
+/// `P4AUTH_SCALE_BASELINE=<path>` to a checked-in scale JSON to assert,
+/// per arity present in both runs, that the measured `sharded_speedup`
+/// has not regressed more than 0.2 below the recorded value (the CI
+/// non-regression gate for the sharded engine's overhead ratio).
 pub fn scale() {
     use crate::scale::{run_scale_engine, Engine, ScaleConfig};
     use p4auth_netsim::sched::SchedulerKind;
@@ -631,6 +654,10 @@ pub fn scale() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let baseline = std::env::var("P4AUTH_SCALE_BASELINE").ok().map(|path| {
+        std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read P4AUTH_SCALE_BASELINE {path}: {e}"))
+    });
     let configs: Vec<(u16, u32)> = if short {
         vec![(4, 50)]
     } else {
@@ -638,7 +665,7 @@ pub fn scale() {
     };
 
     println!(
-        "{:>3} {:>9} {:>14} {:>16} {:>16} {:>10} {:>10} {:>8}",
+        "{:>3} {:>9} {:>14} {:>16} {:>16} {:>10} {:>10} {:>8} {:>8} {:>9}",
         "k",
         "events",
         "heap (ev/s)",
@@ -646,6 +673,8 @@ pub fn scale() {
         "sharded (ev/s)",
         "cal/heap",
         "shard/cal",
+        "rounds",
+        "rnds/Mev",
         "lead p50"
     );
     let mut entries = String::new();
@@ -692,7 +721,7 @@ pub fn scale() {
         let speedup = cal.events_per_sec() / heap.events_per_sec();
         let shard_speedup = sharded.events_per_sec() / cal.events_per_sec();
         println!(
-            "{:>3} {:>9} {:>14.0} {:>16.0} {:>16.0} {:>9.2}x {:>9.2}x {:>8}",
+            "{:>3} {:>9} {:>14.0} {:>16.0} {:>16.0} {:>9.2}x {:>9.2}x {:>8} {:>9.1} {:>8}",
             k,
             cal.events,
             heap.events_per_sec(),
@@ -700,8 +729,25 @@ pub fn scale() {
             sharded.events_per_sec(),
             speedup,
             shard_speedup,
+            sharded.rounds,
+            sharded.rounds_per_mevents(),
             lead.p50,
         );
+        if let Some(base) = baseline
+            .as_deref()
+            .and_then(|json| baseline_sharded_speedup(json, k))
+        {
+            const MARGIN: f64 = 0.2;
+            assert!(
+                shard_speedup >= base - MARGIN,
+                "sharded speedup regressed at k={k}: measured {shard_speedup:.3} \
+                 vs checked-in baseline {base:.3} (margin {MARGIN})"
+            );
+            println!(
+                "  k={k}: sharded_speedup {shard_speedup:.3} >= baseline \
+                 {base:.3} - {MARGIN} ✓"
+            );
+        }
         if i > 0 {
             entries.push_str(",\n");
         }
@@ -712,6 +758,9 @@ pub fn scale() {
              \"heap_events_per_sec\": {:.0}, \"calendar_events_per_sec\": {:.0}, \
              \"sharded_events_per_sec\": {:.0}, \"shards\": {shards}, \
              \"speedup\": {speedup:.3}, \"sharded_speedup\": {shard_speedup:.3}, \
+             \"sharded_rounds\": {}, \"sharded_windows\": {}, \
+             \"sharded_frames_exchanged\": {}, \"sharded_barrier_wait_ns\": {}, \
+             \"sharded_rounds_per_mevents\": {:.1}, \
              \"event_lead_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}}}",
             cal.events,
             cal.frames_delivered,
@@ -719,6 +768,11 @@ pub fn scale() {
             heap.events_per_sec(),
             cal.events_per_sec(),
             sharded.events_per_sec(),
+            sharded.rounds,
+            sharded.windows,
+            sharded.frames_exchanged,
+            sharded.barrier_wait_ns,
+            sharded.rounds_per_mevents(),
             lead.p50,
             lead.p90,
             lead.p99,

@@ -38,6 +38,29 @@
 //! holding the globally earliest event always has `next < bound` — each
 //! round makes progress and the protocol cannot deadlock.
 //!
+//! # Round amortization: chained windows and peer mailboxes
+//!
+//! One window per coordinator rendezvous would make the rendezvous the
+//! dominant cost (it once was: a command/reply channel pair per shard
+//! per window, with cross-shard frames routed one `RemoteEvent` at a
+//! time through the coordinator). Instead the coordinator grants each
+//! rendezvous a *chain* of windows `b_1 .. b_m` computed pessimistically
+//! up front: `b_1` comes from the true per-shard `next` values, and each
+//! later step substitutes the previous bounds for `next` (a shard that
+//! processed window `k` has nothing left below `b_k[i]`, and the
+//! relaxation accounts for anything still in flight), so
+//! `b_{k+1} = bound(relax(b_k))`. Every finite bound advances by at
+//! least the minimum cross-link latency per step, and frames produced in
+//! window `k` are exchanged **directly between workers** at the window
+//! boundary: one batched buffer per (sender, receiver) linked pair,
+//! through a mutex-and-condvar mailbox with a monotone publish counter.
+//! A worker waits only for its in-neighbours to finish the previous
+//! window — not for the whole fleet — then drains, injects, and keeps
+//! going. The coordinator is only consulted every `m` windows
+//! ([`ShardedSimulator::set_chain_depth`], default
+//! [`DEFAULT_CHAIN_DEPTH`]), and a final boundary exchange before each
+//! reply leaves the mailboxes empty so replies carry plain queue heads.
+//!
 //! # Why bit-identity holds
 //!
 //! Event tiebreak keys pack `(source node, per-source count)`
@@ -50,6 +73,18 @@
 //! drain order restricted to its own nodes. Merging per-node streams back
 //! together therefore reproduces the sequential execution bit for bit;
 //! `tests/shard_diff.rs` and the CI smoke step enforce this.
+//!
+//! Telemetry follows the same discipline: workers never share a
+//! registry. Each shard records into a **private** registry (event
+//! capacity cloned from the caller's), and after the run the coordinator
+//! merges the per-shard final snapshots in shard-index order
+//! ([`Snapshot::merged`]) and absorbs the result into the caller's
+//! registry — so the observable output is a pure function of the
+//! simulated execution, never of how the worker threads were scheduled.
+//! The `P4AUTH_SHARD_STAGGER` knob (and
+//! [`ShardedSimulator::set_stagger`]) injects deterministic per-worker
+//! sleeps before each window publish and each reply, so scheduling-
+//! dependence bugs surface even on a single-core runner.
 
 use crate::sched::SchedulerKind;
 use crate::sim::{SimNode, SimStats, Simulator};
@@ -60,10 +95,15 @@ use p4auth_telemetry::{Registry, Snapshot};
 use p4auth_wire::ids::SwitchId;
 use std::collections::BTreeSet;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use crate::sim::RemoteEvent;
+
+/// Default number of safe windows granted per coordinator rendezvous
+/// (see [`ShardedSimulator::set_chain_depth`]).
+pub const DEFAULT_CHAIN_DEPTH: usize = 8;
 
 /// An assignment of every topology node to a shard.
 #[derive(Clone, Debug)]
@@ -216,7 +256,15 @@ impl ShardPlan {
 }
 
 /// Outcome of a sharded run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// The simulation fields (`events`, `stats`, `now`) are deterministic
+/// and equal the sequential run's. The coordination fields (`rounds`,
+/// `windows`, `frames_exchanged`) are determined by the protocol and
+/// workload alone, so they too are reproducible — but they have no
+/// sequential counterpart. `barrier_wait_ns` is wall-clock and therefore
+/// **not** deterministic; keep it out of anything diffed for
+/// bit-identity.
+#[derive(Clone, Copy, Debug)]
 pub struct ShardRunReport {
     /// Events processed across all shards (equals the sequential count).
     pub events: u64,
@@ -226,70 +274,144 @@ pub struct ShardRunReport {
     /// Final simulated time: the max over shard clocks, which is the time
     /// of the globally last event — exactly the sequential final `now`.
     pub now: SimTime,
-    /// Synchronization rounds executed.
+    /// Coordinator rendezvous executed (each grants a chain of windows).
     pub rounds: u64,
+    /// Safe windows processed across all rounds (`>= rounds`; the ratio
+    /// is the chaining amortization factor).
+    pub windows: u64,
+    /// Cross-shard frames exchanged through the peer mailboxes.
+    pub frames_exchanged: u64,
+    /// Wall-clock nanoseconds the coordinator spent blocked waiting for
+    /// chain replies — the rendezvous cost made visible.
+    pub barrier_wait_ns: u64,
 }
 
-/// Per-round synchronization record from [`ShardedSimulator::run_audited`],
-/// for invariant checking in tests.
+/// Per-rendezvous synchronization record from
+/// [`ShardedSimulator::run_audited`], for invariant checking in tests.
 #[derive(Clone, Debug)]
 pub struct RoundAudit {
-    /// Each shard's effective earliest pending event (queue or inbox) at
-    /// the round start, `None` when idle.
+    /// Each shard's earliest pending event at the rendezvous, `None`
+    /// when idle. The first window's bounds derive from these; later
+    /// windows in the chain derive from the previous window's bounds.
     pub next_at_ns: Vec<Option<u64>>,
-    /// The safe-window bound granted to each shard (exclusive;
-    /// `u64::MAX` means unbounded).
+    /// The chain of granted windows, in execution order.
+    pub windows: Vec<WindowAudit>,
+}
+
+/// One granted safe window within a rendezvous chain.
+#[derive(Clone, Debug)]
+pub struct WindowAudit {
+    /// The bound granted to each shard (exclusive; `u64::MAX` means
+    /// unbounded).
     pub bound_ns: Vec<u64>,
-    /// Timestamp of the latest event each shard popped this round,
+    /// Timestamp of the latest event each shard popped in this window,
     /// `None` when it processed nothing.
     pub max_popped_ns: Vec<Option<u64>>,
 }
 
 enum ToWorker {
-    Round {
-        bound_ns: u64,
-        inbox: Vec<RemoteEvent>,
-    },
+    /// Process a chain of safe windows (bounds in execution order),
+    /// exchanging frames with linked peers at every window boundary, and
+    /// reply once at the end of the chain.
+    Chain { bounds_ns: Vec<u64> },
     /// End of run. Workers with a timeline recorder flush it to
     /// `flush_to_ns` — the *global* final clock, so every shard's tail
     /// capture carries the same stamp a sequential recorder would use.
     Finish { flush_to_ns: u64 },
 }
 
-struct RoundReply {
-    outbound: Vec<RemoteEvent>,
+struct ChainReply {
+    /// Queue head after the chain. The final boundary exchange already
+    /// pulled every in-flight frame into the queue, so this alone is the
+    /// shard's true horizon — the coordinator routes no frames.
     next_at_ns: Option<u64>,
     processed: u64,
-    max_popped_ns: Option<u64>,
-    /// The shard's clock after the round (moves only on pops).
+    /// Per-window `(processed, latest pop)` in chain order, for audits.
+    windows: Vec<(u64, Option<u64>)>,
+    /// Frames this shard pushed to peer mailboxes during the chain.
+    frames_sent: u64,
+    /// The shard's clock after the chain (moves only on pops).
     now_ns: u64,
+}
+
+/// A single-producer batched frame channel for one directed linked shard
+/// pair. The sender pushes its whole per-peer outbound buffer once per
+/// window boundary and bumps `published`; the receiver waits until the
+/// counter covers the windows it needs, then drains. Counters are
+/// level-triggered, so an early drain (the chain-end exchange) and the
+/// next window's drain overlap harmlessly.
+#[derive(Default)]
+struct Mailbox {
+    state: Mutex<MailboxState>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct MailboxState {
+    /// Publish count: 1 after the pre-run publish, `w + 1` after the
+    /// sender finishes window `w`.
+    published: u64,
+    frames: Vec<RemoteEvent>,
+}
+
+impl Mailbox {
+    fn publish(&self, frames: Vec<RemoteEvent>) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.frames.extend(frames);
+        st.published += 1;
+        self.ready.notify_all();
+    }
+
+    fn drain_when(&self, published_at_least: u64) -> Vec<RemoteEvent> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while st.published < published_at_least {
+            st = self.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        std::mem::take(&mut st.frames)
+    }
 }
 
 /// Raw per-shard timeline capture: `(baseline, boundary snapshots,
 /// final)` of the worker's private registry.
 type ShardCaptures = (Snapshot, Vec<(u64, Snapshot)>, Snapshot);
 
+/// What a worker hands back at join: its stats, final clock, the final
+/// snapshot of its private registry (when the caller attached
+/// telemetry), and raw timeline captures (when exporting).
+type WorkerOutcome = (SimStats, SimTime, Option<Snapshot>, Option<ShardCaptures>);
+
 /// A partitioned simulator: builds one [`Simulator`] per shard on worker
-/// threads and drives them in safe-window rounds (see the module docs).
+/// threads and drives them in chained safe-window rounds (see the module
+/// docs).
 ///
 /// Usage mirrors [`Simulator`]: register nodes, schedule boot timers,
 /// optionally attach telemetry, then [`ShardedSimulator::run`] to
-/// completion. Telemetry counters and histograms aggregate across shards
-/// commutatively, so snapshots match a sequential run's; attach a
-/// registry *without* an event log if you need snapshot bit-equality (the
-/// log's interleaving is the one execution-order-dependent piece).
+/// completion. Workers record into per-shard private registries that the
+/// coordinator merges in shard-index order, so an attached registry ends
+/// up byte-identical regardless of thread scheduling — including its
+/// event log.
 pub struct ShardedSimulator {
     topology: Topology,
     plan: ShardPlan,
     nodes: Vec<Option<Box<dyn SimNode + Send>>>,
     /// Boot timers `(node, timer_id, delay_ns)` in registration order.
     timers: Vec<(SwitchId, u64, u64)>,
+    /// The caller's registry — the merge *sink*, never handed to workers.
     telemetry: Option<Arc<Registry>>,
     export_interval_ns: Option<u64>,
+    /// Safe windows granted per coordinator rendezvous.
+    chain_depth: usize,
+    /// Deterministic per-(shard, window) sleep schedule in ns; empty
+    /// disables staggering.
+    stagger_ns: Vec<u64>,
 }
 
 impl ShardedSimulator {
     /// Creates a sharded simulator over `topology` partitioned by `plan`.
+    ///
+    /// Honors the `P4AUTH_SHARD_STAGGER` environment variable (a base
+    /// delay in ns) by installing a default stagger schedule — see
+    /// [`ShardedSimulator::set_stagger`].
     pub fn new(topology: Topology, plan: ShardPlan) -> Self {
         let max_id = topology
             .nodes()
@@ -304,6 +426,8 @@ impl ShardedSimulator {
             timers: Vec::new(),
             telemetry: None,
             export_interval_ns: None,
+            chain_depth: DEFAULT_CHAIN_DEPTH,
+            stagger_ns: stagger_from_env(),
         }
     }
 
@@ -335,35 +459,61 @@ impl ShardedSimulator {
         self.timers.push((node, timer_id, delay_ns));
     }
 
-    /// Attaches a telemetry registry, shared by every shard.
+    /// Attaches a telemetry registry. The registry is **never** shared
+    /// with the workers: each shard records into a private registry
+    /// (event-log capacity cloned from this one) and, when the run
+    /// completes, the coordinator merges the per-shard snapshots in
+    /// shard-index order and absorbs the result here
+    /// ([`Registry::absorb`]). Counters, histograms and the event log
+    /// therefore come out byte-identical no matter how the worker
+    /// threads were scheduled or how many cores ran them. May be
+    /// combined with [`ShardedSimulator::set_export_interval`]; the same
+    /// private registries serve both.
     pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
-        assert!(
-            self.export_interval_ns.is_none(),
-            "timeline export uses per-shard private registries; attach \
-             telemetry OR set an export interval, not both"
-        );
         self.telemetry = Some(registry);
     }
 
     /// Starts periodic telemetry export (see
-    /// [`Simulator::set_export_interval`]). Each worker records into a
-    /// *private* registry at safe-window pop boundaries; the coordinator
+    /// [`Simulator::set_export_interval`]). Each worker records into its
+    /// private registry at safe-window pop boundaries; the coordinator
     /// merges per-shard captures in shard-index order into one
     /// [`Timeline`] that is bit-identical to a sequential recording.
     /// Collect it with [`ShardedSimulator::run_timeline`].
     ///
     /// # Panics
     ///
-    /// Panics if a shared telemetry registry is attached (the two modes
-    /// are mutually exclusive) or `interval_ns == 0`.
+    /// Panics if `interval_ns == 0`.
     pub fn set_export_interval(&mut self, interval_ns: u64) {
-        assert!(
-            self.telemetry.is_none(),
-            "timeline export uses per-shard private registries; attach \
-             telemetry OR set an export interval, not both"
-        );
         assert!(interval_ns > 0, "export interval must be positive");
         self.export_interval_ns = Some(interval_ns);
+    }
+
+    /// Sets how many safe windows each coordinator rendezvous grants
+    /// (default [`DEFAULT_CHAIN_DEPTH`]). Depth 1 reproduces the
+    /// unchained one-window-per-round protocol; deeper chains amortize
+    /// the rendezvous over more work at the cost of pessimistic (but
+    /// still safe) later windows. Output is bit-identical at any depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn set_chain_depth(&mut self, depth: usize) {
+        assert!(depth >= 1, "chain depth must be at least 1");
+        self.chain_depth = depth;
+    }
+
+    /// Installs a deterministic stagger schedule (test/CI knob): before
+    /// publishing each window boundary and before each reply, worker `s`
+    /// at window `w` sleeps `schedule[(7·s + 13·w) mod len]` wall-clock
+    /// nanoseconds. This perturbs thread interleaving adversarially —
+    /// exactly what a multi-core scheduler would do — without touching
+    /// simulated time, so any output difference it provokes is a
+    /// determinism bug. An empty schedule disables staggering. The
+    /// `P4AUTH_SHARD_STAGGER` environment variable (base ns) installs a
+    /// scattered default schedule at construction; this setter overrides
+    /// it (tests prefer it — it needs no process-global state).
+    pub fn set_stagger(&mut self, schedule_ns: Vec<u64>) {
+        self.stagger_ns = schedule_ns;
     }
 
     /// Runs to completion and reports the aggregate outcome.
@@ -396,6 +546,8 @@ impl ShardedSimulator {
     fn run_inner(mut self, audit: bool) -> (ShardRunReport, Vec<RoundAudit>, Option<Timeline>) {
         let n = self.plan.nshards();
         let lat = self.plan.cross_latency_matrix(&self.topology);
+        let depth = self.chain_depth;
+        let stagger = Arc::new(self.stagger_ns.clone());
 
         // Split registered nodes and boot timers by owning shard.
         let mut shard_nodes: Vec<Vec<(SwitchId, Box<dyn SimNode + Send>)>> =
@@ -411,66 +563,61 @@ impl ShardedSimulator {
             shard_timers[self.plan.shard_of(node)].push((node, timer_id, delay_ns));
         }
 
+        // One mailbox per directed linked shard pair: frames flow between
+        // workers directly, never through the coordinator.
+        let mailboxes: Vec<Vec<Option<Arc<Mailbox>>>> = (0..n)
+            .map(|j| {
+                (0..n)
+                    .map(|i| lat[j][i].map(|_| Arc::new(Mailbox::default())))
+                    .collect()
+            })
+            .collect();
+
         // Spawn one worker per shard. Each builds its own Simulator from
-        // the shared topology, masked to the nodes it owns.
+        // the shared topology, routing by the plan's owner assignment.
         let mut cmd_txs: Vec<SyncSender<ToWorker>> = Vec::with_capacity(n);
-        let mut reply_rxs: Vec<Receiver<RoundReply>> = Vec::with_capacity(n);
+        let mut reply_rxs: Vec<Receiver<ChainReply>> = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for s in 0..n {
             let (cmd_tx, cmd_rx) = sync_channel::<ToWorker>(1);
-            let (reply_tx, reply_rx) = sync_channel::<RoundReply>(1);
-            let topology = self.topology.clone();
-            let plan = self.plan.clone();
-            let nodes = std::mem::take(&mut shard_nodes[s]);
-            let timers = std::mem::take(&mut shard_timers[s]);
-            let telemetry = self.telemetry.clone();
-            let export_interval_ns = self.export_interval_ns;
-            handles.push(thread::spawn(move || {
-                worker(
-                    s,
-                    topology,
-                    plan,
-                    nodes,
-                    timers,
-                    telemetry,
-                    export_interval_ns,
-                    cmd_rx,
-                    reply_tx,
-                )
-            }));
+            let (reply_tx, reply_rx) = sync_channel::<ChainReply>(1);
+            let setup = WorkerSetup {
+                shard: s,
+                nshards: n,
+                topology: self.topology.clone(),
+                assign: self.plan.assign.clone(),
+                nodes: std::mem::take(&mut shard_nodes[s]),
+                timers: std::mem::take(&mut shard_timers[s]),
+                event_capacity: self.telemetry.as_ref().map(|r| r.event_capacity()),
+                export_interval_ns: self.export_interval_ns,
+                stagger_ns: stagger.clone(),
+                out_links: (0..n)
+                    .filter_map(|i| mailboxes[s][i].clone().map(|mb| (i, mb)))
+                    .collect(),
+                in_links: (0..n).filter_map(|j| mailboxes[j][s].clone()).collect(),
+                cmd_rx,
+                reply_tx,
+            };
+            handles.push(thread::spawn(move || worker(setup)));
             cmd_txs.push(cmd_tx);
             reply_rxs.push(reply_rx);
         }
 
         // Initial replies carry each shard's boot-timer horizon.
-        let mut replies: Vec<RoundReply> = reply_rxs
+        let mut replies: Vec<ChainReply> = reply_rxs
             .iter()
             .map(|rx| rx.recv().expect("worker died before first reply"))
             .collect();
-        let mut inboxes: Vec<Vec<RemoteEvent>> = (0..n).map(|_| Vec::new()).collect();
         let mut audits = Vec::new();
         let mut events = 0u64;
         let mut rounds = 0u64;
+        let mut windows = 0u64;
+        let mut frames_exchanged = 0u64;
+        let mut barrier_wait = Duration::ZERO;
 
-        loop {
-            // Effective horizon per shard: its queue plus its inbox.
-            let next: Vec<u64> = (0..n)
-                .map(|i| {
-                    let q = replies[i].next_at_ns.unwrap_or(u64::MAX);
-                    let inbox = inboxes[i]
-                        .iter()
-                        .map(|ev| ev.at.as_ns())
-                        .min()
-                        .unwrap_or(u64::MAX);
-                    q.min(inbox)
-                })
-                .collect();
-            if next.iter().all(|&v| v == u64::MAX) {
-                break;
-            }
-
-            // Earliest-possible-action fixpoint over the shard graph.
-            let mut ea = next.clone();
+        // The earliest-possible-action fixpoint over the shard graph
+        // (Bellman–Ford relaxation), from any per-shard horizon vector.
+        let relax = |mut ea: Vec<u64>| {
             loop {
                 let mut changed = false;
                 for i in 0..n {
@@ -488,38 +635,65 @@ impl ShardedSimulator {
                     break;
                 }
             }
-            let bound: Vec<u64> = (0..n)
+            ea
+        };
+        let bound_of = |ea: &[u64]| -> Vec<u64> {
+            (0..n)
                 .map(|i| {
                     (0..n)
                         .filter_map(|j| lat[j][i].map(|l| ea[j].saturating_add(l)))
                         .min()
                         .unwrap_or(u64::MAX)
                 })
+                .collect()
+        };
+
+        loop {
+            // The chain-end exchange pulled every in-flight frame into
+            // the owning shard's queue, so the reply horizons are the
+            // whole story.
+            let next: Vec<u64> = replies
+                .iter()
+                .map(|r| r.next_at_ns.unwrap_or(u64::MAX))
                 .collect();
+            if next.iter().all(|&v| v == u64::MAX) {
+                break;
+            }
+
+            // Build the chain of granted windows: the first from the true
+            // horizons, each later one by substituting the previous
+            // bounds (a shard that processed window k has nothing left
+            // below b_k, and the relaxation covers frames still in
+            // flight). Finite bounds advance ≥ L_min per step; stop early
+            // if a step grants nothing new.
+            let mut chain: Vec<Vec<u64>> = Vec::with_capacity(depth);
+            let mut cur = next.clone();
+            for _ in 0..depth {
+                let b = bound_of(&relax(cur));
+                if chain.last() == Some(&b) {
+                    break;
+                }
+                cur = b.clone();
+                chain.push(b);
+            }
 
             rounds += 1;
+            windows += chain.len() as u64;
             for (i, tx) in cmd_txs.iter().enumerate() {
-                tx.send(ToWorker::Round {
-                    bound_ns: bound[i],
-                    inbox: std::mem::take(&mut inboxes[i]),
+                tx.send(ToWorker::Chain {
+                    bounds_ns: chain.iter().map(|w| w[i]).collect(),
                 })
                 .expect("worker hung up mid-run");
             }
+            let wait_start = Instant::now();
             let mut processed_this_round = 0u64;
-            let mut max_popped = Vec::new();
             for (i, rx) in reply_rxs.iter().enumerate() {
                 let reply = rx.recv().expect("worker died mid-round");
                 processed_this_round += reply.processed;
-                if audit {
-                    max_popped.push(reply.max_popped_ns);
-                }
+                frames_exchanged += reply.frames_sent;
                 replies[i] = reply;
             }
-            for reply in &mut replies {
-                for ev in reply.outbound.drain(..) {
-                    inboxes[self.plan.shard_of(ev.dst.node)].push(ev);
-                }
-            }
+            barrier_wait += wait_start.elapsed();
             events += processed_this_round;
             assert!(
                 processed_this_round > 0,
@@ -528,8 +702,14 @@ impl ShardedSimulator {
             if audit {
                 audits.push(RoundAudit {
                     next_at_ns: next.iter().map(|&v| (v != u64::MAX).then_some(v)).collect(),
-                    bound_ns: bound,
-                    max_popped_ns: max_popped,
+                    windows: chain
+                        .iter()
+                        .enumerate()
+                        .map(|(w, bound_ns)| WindowAudit {
+                            bound_ns: bound_ns.clone(),
+                            max_popped_ns: replies.iter().map(|r| r.windows[w].1).collect(),
+                        })
+                        .collect(),
                 });
             }
         }
@@ -546,16 +726,29 @@ impl ShardedSimulator {
         }
         let mut stats = SimStats::default();
         let mut now = SimTime::ZERO;
+        let mut snapshots: Vec<Option<Snapshot>> = Vec::with_capacity(handles.len());
         let mut captures: Vec<Option<ShardCaptures>> = Vec::with_capacity(handles.len());
         for handle in handles {
-            let (shard_stats, shard_now, shard_caps) = handle.join().expect("worker panicked");
+            let (shard_stats, shard_now, shard_snap, shard_caps) =
+                handle.join().expect("worker panicked");
             stats.frames_delivered += shard_stats.frames_delivered;
             stats.frames_tapped_dropped += shard_stats.frames_tapped_dropped;
             stats.frames_tapped_modified += shard_stats.frames_tapped_modified;
             stats.frames_undeliverable += shard_stats.frames_undeliverable;
             stats.timers_fired += shard_stats.timers_fired;
             now = now.max(shard_now);
+            snapshots.push(shard_snap);
             captures.push(shard_caps);
+        }
+        // Deterministic telemetry hand-back: merge the per-shard final
+        // snapshots in shard-index order, then absorb into the caller's
+        // registry.
+        if let Some(user) = &self.telemetry {
+            let parts: Vec<Snapshot> = snapshots
+                .into_iter()
+                .map(|s| s.expect("telemetry attached but a worker recorded nothing"))
+                .collect();
+            user.absorb(&Snapshot::merged(&parts));
         }
         let timeline = self
             .export_interval_ns
@@ -566,10 +759,43 @@ impl ShardedSimulator {
                 stats,
                 now,
                 rounds,
+                windows,
+                frames_exchanged,
+                barrier_wait_ns: barrier_wait.as_nanos() as u64,
             },
             audits,
             timeline,
         )
+    }
+}
+
+/// Default stagger schedule from the `P4AUTH_SHARD_STAGGER` environment
+/// variable (a base delay in ns; unset, unparsable or 0 disables). The
+/// schedule scatters multiples of `base / 2` so different (shard,
+/// window) pairs land on different delays.
+fn stagger_from_env() -> Vec<u64> {
+    let Ok(v) = std::env::var("P4AUTH_SHARD_STAGGER") else {
+        return Vec::new();
+    };
+    let base: u64 = v.trim().parse().unwrap_or(0);
+    if base == 0 {
+        return Vec::new();
+    }
+    (0..8).map(|i| base / 2 * ((5 * i + 3) % 8)).collect()
+}
+
+/// The deterministic stagger sleep for worker `shard` at window
+/// `window` (no-op on an empty schedule).
+fn stagger_sleep(schedule: &[u64], shard: usize, window: u64) {
+    if schedule.is_empty() {
+        return;
+    }
+    let idx = (shard as u64)
+        .wrapping_mul(7)
+        .wrapping_add(window.wrapping_mul(13)) as usize
+        % schedule.len();
+    if schedule[idx] > 0 {
+        thread::sleep(Duration::from_nanos(schedule[idx]));
     }
 }
 
@@ -620,38 +846,79 @@ fn merge_timelines(interval_ns: u64, captures: Vec<Option<ShardCaptures>>) -> Ti
     )
 }
 
-/// Worker-thread body: owns one shard's [`Simulator`] and answers
-/// safe-window rounds until told to finish.
-#[allow(clippy::too_many_arguments)]
-fn worker(
+/// Everything a worker thread needs, bundled at spawn time.
+struct WorkerSetup {
     shard: usize,
+    nshards: usize,
     topology: Topology,
-    plan: ShardPlan,
+    /// Owning shard per node, dense by raw id (the plan's assignment).
+    assign: Vec<u32>,
     nodes: Vec<(SwitchId, Box<dyn SimNode + Send>)>,
     timers: Vec<(SwitchId, u64, u64)>,
-    telemetry: Option<Arc<Registry>>,
+    /// `Some(capacity)` when the caller attached telemetry: the worker
+    /// records into a private registry with a matching event capacity
+    /// and returns its final snapshot for the shard-index merge.
+    event_capacity: Option<usize>,
     export_interval_ns: Option<u64>,
+    stagger_ns: Arc<Vec<u64>>,
+    /// Mailboxes this worker publishes to, by ascending peer index.
+    out_links: Vec<(usize, Arc<Mailbox>)>,
+    /// Mailboxes this worker drains, by ascending peer index.
+    in_links: Vec<Arc<Mailbox>>,
     cmd_rx: Receiver<ToWorker>,
-    reply_tx: SyncSender<RoundReply>,
-) -> (SimStats, SimTime, Option<ShardCaptures>) {
-    let max_id = topology
-        .nodes()
-        .iter()
-        .map(|n| n.value() as usize)
-        .max()
-        .unwrap_or(0);
-    let mut mask = vec![false; max_id + 1];
-    for &node in topology.nodes() {
-        mask[node.value() as usize] = plan.shard_of(node) == shard;
+    reply_tx: SyncSender<ChainReply>,
+}
+
+/// Pushes the per-peer outbound buffers to the peer mailboxes (one
+/// publish per out-link, empty or not — the counters must advance
+/// uniformly). Returns the number of frames sent.
+fn publish_boundary(sim: &mut Simulator, out_links: &[(usize, Arc<Mailbox>)]) -> u64 {
+    let mut sent = 0u64;
+    for (peer, mb) in out_links {
+        let frames = sim.take_outbound_for(*peer);
+        sent += frames.len() as u64;
+        mb.publish(frames);
     }
+    debug_assert_eq!(
+        sim.outbound_pending(),
+        0,
+        "a frame crossed shards without a link to its owner"
+    );
+    sent
+}
+
+/// Worker-thread body: owns one shard's [`Simulator`], processes granted
+/// window chains — exchanging frames with linked peers at every window
+/// boundary — and answers the coordinator once per chain until told to
+/// finish.
+fn worker(setup: WorkerSetup) -> WorkerOutcome {
+    let WorkerSetup {
+        shard,
+        nshards,
+        topology,
+        assign,
+        nodes,
+        timers,
+        event_capacity,
+        export_interval_ns,
+        stagger_ns,
+        out_links,
+        in_links,
+        cmd_rx,
+        reply_tx,
+    } = setup;
     let mut sim = Simulator::with_scheduler(topology, SchedulerKind::Calendar);
-    sim.set_owned_mask(mask);
-    if let Some(registry) = telemetry {
-        sim.set_telemetry(registry);
-    } else if export_interval_ns.is_some() {
-        // Timeline mode: a private registry per shard, merged by the
-        // coordinator after the run.
-        sim.set_telemetry(Arc::new(Registry::new()));
+    sim.set_shard_route(assign, nshards, shard as u32);
+    // A private registry whenever anything observes this run: both the
+    // telemetry merge and the timeline merge read from it. Never the
+    // caller's registry — see the module docs.
+    let registry: Option<Arc<Registry>> = match (event_capacity, export_interval_ns) {
+        (Some(cap), _) if cap > 0 => Some(Arc::new(Registry::with_event_capacity(cap))),
+        (Some(_), _) | (None, Some(_)) => Some(Arc::new(Registry::new())),
+        (None, None) => None,
+    };
+    if let Some(r) = &registry {
+        sim.set_telemetry(r.clone());
     }
     for (id, node) in nodes {
         sim.register_node(id, node);
@@ -664,12 +931,19 @@ fn worker(
         // exactly as in the sequential recording.
         sim.set_export_interval(interval);
     }
+    // Pre-run publish (#1): peers' first drains must see a defined
+    // state; nothing can be outbound yet (boot timers are local).
+    publish_boundary(&mut sim, &out_links);
+    // Completed windows, global across rounds: after window `w` this
+    // worker has published `w + 1` times and needs `published >= w` from
+    // each in-neighbour before processing window `w`.
+    let mut window = 0u64;
     reply_tx
-        .send(RoundReply {
-            outbound: sim.take_outbound(),
+        .send(ChainReply {
             next_at_ns: sim.next_event_at().map(|t| t.as_ns()),
             processed: 0,
-            max_popped_ns: None,
+            windows: Vec::new(),
+            frames_sent: 0,
             now_ns: sim.now().as_ns(),
         })
         .expect("coordinator hung up before first reply");
@@ -677,17 +951,39 @@ fn worker(
     let mut flush_to = None;
     loop {
         match cmd_rx.recv() {
-            Ok(ToWorker::Round { bound_ns, inbox }) => {
-                for ev in inbox {
-                    sim.inject_remote(ev);
+            Ok(ToWorker::Chain { bounds_ns }) => {
+                let mut processed_total = 0u64;
+                let mut frames_sent = 0u64;
+                let mut per_window = Vec::with_capacity(bounds_ns.len());
+                for bound_ns in bounds_ns {
+                    window += 1;
+                    for mb in &in_links {
+                        for ev in mb.drain_when(window) {
+                            sim.inject_remote(ev);
+                        }
+                    }
+                    let processed = sim.run_window(SimTime::from_ns(bound_ns));
+                    let max_popped_ns = (processed > 0).then(|| sim.now().as_ns());
+                    stagger_sleep(&stagger_ns, shard, window);
+                    frames_sent += publish_boundary(&mut sim, &out_links);
+                    processed_total += processed;
+                    per_window.push((processed, max_popped_ns));
                 }
-                let processed = sim.run_window(SimTime::from_ns(bound_ns));
-                let max_popped_ns = (processed > 0).then(|| sim.now().as_ns());
-                let reply = RoundReply {
-                    outbound: sim.take_outbound(),
+                // Chain-end exchange: pull everything the peers sent
+                // through their last window, so the reply's horizon
+                // covers every in-flight frame and the mailboxes are
+                // empty at the rendezvous.
+                for mb in &in_links {
+                    for ev in mb.drain_when(window + 1) {
+                        sim.inject_remote(ev);
+                    }
+                }
+                stagger_sleep(&stagger_ns, shard, window);
+                let reply = ChainReply {
                     next_at_ns: sim.next_event_at().map(|t| t.as_ns()),
-                    processed,
-                    max_popped_ns,
+                    processed: processed_total,
+                    windows: per_window,
+                    frames_sent,
                     now_ns: sim.now().as_ns(),
                 };
                 if reply_tx.send(reply).is_err() {
@@ -707,7 +1003,10 @@ fn worker(
     let captures = sim
         .take_timeline_parts()
         .map(|(_, baseline, caps, fin)| (baseline, caps, fin));
-    (sim.stats(), sim.now(), captures)
+    let snapshot = event_capacity
+        .is_some()
+        .then(|| registry.as_ref().expect("registry built above").snapshot());
+    (sim.stats(), sim.now(), snapshot, captures)
 }
 
 #[cfg(test)]
@@ -843,7 +1142,9 @@ mod tests {
         for (a, b) in arrivals.iter().zip(&seq_arrivals) {
             assert_eq!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
         }
-        assert!(report.rounds >= 2, "ping-pong needs multiple rounds");
+        assert!(report.rounds >= 1, "ping-pong needs at least one round");
+        assert!(report.windows >= report.rounds, "chains grant ≥1 window");
+        assert_eq!(report.frames_exchanged, 2, "one frame over, one echo back");
     }
 
     #[test]
@@ -902,14 +1203,154 @@ mod tests {
         assert_eq!(sharded_tl.reconstruct(), sharded_tl.final_snapshot);
     }
 
-    #[test]
-    #[should_panic(expected = "not both")]
-    fn telemetry_and_export_are_mutually_exclusive() {
+    /// Builds the standard ping-pong over a sharded sim; callers tweak
+    /// the knobs before running.
+    fn ping_pong_sharded() -> ShardedSimulator {
         let t = two_node_topology();
         let plan = ShardPlan::round_robin(&t, 2);
         let mut sharded = ShardedSimulator::new(t, plan);
-        sharded.set_telemetry(Arc::new(Registry::new()));
-        sharded.set_export_interval(1_000);
+        sharded.set_stagger(Vec::new()); // isolate from the env knob
+        sharded.register_node(
+            SwitchId::new(1),
+            Box::new(Echo {
+                arrivals: Arc::new(AtomicU64::new(0)),
+                reply: false,
+            }),
+        );
+        sharded.register_node(
+            SwitchId::new(2),
+            Box::new(Echo {
+                arrivals: Arc::new(AtomicU64::new(0)),
+                reply: true,
+            }),
+        );
+        sharded.schedule_timer(SwitchId::new(1), 7, 50);
+        sharded
+    }
+
+    #[test]
+    fn sharded_telemetry_merges_into_the_callers_registry() {
+        // Sequential reference with a shared registry, event log on.
+        let seq_registry = Arc::new(Registry::with_event_capacity(64));
+        let mut seq = Simulator::with_scheduler(two_node_topology(), SchedulerKind::Calendar);
+        seq.set_telemetry(seq_registry.clone());
+        seq.register_node(
+            SwitchId::new(1),
+            Box::new(Echo {
+                arrivals: Arc::new(AtomicU64::new(0)),
+                reply: false,
+            }),
+        );
+        seq.register_node(
+            SwitchId::new(2),
+            Box::new(Echo {
+                arrivals: Arc::new(AtomicU64::new(0)),
+                reply: true,
+            }),
+        );
+        seq.schedule_timer(SwitchId::new(1), 7, 50);
+        seq.run_to_completion();
+
+        // Sharded: the caller's registry is a merge sink for the
+        // per-shard private registries.
+        let registry = Arc::new(Registry::with_event_capacity(64));
+        let mut sharded = ping_pong_sharded();
+        sharded.set_telemetry(registry.clone());
+        sharded.run();
+        assert_eq!(
+            registry.snapshot().to_json(),
+            seq_registry.snapshot().to_json()
+        );
+    }
+
+    #[test]
+    fn telemetry_and_timeline_export_combine() {
+        // Both an attached registry and an export interval: the same
+        // private per-shard registries serve the timeline merge and the
+        // final telemetry merge.
+        let registry = Arc::new(Registry::new());
+        let mut sharded = ping_pong_sharded();
+        sharded.set_telemetry(registry.clone());
+        sharded.set_export_interval(400);
+        let (report, timeline) = sharded.run_timeline();
+        assert_eq!(report.stats.frames_delivered, 2);
+        assert!(!timeline.entries.is_empty());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sim_frames_delivered", ""), Some(2));
+        assert_eq!(timeline.reconstruct(), timeline.final_snapshot);
+    }
+
+    #[test]
+    fn stagger_does_not_change_any_output() {
+        let reference = {
+            let registry = Arc::new(Registry::with_event_capacity(64));
+            let mut sharded = ping_pong_sharded();
+            sharded.set_telemetry(registry.clone());
+            let report = sharded.run();
+            (registry.snapshot().to_json(), report)
+        };
+        for schedule in [vec![120_000, 0, 40_000], vec![5_000]] {
+            let registry = Arc::new(Registry::with_event_capacity(64));
+            let mut sharded = ping_pong_sharded();
+            sharded.set_telemetry(registry.clone());
+            sharded.set_stagger(schedule);
+            let report = sharded.run();
+            assert_eq!(registry.snapshot().to_json(), reference.0);
+            assert_eq!(report.events, reference.1.events);
+            assert_eq!(report.stats, reference.1.stats);
+            assert_eq!(report.now, reference.1.now);
+            assert_eq!(report.rounds, reference.1.rounds);
+            assert_eq!(report.windows, reference.1.windows);
+            assert_eq!(report.frames_exchanged, reference.1.frames_exchanged);
+        }
+    }
+
+    /// Bounces a TTL-carrying frame back out its ingress port until the
+    /// TTL hits zero — a long cross-shard conversation for round
+    /// accounting.
+    struct Bouncer;
+
+    impl SimNode for Bouncer {
+        fn on_frame(&mut self, _: SimTime, ingress: PortId, payload: FrameBytes, out: &mut Outbox) {
+            let ttl = payload.as_slice()[0];
+            if ttl > 0 {
+                out.send_delayed(ingress, vec![ttl - 1], 10);
+            }
+        }
+        fn on_timer(&mut self, _: SimTime, _: u64, out: &mut Outbox) {
+            out.send(PortId::new(1), vec![40]);
+        }
+    }
+
+    #[test]
+    fn chained_windows_amortize_rounds_bit_identically() {
+        let run_at_depth = |depth: usize| {
+            let t = two_node_topology();
+            let plan = ShardPlan::round_robin(&t, 2);
+            let mut sharded = ShardedSimulator::new(t, plan);
+            sharded.set_stagger(Vec::new());
+            sharded.set_chain_depth(depth);
+            sharded.register_node(SwitchId::new(1), Box::new(Bouncer));
+            sharded.register_node(SwitchId::new(2), Box::new(Bouncer));
+            sharded.schedule_timer(SwitchId::new(1), 1, 50);
+            sharded.run()
+        };
+        let unchained = run_at_depth(1);
+        let chained = run_at_depth(DEFAULT_CHAIN_DEPTH);
+        // Same simulation either way...
+        assert_eq!(chained.events, unchained.events);
+        assert_eq!(chained.stats, unchained.stats);
+        assert_eq!(chained.now, unchained.now);
+        assert_eq!(chained.frames_exchanged, unchained.frames_exchanged);
+        assert_eq!(chained.frames_exchanged, 41, "40-hop TTL conversation");
+        // ...but the rendezvous count collapses by (almost) the depth.
+        assert_eq!(unchained.windows, unchained.rounds);
+        assert!(
+            chained.rounds * 5 <= unchained.rounds,
+            "chaining must amortize rendezvous ≥5×: {} vs {}",
+            chained.rounds,
+            unchained.rounds
+        );
     }
 
     #[test]
@@ -938,7 +1379,9 @@ mod tests {
         assert_eq!(report.events, 3, "timer + arrival + echoed arrival");
         assert_eq!(audits.len() as u64, report.rounds);
         // One shard has no incoming cross links: unbounded window, one
-        // productive round.
-        assert_eq!(audits[0].bound_ns, vec![u64::MAX]);
+        // productive round of one window.
+        assert_eq!(report.windows, 1);
+        assert_eq!(audits[0].windows.len(), 1);
+        assert_eq!(audits[0].windows[0].bound_ns, vec![u64::MAX]);
     }
 }

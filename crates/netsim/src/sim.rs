@@ -155,6 +155,20 @@ struct SimTelemetry {
     link_frames: Vec<Option<Arc<Counter>>>,
 }
 
+/// Shard-routing state for a worker's simulator: frame arrivals whose
+/// destination another shard owns are diverted into a per-destination
+/// buffer instead of the local queue, so the shard runtime can hand each
+/// peer one batch per window instead of routing frames one by one.
+struct ShardRoute {
+    /// Owning shard per node, dense by raw switch id.
+    assign: Vec<u32>,
+    /// The shard this simulator runs.
+    self_shard: u32,
+    /// Diverted frame arrivals awaiting collection, indexed by
+    /// destination shard (`outbound[self_shard]` stays empty).
+    outbound: Vec<Vec<RemoteEvent>>,
+}
+
 impl SimTelemetry {
     fn new(registry: Arc<Registry>, link_count: usize) -> Self {
         SimTelemetry {
@@ -204,11 +218,9 @@ pub struct Simulator {
     /// Per-source event counts, dense by raw switch id: the low
     /// [`SRC_SEQ_BITS`] of each event's tiebreak key.
     src_seq: Vec<u64>,
-    /// When sharded: which nodes this simulator owns (dense by raw id).
-    /// `None` means it owns everything (the sequential case).
-    owned: Option<Vec<bool>>,
-    /// Frame arrivals diverted to other shards, awaiting collection.
-    outbound: Vec<RemoteEvent>,
+    /// When sharded: the owner assignment and per-peer outbound buffers.
+    /// `None` means this simulator owns everything (the sequential case).
+    route: Option<ShardRoute>,
     /// Installed taps, dense by `link * 2 + direction`.
     taps: Vec<Option<Tap>>,
     /// Number of installed taps (skips tap bookkeeping when zero).
@@ -271,8 +283,7 @@ impl Simulator {
             scheduler_kind: kind,
             now: SimTime::ZERO,
             src_seq: vec![0; max_id + 1],
-            owned: None,
-            outbound: Vec::new(),
+            route: None,
             taps: (0..link_slots).map(|_| None).collect(),
             tap_count: 0,
             tx_free_at: vec![SimTime::ZERO; link_slots],
@@ -545,15 +556,19 @@ impl Simulator {
             "per-source event sequence counter overflowed"
         );
         let seq = ((src.value() as u64) << SRC_SEQ_BITS) | *count;
-        let divert = match (&self.owned, &kind) {
-            (Some(owned), EventKind::FrameArrival { dst, .. }) => !owned[dst.node.value() as usize],
-            _ => false,
+        let peer = match (&self.route, &kind) {
+            (Some(route), EventKind::FrameArrival { dst, .. }) => {
+                let owner = route.assign[dst.node.value() as usize];
+                (owner != route.self_shard).then_some(owner)
+            }
+            _ => None,
         };
-        if divert {
+        if let Some(peer) = peer {
             let EventKind::FrameArrival { dst, payload } = kind else {
                 unreachable!("only frame arrivals can cross shards")
             };
-            self.outbound.push(RemoteEvent {
+            let route = self.route.as_mut().expect("route checked above");
+            route.outbound[peer as usize].push(RemoteEvent {
                 at,
                 seq,
                 dst,
@@ -753,19 +768,40 @@ impl Simulator {
         self.queue.next_at()
     }
 
-    /// Restricts event ownership to the masked nodes (dense by raw switch
-    /// id): frame arrivals for nodes outside the mask are diverted to the
-    /// outbound buffer instead of the local queue, for the shard runtime
-    /// to route to the owning shard. Timers never cross shards (a node's
+    /// Installs shard routing: `assign` names the owning shard per node
+    /// (dense by raw switch id), and frame arrivals destined to a node
+    /// another shard owns are diverted to that peer's outbound buffer
+    /// instead of the local queue. Timers never cross shards (a node's
     /// timers are its own), so they always stay local.
-    pub(crate) fn set_owned_mask(&mut self, mask: Vec<bool>) {
-        assert_eq!(mask.len(), self.nodes.len(), "mask must cover every id");
-        self.owned = Some(mask);
+    pub(crate) fn set_shard_route(&mut self, assign: Vec<u32>, nshards: usize, self_shard: u32) {
+        assert_eq!(
+            assign.len(),
+            self.nodes.len(),
+            "assignment must cover every id"
+        );
+        assert!((self_shard as usize) < nshards, "self shard out of range");
+        self.route = Some(ShardRoute {
+            assign,
+            self_shard,
+            outbound: (0..nshards).map(|_| Vec::new()).collect(),
+        });
     }
 
-    /// Drains the buffer of frame arrivals diverted to other shards.
-    pub(crate) fn take_outbound(&mut self) -> Vec<RemoteEvent> {
-        std::mem::take(&mut self.outbound)
+    /// Drains the buffer of frame arrivals diverted to shard `peer`.
+    pub(crate) fn take_outbound_for(&mut self, peer: usize) -> Vec<RemoteEvent> {
+        match &mut self.route {
+            Some(route) => std::mem::take(&mut route.outbound[peer]),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total diverted frames not yet collected, across all peers (used by
+    /// the shard runtime to check that every frame left through a link to
+    /// a known peer).
+    pub(crate) fn outbound_pending(&self) -> usize {
+        self.route
+            .as_ref()
+            .map_or(0, |route| route.outbound.iter().map(Vec::len).sum())
     }
 
     /// Enqueues a frame arrival diverted from another shard. Its tiebreak

@@ -172,13 +172,19 @@ fn run_sequential(k: u16, frames: u32, kind: SchedulerKind) -> RunResult {
     }
 }
 
-fn run_sharded(k: u16, frames: u32, shards: usize) -> RunResult {
+/// Runs the sharded engine with a programmatic wall-clock stagger
+/// schedule (empty = no artificial delays, and isolated from any ambient
+/// `P4AUTH_SHARD_STAGGER`). Workers sleep schedule-determined amounts
+/// before each window publish and each rendezvous reply, forcing
+/// adversarial interleavings that must not leak into any output.
+fn run_sharded(k: u16, frames: u32, shards: usize, stagger_ns: &[u64]) -> RunResult {
     let ft = FatTree::new(k);
     let streams = make_streams(&ft);
     let registry = Arc::new(Registry::new());
     let topo = ft.build(LATENCY_NS);
     let plan = ShardPlan::pod_aligned(&topo, shards);
     let mut sim = ShardedSimulator::new(topo, plan);
+    sim.set_stagger(stagger_ns.to_vec());
     sim.set_telemetry(registry.clone());
     for id in 1..=ft.switch_count() {
         let id = SwitchId::new(id);
@@ -190,7 +196,7 @@ fn run_sharded(k: u16, frames: u32, shards: usize) -> RunResult {
     }
     let report = sim.run();
     RunResult {
-        label: format!("sharded-{shards}"),
+        label: format!("sharded-{shards} (stagger {stagger_ns:?})"),
         streams: unwrap_streams(streams),
         events: report.events,
         stats: report.stats,
@@ -207,6 +213,25 @@ fn unwrap_streams(streams: Streams) -> Vec<Vec<Delivery>> {
         .collect()
 }
 
+fn assert_runs_match(k: u16, reference: &RunResult, other: &RunResult) {
+    let ctx = format!("k={k}: {} vs {}", reference.label, other.label);
+    assert_eq!(reference.events, other.events, "{ctx}: event count");
+    assert_eq!(reference.stats, other.stats, "{ctx}: stats");
+    assert_eq!(reference.now_ns, other.now_ns, "{ctx}: final clock");
+    assert_eq!(
+        reference.streams.len(),
+        other.streams.len(),
+        "{ctx}: stream count"
+    );
+    for (i, (a, b)) in reference.streams.iter().zip(&other.streams).enumerate() {
+        assert_eq!(a, b, "{ctx}: delivery stream of node index {i}");
+    }
+    assert_eq!(
+        reference.telemetry_json, other.telemetry_json,
+        "{ctx}: telemetry fingerprint"
+    );
+}
+
 fn assert_bit_identical(k: u16, frames: u32) {
     let reference = run_sequential(k, frames, SchedulerKind::Calendar);
     assert!(
@@ -215,27 +240,12 @@ fn assert_bit_identical(k: u16, frames: u32) {
     );
     let others = [
         run_sequential(k, frames, SchedulerKind::Heap),
-        run_sharded(k, frames, 1),
-        run_sharded(k, frames, 2),
-        run_sharded(k, frames, 4),
+        run_sharded(k, frames, 1, &[]),
+        run_sharded(k, frames, 2, &[]),
+        run_sharded(k, frames, 4, &[]),
     ];
     for other in &others {
-        let ctx = format!("k={k}: {} vs {}", reference.label, other.label);
-        assert_eq!(reference.events, other.events, "{ctx}: event count");
-        assert_eq!(reference.stats, other.stats, "{ctx}: stats");
-        assert_eq!(reference.now_ns, other.now_ns, "{ctx}: final clock");
-        assert_eq!(
-            reference.streams.len(),
-            other.streams.len(),
-            "{ctx}: stream count"
-        );
-        for (i, (a, b)) in reference.streams.iter().zip(&other.streams).enumerate() {
-            assert_eq!(a, b, "{ctx}: delivery stream of node index {i}");
-        }
-        assert_eq!(
-            reference.telemetry_json, other.telemetry_json,
-            "{ctx}: telemetry fingerprint"
-        );
+        assert_runs_match(k, &reference, other);
     }
 }
 
@@ -247,4 +257,68 @@ fn fat_tree_4_bit_identical_across_engines() {
 #[test]
 fn fat_tree_8_bit_identical_across_engines() {
     assert_bit_identical(8, 8);
+}
+
+/// The bit-identity claim under adversarial worker scheduling: with
+/// wall-clock stagger injected into the workers (different schedule per
+/// run), every output — delivery streams, stats, final clock, merged
+/// telemetry — still equals the sequential reference byte for byte.
+#[test]
+fn fat_tree_4_bit_identical_under_adversarial_stagger() {
+    let reference = run_sequential(4, 20, SchedulerKind::Calendar);
+    assert!(
+        reference.stats.frames_delivered > 0,
+        "workload must generate traffic"
+    );
+    let others = [
+        run_sharded(4, 20, 4, &[120_000, 0, 40_000]),
+        run_sharded(4, 20, 4, &[7_000]),
+        run_sharded(4, 20, 2, &[0, 90_000]),
+    ];
+    for other in &others {
+        assert_runs_match(4, &reference, other);
+    }
+}
+
+/// Regression for the telemetry-merge redesign: with the event log
+/// enabled, the merged snapshot JSON — counters, histograms *and* the
+/// event stream — is identical across adversarial worker interleavings.
+/// (Before per-shard private registries, workers raced appends into one
+/// shared log and the event order depended on thread scheduling.)
+fn sharded_snapshot_json(k: u16, frames: u32, shards: usize, stagger_ns: &[u64]) -> String {
+    let ft = FatTree::new(k);
+    let streams = make_streams(&ft);
+    let registry = Arc::new(Registry::with_event_capacity(512));
+    let topo = ft.build(LATENCY_NS);
+    let plan = ShardPlan::pod_aligned(&topo, shards);
+    let mut sim = ShardedSimulator::new(topo, plan);
+    sim.set_stagger(stagger_ns.to_vec());
+    sim.set_telemetry(registry.clone());
+    for id in 1..=ft.switch_count() {
+        let id = SwitchId::new(id);
+        sim.register_node(id, forwarder(ft, id, &streams));
+    }
+    for h in 0..ft.host_count() {
+        sim.register_node(ft.host(h), host(ft, k, h, frames, &streams));
+        sim.schedule_timer(ft.host(h), SEND_TIMER, 1 + (h as u64 % 97) * 11);
+    }
+    sim.run();
+    registry.snapshot().to_json()
+}
+
+#[test]
+fn event_log_merge_is_identical_across_adversarial_interleavings() {
+    let reference = sharded_snapshot_json(4, 12, 4, &[]);
+    assert!(
+        reference.contains("frame_delivered"),
+        "the event log must have captured traffic"
+    );
+    let schedules: [&[u64]; 3] = [&[150_000], &[0, 0, 80_000], &[60_000, 20_000]];
+    for stagger in schedules {
+        assert_eq!(
+            sharded_snapshot_json(4, 12, 4, stagger),
+            reference,
+            "snapshot JSON diverged under stagger {stagger:?}"
+        );
+    }
 }

@@ -1,9 +1,11 @@
 //! Property test for the conservative-lookahead invariant: on random
-//! topologies with random shard assignments, no shard ever pops an event
-//! with a timestamp at or beyond a neighbour's granted horizon
-//! (`neighbour's earliest pending event + min cross link latency`), and
-//! the sharded drain — observed through per-node delivery streams —
-//! equals the sequential reference exactly.
+//! topologies with random shard assignments and random wall-clock
+//! stagger schedules, no shard ever pops an event at or beyond a granted
+//! horizon — neither its own window bound (chained windows included) nor
+//! a neighbour's first-window horizon (`neighbour's earliest pending
+//! event + min cross link latency`) — and the sharded drain — observed
+//! through per-node delivery streams — equals the sequential reference
+//! exactly.
 //!
 //! Topologies are rings with random chords; link latencies collide on a
 //! small set {1, 2, 5} and boot timers collide on small delays, so
@@ -145,6 +147,7 @@ fn run_case(
     chords: &[(usize, usize)],
     lat_picks: &[usize],
     timers: &[(usize, u64, u8)],
+    stagger_ns: &[u64],
 ) {
     let topo = build_topology(n, chords, lat_picks);
 
@@ -170,6 +173,8 @@ fn run_case(
     });
     let shard_streams = fresh_streams(n);
     let mut sharded = ShardedSimulator::new(topo.clone(), plan.clone());
+    // Random wall-clock stagger: worker scheduling must never matter.
+    sharded.set_stagger(stagger_ns.to_vec());
     register_relays(&topo, n, &shard_streams, |id, relay| {
         sharded.register_node(id, relay)
     });
@@ -187,20 +192,36 @@ fn run_case(
     assert_eq!(report.now, seq_now, "final clock");
     assert_eq!(shard_streams, seq_streams, "per-node delivery streams");
 
-    // Lookahead invariant, checked from the raw per-round records: a
-    // shard's latest pop this round must lie strictly below every
-    // neighbour's granted horizon (its earliest pending event at the
-    // round start plus the minimum latency of any link crossing from it).
+    // Lookahead invariants, checked from the raw per-rendezvous records.
     for (round, audit) in audits.iter().enumerate() {
+        assert!(!audit.windows.is_empty(), "round {round} granted no window");
         for i in 0..nshards {
-            let Some(popped) = audit.max_popped_ns[i] else {
+            // Granted horizons never move backwards along a chain, and no
+            // window's pops ever reach its granted bound.
+            let mut prev_bound = 0u64;
+            for (w, win) in audit.windows.iter().enumerate() {
+                assert!(
+                    win.bound_ns[i] >= prev_bound,
+                    "round {round} window {w}: shard {i}'s bound regressed \
+                     ({} < {prev_bound})",
+                    win.bound_ns[i]
+                );
+                prev_bound = win.bound_ns[i];
+                if let Some(popped) = win.max_popped_ns[i] {
+                    assert!(
+                        popped < win.bound_ns[i],
+                        "round {round} window {w}: shard {i} popped {popped} \
+                         at/past its bound {}",
+                        win.bound_ns[i]
+                    );
+                }
+            }
+            // The chain's first window is granted from the true horizons:
+            // its pops must lie strictly below every neighbour's earliest
+            // pending event plus the minimum crossing latency.
+            let Some(popped) = audit.windows[0].max_popped_ns[i] else {
                 continue;
             };
-            assert!(
-                popped < audit.bound_ns[i],
-                "round {round}: shard {i} popped {popped} at/past its bound {}",
-                audit.bound_ns[i]
-            );
             for j in 0..nshards {
                 if j == i {
                     continue;
@@ -231,7 +252,11 @@ proptest! {
         chords in proptest::collection::vec((0usize..8, 0usize..8), 0..3),
         lat_picks in proptest::collection::vec(0usize..3, 16),
         timers in proptest::collection::vec((0usize..8, 1u64..5, 1u8..4), 1..6),
+        // Random wall-clock stagger schedules (ns, scaled below): output
+        // must be identical whatever the worker interleaving.
+        stagger in proptest::collection::vec(0u64..4, 0..5),
     ) {
-        run_case(n, nshards, &assign, &chords, &lat_picks, &timers);
+        let stagger_ns: Vec<u64> = stagger.iter().map(|&v| v * 600).collect();
+        run_case(n, nshards, &assign, &chords, &lat_picks, &timers, &stagger_ns);
     }
 }

@@ -100,12 +100,29 @@ pub struct ScaleRun {
     pub sim_ns: u64,
     /// Wall-clock duration of the run in ns.
     pub wall_ns: u64,
+    /// Coordinator rendezvous rounds (0 for sequential engines).
+    pub rounds: u64,
+    /// Safe windows granted across all rounds (0 for sequential engines;
+    /// ≥ `rounds` when chaining is on).
+    pub windows: u64,
+    /// Cross-shard frames exchanged through peer mailboxes (0 for
+    /// sequential engines).
+    pub frames_exchanged: u64,
+    /// Wall-clock ns the coordinator spent waiting at rendezvous barriers
+    /// (0 for sequential engines; nondeterministic, like `wall_ns`).
+    pub barrier_wait_ns: u64,
 }
 
 impl ScaleRun {
     /// Simulator throughput: events processed per wall-clock second.
     pub fn events_per_sec(&self) -> f64 {
         self.events as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Coordination cost normalized by work: rendezvous rounds per million
+    /// events processed. 0 for sequential engines.
+    pub fn rounds_per_mevents(&self) -> f64 {
+        self.rounds as f64 / (self.events.max(1) as f64 / 1e6)
     }
 
     /// The deterministic portion of the run (everything but wall time) —
@@ -221,7 +238,7 @@ pub fn run_scale_engine(
 ) -> ScaleRun {
     let ft = FatTree::new(cfg.k);
     let arrivals = Arc::new(AtomicU64::new(0));
-    let (events, sim_ns, wall_ns) = match engine {
+    let (events, sim_ns, wall_ns, coord) = match engine {
         Engine::Sequential(kind) => {
             let mut sim = Simulator::with_scheduler(ft.build(cfg.latency_ns), kind);
             if let Some(r) = registry {
@@ -237,7 +254,12 @@ pub fn run_scale_engine(
             }
             let start = std::time::Instant::now();
             let events = sim.run_to_completion();
-            (events, sim.now().as_ns(), start.elapsed().as_nanos() as u64)
+            (
+                events,
+                sim.now().as_ns(),
+                start.elapsed().as_nanos() as u64,
+                (0, 0, 0, 0),
+            )
         }
         Engine::Sharded { shards } => {
             let topo = ft.build(cfg.latency_ns);
@@ -260,15 +282,26 @@ pub fn run_scale_engine(
                 report.events,
                 report.now.as_ns(),
                 start.elapsed().as_nanos() as u64,
+                (
+                    report.rounds,
+                    report.windows,
+                    report.frames_exchanged,
+                    report.barrier_wait_ns,
+                ),
             )
         }
     };
+    let (rounds, windows, frames_exchanged, barrier_wait_ns) = coord;
     ScaleRun {
         engine,
         events,
         frames_delivered: arrivals.load(Ordering::Relaxed),
         sim_ns,
         wall_ns,
+        rounds,
+        windows,
+        frames_exchanged,
+        barrier_wait_ns,
     }
 }
 
@@ -297,7 +330,7 @@ pub fn run_scale_timeline(
 ) -> (ScaleRun, Timeline) {
     let ft = FatTree::new(cfg.k);
     let arrivals = Arc::new(AtomicU64::new(0));
-    let (events, sim_ns, wall_ns, timeline) = match engine {
+    let (events, sim_ns, wall_ns, timeline, coord) = match engine {
         Engine::Sequential(kind) => {
             let mut sim = Simulator::with_scheduler(ft.build(cfg.latency_ns), kind);
             sim.set_telemetry(Arc::new(Registry::new()));
@@ -316,7 +349,7 @@ pub fn run_scale_timeline(
             let events = sim.run_to_completion();
             let wall_ns = start.elapsed().as_nanos() as u64;
             let timeline = sim.take_timeline().expect("export interval was set");
-            (events, sim.now().as_ns(), wall_ns, timeline)
+            (events, sim.now().as_ns(), wall_ns, timeline, (0, 0, 0, 0))
         }
         Engine::Sharded { shards } => {
             let topo = ft.build(cfg.latency_ns);
@@ -338,9 +371,16 @@ pub fn run_scale_timeline(
                 report.now.as_ns(),
                 start.elapsed().as_nanos() as u64,
                 timeline,
+                (
+                    report.rounds,
+                    report.windows,
+                    report.frames_exchanged,
+                    report.barrier_wait_ns,
+                ),
             )
         }
     };
+    let (rounds, windows, frames_exchanged, barrier_wait_ns) = coord;
     (
         ScaleRun {
             engine,
@@ -348,6 +388,10 @@ pub fn run_scale_timeline(
             frames_delivered: arrivals.load(Ordering::Relaxed),
             sim_ns,
             wall_ns,
+            rounds,
+            windows,
+            frames_exchanged,
+            barrier_wait_ns,
         },
         timeline,
     )

@@ -99,13 +99,24 @@ impl SnapshotRing {
     /// absent from the oldest entry counts from 0 (it was registered
     /// mid-window). Returns `None` when the window is empty/zero-width or
     /// the series is absent from the newest snapshot.
+    ///
+    /// Counters are monotone, so `end < start` means the ring was fed
+    /// snapshots from different registries (e.g. one was reset or swapped
+    /// for a merged one mid-window). That is a caller bug — debug builds
+    /// assert — but release builds must not turn it into an astronomical
+    /// wrapped rate that would drive the defence loop: the difference
+    /// saturates at zero instead.
     pub fn rate(&self, name: &str, label: &str) -> Option<f64> {
         let (t0, oldest) = self.entries.front()?;
         let (t1, newest) = self.entries.back()?;
         let span = t1.checked_sub(*t0).filter(|&s| s > 0)?;
         let end = newest.counter(name, label)?;
         let start = oldest.counter(name, label).unwrap_or(0);
-        Some(end.wrapping_sub(start) as f64 * 1e9 / span as f64)
+        debug_assert!(
+            end >= start,
+            "counter {name}{{{label}}} went backwards across the window: {end} < {start}"
+        );
+        Some(end.saturating_sub(start) as f64 * 1e9 / span as f64)
     }
 
     /// Windowed rates for every counter series in the newest snapshot,
@@ -196,6 +207,36 @@ mod tests {
         let rate = ring.rate("late", "").unwrap();
         assert!((rate - 4e6).abs() < 1e-6, "rate = {rate}");
         assert_eq!(ring.rate("absent", ""), None);
+    }
+
+    /// Regression: a counter series that restarts lower (snapshots from a
+    /// reset/replaced registry) used to wrap and report an astronomical
+    /// rate. Release builds saturate at zero; debug builds assert.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn counter_restart_saturates_at_zero() {
+        let high = Registry::new();
+        high.counter("c").add(1_000);
+        let low = Registry::new();
+        low.counter("c").add(10);
+        let mut ring = SnapshotRing::new(2);
+        ring.push(0, high.snapshot());
+        ring.push(1_000, low.snapshot());
+        assert_eq!(ring.rate("c", ""), Some(0.0));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "went backwards across the window")]
+    fn counter_restart_asserts_in_debug() {
+        let high = Registry::new();
+        high.counter("c").add(1_000);
+        let low = Registry::new();
+        low.counter("c").add(10);
+        let mut ring = SnapshotRing::new(2);
+        ring.push(0, high.snapshot());
+        ring.push(1_000, low.snapshot());
+        let _ = ring.rate("c", "");
     }
 
     #[test]
