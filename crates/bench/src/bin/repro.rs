@@ -93,15 +93,16 @@ fn main() {
         match filter.as_slice() {
             [one] if one == "metrics" => std::env::set_var("P4AUTH_METRICS_OUT", path),
             [one] if one == "timeline" => std::env::set_var("P4AUTH_TIMELINE_OUT", path),
+            [one] if one == "replicas" => std::env::set_var("P4AUTH_REPLICAS_OUT", path),
             _ => {
-                eprintln!("--out needs exactly one of: metrics, timeline, decode");
+                eprintln!("--out needs exactly one of: metrics, timeline, replicas, decode");
                 std::process::exit(1);
             }
         }
     }
     let want = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
 
-    let experiments: [(&str, fn()); 13] = [
+    let experiments: [(&str, fn()); 14] = [
         ("table1", report::table1),
         ("fig16", report::fig16),
         ("fig17", report::fig17),
@@ -115,6 +116,7 @@ fn main() {
         ("metrics", report::metrics),
         ("scale", report::scale),
         ("timeline", report::timeline),
+        ("replicas", report::replicas),
     ];
     let mut ran = 0;
     for (name, run) in experiments {

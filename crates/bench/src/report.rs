@@ -478,6 +478,44 @@ pub fn metrics() {
     }
 }
 
+/// Replicated control plane (`repro -- replicas`): the full
+/// fat-tree(4) scenario through 2 `ControllerReplica`s — bootstrap with
+/// cross-partition redirects, a digest flood auto-rolled by the
+/// rate-driven defence daemon, a control-plane MitM rejected by the
+/// other partition, and a versioned bulk rollover with per-replica
+/// fan-out latency. Prints (and with `P4AUTH_REPLICAS_OUT=<path>`
+/// writes) the deterministic JSON report that CI diffs across two runs.
+pub fn replicas() {
+    banner(
+        "replicas — replicated controller end-to-end",
+        "statedb + daemons + ControllerReplica partitioning",
+    );
+    let report =
+        p4auth_systems::replicated::run(p4auth_systems::replicated::ReplicatedConfig::default());
+    println!(
+        "{} replicas over {} switches (partitions {:?}, {} cross-partition links)",
+        report.replicas, report.switches, report.partition_sizes, report.cross_partition_links
+    );
+    println!(
+        "bootstrap {} ms; flood: {} mitigation(s), victim key rolled: {}",
+        report.bootstrap_ns / 1_000_000,
+        report.flood_mitigations,
+        report.victim_key_rolled
+    );
+    println!(
+        "mitm: {} tampered frame(s), {} reject(s) at the owner replica",
+        report.mitm_tampered, report.mitm_rejects_at_owner
+    );
+    println!(
+        "bulk rollover epoch {} complete: {}; fan-out latency {:?} ns",
+        report.rollover_epoch, report.rollover_complete, report.fanout_ns
+    );
+    if let Ok(path) = std::env::var("P4AUTH_REPLICAS_OUT") {
+        std::fs::write(&path, report.to_json()).expect("write P4AUTH_REPLICAS_OUT");
+        println!("json report -> {path}");
+    }
+}
+
 /// Streaming-telemetry timeline (`repro -- timeline`): runs the fig19-mix
 /// fat-tree workload with periodic delta export driven by the sim clock
 /// on all three engines — heap, calendar and sharded — and asserts their

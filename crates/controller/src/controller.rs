@@ -14,7 +14,7 @@ use p4auth_telemetry::{Counter, Event as TelemetryEvent, Gauge, Histogram, Regis
 use p4auth_wire::body::{
     AdhkdRole, AlertKind, Body, EakStep, KexContext, KeyExchange, NackReason, RegisterOp,
 };
-use p4auth_wire::ids::{PortId, RegId, SeqNum, SwitchId};
+use p4auth_wire::ids::{KeyVersion, PortId, RegId, SeqNum, SwitchId};
 use p4auth_wire::Message;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -40,6 +40,17 @@ pub struct ControllerConfig {
     /// alert limiter, so an alert storm cannot grow controller memory
     /// without bound.
     pub alert_capacity: usize,
+    /// Base delay for [`Controller::retry_stalled`]'s exponential backoff,
+    /// in nanoseconds of simulated time. The first retry of a stalled
+    /// exchange is immediate; the n-th subsequent retry waits
+    /// `backoff * 2^(n-1)` since the previous attempt.
+    pub kex_retry_backoff_ns: u64,
+    /// Retry attempts after which a stalled exchange is abandoned: the
+    /// pending state is dropped, a terminal
+    /// [`AlertKind::KeyExchangeFailure`] alert is recorded and
+    /// [`ControllerStats::kex_abandoned`] incremented — a dead switch must
+    /// not generate unbounded KMP traffic forever.
+    pub kex_retry_max_attempts: u32,
 }
 
 impl Default for ControllerConfig {
@@ -51,6 +62,8 @@ impl Default for ControllerConfig {
             outstanding_threshold: 1024,
             rng_seed: 0xc011_7201_1e4a_11ed,
             alert_capacity: 1024,
+            kex_retry_backoff_ns: 200_000,
+            kex_retry_max_attempts: 8,
         }
     }
 }
@@ -156,6 +169,11 @@ pub struct ControllerStats {
     pub alerts_dropped: u64,
     /// Mitigations the adaptive defence loop issued.
     pub defence_mitigations: u64,
+    /// Port-channel mitigation actions evicted from the bounded
+    /// [`Controller::take_port_actions`] queue.
+    pub defence_actions_dropped: u64,
+    /// Stalled key exchanges abandoned after exhausting the retry budget.
+    pub kex_abandoned: u64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -169,8 +187,8 @@ struct PendingRequest {
     sent_at_ns: u64,
 }
 
-/// Pre-registered telemetry handles for the controller, all labeled
-/// `"controller"`.
+/// Pre-registered telemetry handles for the controller, labeled
+/// `"controller"` by default (replicas use `"replica<i>"`).
 struct ControllerTelemetry {
     registry: Arc<Registry>,
     auth: AuthMetrics,
@@ -184,27 +202,58 @@ struct ControllerTelemetry {
     key_rollovers: Arc<Counter>,
     defence_mitigations: Arc<Counter>,
     defence_latency_ns: Arc<Histogram>,
+    defence_actions_dropped: Arc<Counter>,
+    kex_abandoned: Arc<Counter>,
+    rollover_fanout_ns: Arc<Histogram>,
 }
 
 impl ControllerTelemetry {
     const LABEL: &'static str = "controller";
 
-    fn new(registry: Arc<Registry>) -> Self {
+    fn new(registry: Arc<Registry>, label: &str) -> Self {
         ControllerTelemetry {
-            auth: AuthMetrics::register(&registry, Self::LABEL),
-            register_op_ns: registry.histogram_with("ctrl_register_op_ns", Self::LABEL),
-            outstanding: registry.gauge_with("ctrl_outstanding", Self::LABEL),
-            requests_sent: registry.counter_with("ctrl_requests_sent", Self::LABEL),
-            responses_ok: registry.counter_with("ctrl_responses_ok", Self::LABEL),
-            alerts_received: registry.counter_with("ctrl_alerts_received", Self::LABEL),
-            alerts_dropped: registry.counter_with("ctrl_alerts_dropped", Self::LABEL),
-            key_installs: registry.counter_with("ctrl_key_installs", Self::LABEL),
-            key_rollovers: registry.counter_with("ctrl_key_rollovers", Self::LABEL),
-            defence_mitigations: registry.counter_with("ctrl_defence_mitigations", Self::LABEL),
-            defence_latency_ns: registry
-                .histogram_with("defence_mitigation_latency_ns", Self::LABEL),
+            auth: AuthMetrics::register(&registry, label),
+            register_op_ns: registry.histogram_with("ctrl_register_op_ns", label),
+            outstanding: registry.gauge_with("ctrl_outstanding", label),
+            requests_sent: registry.counter_with("ctrl_requests_sent", label),
+            responses_ok: registry.counter_with("ctrl_responses_ok", label),
+            alerts_received: registry.counter_with("ctrl_alerts_received", label),
+            alerts_dropped: registry.counter_with("ctrl_alerts_dropped", label),
+            key_installs: registry.counter_with("ctrl_key_installs", label),
+            key_rollovers: registry.counter_with("ctrl_key_rollovers", label),
+            defence_mitigations: registry.counter_with("ctrl_defence_mitigations", label),
+            defence_latency_ns: registry.histogram_with("defence_mitigation_latency_ns", label),
+            defence_actions_dropped: registry.counter_with("ctrl_defence_actions_dropped", label),
+            kex_abandoned: registry.counter_with("ctrl_kex_abandoned", label),
+            rollover_fanout_ns: registry.histogram_with("ctrl_rollover_fanout_ns", label),
             registry,
         }
+    }
+}
+
+/// Per-exchange retry bookkeeping for [`Controller::retry_stalled`]'s
+/// capped exponential backoff.
+#[derive(Clone, Copy, Debug, Default)]
+struct RetryState {
+    /// Retries already issued for the exchange in flight.
+    attempts: u32,
+    /// Sim time the exchange was last (re-)issued.
+    last_attempt_ns: u64,
+}
+
+impl RetryState {
+    /// Backoff delay before the next retry: the first retry is free,
+    /// after which the delay doubles per attempt (saturating).
+    fn delay_ns(self, base_ns: u64) -> u64 {
+        match self.attempts {
+            0 => 0,
+            n => base_ns.saturating_mul(1u64 << (n - 1).min(20)),
+        }
+    }
+
+    /// Whether a retry is due at `now_ns` given backoff base `base_ns`.
+    fn due(self, now_ns: u64, base_ns: u64) -> bool {
+        now_ns.saturating_sub(self.last_attempt_ns) >= self.delay_ns(base_ns)
     }
 }
 
@@ -214,8 +263,15 @@ struct SwitchChannel {
     local: KeySlot,
     seq_out: SeqNum,
     eak: Option<EakInitiator>,
-    adhkd: Option<(KexContext, AdhkdInitiator)>,
+    /// Pending ADHKD exchange: context, initiator state, and the offer
+    /// as sent. Retries re-send this *same* offer (fresh seq) rather
+    /// than regenerating the exchange — a regenerated offer racing the
+    /// original through the network would derive on the responder twice
+    /// for one counted rollover (the responder dedupes retransmissions
+    /// by offer content).
+    adhkd: Option<(KexContext, AdhkdInitiator, AdhkdPayload)>,
     outstanding: HashMap<SeqNum, PendingRequest>,
+    retry: RetryState,
 }
 
 impl SwitchChannel {
@@ -228,6 +284,7 @@ impl SwitchChannel {
             eak: None,
             adhkd: None,
             outstanding: HashMap::new(),
+            retry: RetryState::default(),
         }
     }
 
@@ -244,6 +301,7 @@ struct PortRedirect {
     initiator_port: PortId,
     responder: SwitchId,
     responder_port: PortId,
+    retry: RetryState,
 }
 
 /// The P4Auth controller.
@@ -261,8 +319,9 @@ pub struct Controller {
     telemetry: Option<ControllerTelemetry>,
     defence: Option<DefenceState>,
     /// Mitigations for DP-DP port channels, awaiting the harness (which
-    /// knows which peer switch sits behind a port).
-    port_actions: Vec<MitigationAction>,
+    /// knows which peer switch sits behind a port). Bounded like the
+    /// defence loop's own pending queue.
+    port_actions: VecDeque<MitigationAction>,
 }
 
 impl std::fmt::Debug for Controller {
@@ -295,7 +354,7 @@ impl Controller {
             now_ns: 0,
             telemetry: None,
             defence: None,
-            port_actions: Vec::new(),
+            port_actions: VecDeque::new(),
         }
     }
 
@@ -309,7 +368,17 @@ impl Controller {
     /// Attaches a telemetry registry; controller metrics are labeled
     /// `"controller"`.
     pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
-        self.telemetry = Some(ControllerTelemetry::new(registry));
+        self.telemetry = Some(ControllerTelemetry::new(
+            registry,
+            ControllerTelemetry::LABEL,
+        ));
+    }
+
+    /// Attaches a telemetry registry with an explicit metric label
+    /// (replicas use `"replica<i>"` so per-replica series stay apart in
+    /// one shared registry).
+    pub fn set_telemetry_labeled(&mut self, registry: Arc<Registry>, label: &str) {
+        self.telemetry = Some(ControllerTelemetry::new(registry, label));
     }
 
     /// Registers a switch and its pre-shared boot secret.
@@ -349,6 +418,97 @@ impl Controller {
         self.defence = Some(DefenceState::new(config));
     }
 
+    /// Enables the defence loop in *rate-driven* mode: threshold detection
+    /// is owned by an external consumer of the windowed `*_per_sec`
+    /// telemetry series (the defence daemon), which reports crossings via
+    /// [`Controller::on_rate_crossing`]. Per-reject signals still reach
+    /// the loop for bookkeeping but no longer drive detection.
+    pub fn enable_defence_rate_driven(&mut self, config: DefenceConfig) {
+        self.defence = Some(DefenceState::new_rate_driven(config));
+    }
+
+    /// Reports a reject-rate threshold crossing on `(peer, channel)`
+    /// observed in the windowed telemetry series (rate-driven defence
+    /// mode); translates the resulting mitigation like any other defence
+    /// decision. Uses the clock last pushed via [`Controller::set_now`].
+    pub fn on_rate_crossing(
+        &mut self,
+        peer: SwitchId,
+        channel: PortId,
+    ) -> (Vec<Outgoing>, Vec<ControllerEvent>) {
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        if let Some(d) = &mut self.defence {
+            d.trigger_crossing(self.now_ns, peer, channel);
+            self.drive_defence(&mut out, &mut events);
+        }
+        (out, events)
+    }
+
+    /// Whether a defence mitigation is currently in flight on
+    /// `(peer, channel)`.
+    pub fn defence_in_flight(&self, peer: SwitchId, channel: PortId) -> bool {
+        self.defence
+            .as_ref()
+            .is_some_and(|d| d.mitigation_in_flight(peer, channel))
+    }
+
+    /// Whether a CPU-channel key exchange (EAK or ADHKD) is currently in
+    /// flight toward `switch`.
+    pub fn kex_in_flight(&self, switch: SwitchId) -> bool {
+        self.switches
+            .get(&switch)
+            .is_some_and(|c| c.eak.is_some() || c.adhkd.is_some())
+    }
+
+    /// The established local key and its version for `switch`, if any —
+    /// published by the key-manager daemon to the replica state table so
+    /// peer replicas can verify and seal redirected port-key legs.
+    pub fn local_key_material(&self, switch: SwitchId) -> Option<(Key64, KeyVersion)> {
+        let chan = self.switches.get(&switch)?;
+        chan.local.current().map(|k| (k, chan.local.version()))
+    }
+
+    /// Installs (or refreshes) a *mirrored* local key for a switch owned
+    /// by a different controller replica, so this replica can verify and
+    /// re-seal redirected port-key legs touching that switch. Creates the
+    /// channel if the switch was never registered here; a mirrored
+    /// channel never runs its own exchanges (its `K_seed` is void).
+    pub fn mirror_peer_key(&mut self, switch: SwitchId, key: Key64, version: KeyVersion) {
+        let chan = self
+            .switches
+            .entry(switch)
+            .or_insert_with(|| SwitchChannel::new(Key64::default()));
+        chan.local.force(key, version);
+    }
+
+    /// The outbound sequence counter toward `switch` (the last value
+    /// used). Replicas hand this off when a port-key redirect migrates a
+    /// channel between them: the agents' replay windows demand strictly
+    /// increasing sequence numbers from `SwitchId::CONTROLLER` no matter
+    /// which replica sealed the message.
+    pub fn channel_seq(&self, switch: SwitchId) -> Option<u32> {
+        self.switches.get(&switch).map(|c| c.seq_out.value())
+    }
+
+    /// Overwrites the outbound sequence counter toward `switch` (the
+    /// counterpart of [`Controller::channel_seq`] on the receiving
+    /// replica). No-op if the switch has no channel here.
+    pub fn set_channel_seq(&mut self, switch: SwitchId, seq: u32) {
+        if let Some(chan) = self.switches.get_mut(&switch) {
+            chan.seq_out = SeqNum::new(seq);
+        }
+    }
+
+    /// Records one bulk-rollover fan-out latency (epoch start → every
+    /// switch in the partition on the new epoch) in the
+    /// `ctrl_rollover_fanout_ns` histogram.
+    pub fn record_rollover_fanout(&self, latency_ns: u64) {
+        if let Some(t) = &self.telemetry {
+            t.rollover_fanout_ns.record(latency_ns);
+        }
+    }
+
     /// Whether the defence loop currently quarantines `(switch, channel)`.
     pub fn defence_quarantined(&self, switch: SwitchId, channel: PortId) -> bool {
         self.defence
@@ -361,7 +521,7 @@ impl Controller {
     /// (it owns the local-key exchange); port channels need the topology
     /// knowledge the harness has (which peer sits behind the port).
     pub fn take_port_actions(&mut self) -> Vec<MitigationAction> {
-        std::mem::take(&mut self.port_actions)
+        std::mem::take(&mut self.port_actions).into()
     }
 
     /// Notifies the defence loop that a fresh key landed on a DP-DP port
@@ -371,6 +531,19 @@ impl Controller {
     /// latency if a mitigation was in flight.
     pub fn notify_port_key_installed(&mut self, peer: SwitchId, channel: PortId) {
         self.complete_mitigation(peer, channel);
+    }
+
+    /// Bumps the per-channel auth-failure counter
+    /// `ctrl_channel_rejects{<peer>:<channel>}`. The snapshot ring derives
+    /// a windowed `ctrl_channel_rejects_per_sec` series from it, which is
+    /// what the rate-driven defence daemon consumes — the same signal the
+    /// in-process loop sees, but without re-deriving window counts.
+    fn count_channel_reject(&self, peer: SwitchId, channel: PortId) {
+        if let Some(t) = &self.telemetry {
+            t.registry
+                .counter_with("ctrl_channel_rejects", &format!("{peer}:{channel}"))
+                .inc();
+        }
     }
 
     fn complete_mitigation(&mut self, peer: SwitchId, channel: PortId) {
@@ -435,7 +608,24 @@ impl Controller {
                         .abort(action.peer, action.channel);
                 }
             } else {
-                self.port_actions.push(action);
+                // Bounded like the defence loop's own queue: a harness
+                // that never drains must not grow this without limit.
+                // Evicted actions un-wedge their channel via abort.
+                let cap = self
+                    .defence
+                    .as_ref()
+                    .map_or(usize::MAX, |d| d.config().pending_capacity.max(1));
+                while self.port_actions.len() >= cap {
+                    let evicted = self.port_actions.pop_front().expect("len checked");
+                    self.stats.defence_actions_dropped += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.defence_actions_dropped.inc();
+                    }
+                    if let Some(d) = &mut self.defence {
+                        d.abort(evicted.peer, evicted.channel);
+                    }
+                }
+                self.port_actions.push_back(action);
             }
         }
     }
@@ -535,7 +725,15 @@ impl Controller {
             (chan.k_seed, chan.next_seq())
         };
         let (eak, s1) = EakInitiator::start(chan_seed, &mut self.rng);
-        self.channel_mut(switch).eak = Some(eak);
+        let now_ns = self.now_ns;
+        {
+            let chan = self.channel_mut(switch);
+            chan.eak = Some(eak);
+            chan.retry = RetryState {
+                attempts: 0,
+                last_attempt_ns: now_ns,
+            };
+        }
         let mut msg = Message::key_exchange(
             SwitchId::CONTROLLER,
             PortId::CPU,
@@ -564,8 +762,13 @@ impl Controller {
             "local key update before init for {switch}"
         );
         let (init, offer) = AdhkdInitiator::start(self.config.dh_params, &mut self.rng);
+        let now_ns = self.now_ns;
         let chan = self.channel_mut(switch);
-        chan.adhkd = Some((KexContext::LocalUpdate, init));
+        chan.adhkd = Some((KexContext::LocalUpdate, init, offer));
+        chan.retry = RetryState {
+            attempts: 0,
+            last_attempt_ns: now_ns,
+        };
         let seq = chan.next_seq();
         let msg = Message::key_exchange(
             SwitchId::CONTROLLER,
@@ -597,6 +800,10 @@ impl Controller {
             initiator_port: port1,
             responder: sw2,
             responder_port: port2,
+            retry: RetryState {
+                attempts: 0,
+                last_attempt_ns: self.now_ns,
+            },
         });
         let seq = self.channel_mut(sw1).next_seq();
         let msg = Message::key_exchange(
@@ -632,72 +839,193 @@ impl Controller {
         vec![self.seal_local(sw1, msg)]
     }
 
-    /// Re-drives every stalled key exchange (lost messages leave `eak` /
+    /// Re-drives stalled key exchanges (lost messages leave `eak` /
     /// `adhkd` / redirect state pending): EAK restarts with a fresh salt,
     /// ADHKD restarts with a fresh private key, and pending port-key
     /// redirects are re-initiated. Safe to call periodically — completed
     /// exchanges have no pending state and produce nothing.
+    ///
+    /// Retries back off exponentially in sim-ns: the first retry of an
+    /// exchange is immediate, after which each further retry waits
+    /// [`ControllerConfig::kex_retry_backoff_ns`] doubled per attempt.
+    /// After [`ControllerConfig::kex_retry_max_attempts`] retries the
+    /// exchange is abandoned — its pending state is dropped, a terminal
+    /// [`AlertKind::KeyExchangeFailure`] alert lands in the alert ring
+    /// and [`ControllerStats::kex_abandoned`] is incremented — so a dead
+    /// switch cannot generate unbounded KMP traffic.
     pub fn retry_stalled(&mut self) -> Vec<Outgoing> {
+        let now_ns = self.now_ns;
+        let base_ns = self.config.kex_retry_backoff_ns.max(1);
+        let max_attempts = self.config.kex_retry_max_attempts.max(1);
         let mut out = Vec::new();
-        let ids: Vec<SwitchId> = self.switches.keys().copied().collect();
+        // Sorted: HashMap iteration order varies per process, and retry
+        // order is observable (seq numbers, RNG draws, telemetry events).
+        let mut ids: Vec<SwitchId> = self.switches.keys().copied().collect();
+        ids.sort();
         for id in ids {
-            let (eak_stalled, adhkd_ctx) = {
+            let (eak_stalled, adhkd_pending, retry) = {
                 let chan = self.switches.get(&id).expect("listed");
-                (chan.eak.is_some(), chan.adhkd.as_ref().map(|(c, _)| *c))
+                (
+                    chan.eak.is_some(),
+                    chan.adhkd.as_ref().map(|(c, _, offer)| (*c, *offer)),
+                    chan.retry,
+                )
             };
+            if !eak_stalled && adhkd_pending.is_none() {
+                continue; // nothing pending
+            }
+            if !retry.due(now_ns, base_ns) {
+                continue; // backing off
+            }
+            if retry.attempts >= max_attempts {
+                self.abandon_kex(id);
+                continue;
+            }
             if eak_stalled {
                 // Restart the whole local-key init from EAK step 1.
                 self.switches.get_mut(&id).expect("listed").eak = None;
                 out.extend(self.local_key_init(id));
+            } else {
+                // Retransmit the pending offer *as sent* (fresh seq only):
+                // the exchange state stays put, so an answer to either
+                // copy completes it, and the responder's dedupe cache
+                // keeps the duplicate from deriving a second key.
+                match adhkd_pending {
+                    Some((KexContext::LocalInit, offer)) => {
+                        // K_auth exists; re-offer under it.
+                        let k_auth = self
+                            .switches
+                            .get(&id)
+                            .and_then(|c| c.k_auth)
+                            .expect("LocalInit pending implies K_auth");
+                        let chan = self.channel_mut(id);
+                        let seq = chan.next_seq();
+                        let mut m = Message::key_exchange(
+                            SwitchId::CONTROLLER,
+                            PortId::CPU,
+                            seq,
+                            KeyExchange::Adhkd {
+                                role: AdhkdRole::Offer,
+                                context: KexContext::LocalInit,
+                                public_key: offer.public_key.to_raw(),
+                                salt: offer.salt,
+                            },
+                        );
+                        m.seal(self.mac.as_ref(), k_auth);
+                        out.push(Outgoing {
+                            to: id,
+                            bytes: m.encode(),
+                        });
+                    }
+                    Some((KexContext::LocalUpdate, offer)) => {
+                        let chan = self.channel_mut(id);
+                        let seq = chan.next_seq();
+                        let msg = Message::key_exchange(
+                            SwitchId::CONTROLLER,
+                            PortId::CPU,
+                            seq,
+                            KeyExchange::Adhkd {
+                                role: AdhkdRole::Offer,
+                                context: KexContext::LocalUpdate,
+                                public_key: offer.public_key.to_raw(),
+                                salt: offer.salt,
+                            },
+                        );
+                        out.push(self.seal_local(id, msg));
+                    }
+                    _ => continue,
+                }
+            }
+            // The re-drive reset the channel's retry state; restore the
+            // attempt count so the backoff keeps growing.
+            self.channel_mut(id).retry = RetryState {
+                attempts: retry.attempts + 1,
+                last_attempt_ns: now_ns,
+            };
+        }
+        // Re-kick pending port-key redirects from the top, under the same
+        // backoff/cap discipline.
+        let redirects: Vec<PortRedirect> = std::mem::take(&mut self.redirects);
+        for mut r in redirects {
+            if !r.retry.due(now_ns, base_ns) {
+                self.redirects.push(r);
                 continue;
             }
-            match adhkd_ctx {
-                Some(KexContext::LocalInit) => {
-                    // K_auth exists; re-offer under it.
-                    let k_auth = self
-                        .switches
-                        .get(&id)
-                        .and_then(|c| c.k_auth)
-                        .expect("LocalInit pending implies K_auth");
-                    let (init, offer) = AdhkdInitiator::start(self.config.dh_params, &mut self.rng);
-                    let chan = self.channel_mut(id);
-                    chan.adhkd = Some((KexContext::LocalInit, init));
-                    let seq = chan.next_seq();
-                    let mut m = Message::key_exchange(
-                        SwitchId::CONTROLLER,
-                        PortId::CPU,
-                        seq,
-                        KeyExchange::Adhkd {
-                            role: AdhkdRole::Offer,
-                            context: KexContext::LocalInit,
-                            public_key: offer.public_key.to_raw(),
-                            salt: offer.salt,
+            if r.retry.attempts >= max_attempts {
+                self.stats.kex_abandoned += 1;
+                self.push_alert(r.initiator, AlertKind::KeyExchangeFailure);
+                if let Some(t) = &self.telemetry {
+                    t.kex_abandoned.inc();
+                    t.registry.record(
+                        now_ns,
+                        TelemetryEvent::KexStep {
+                            node: SwitchId::CONTROLLER.value(),
+                            step: "port_kex_abandoned",
                         },
                     );
-                    m.seal(self.mac.as_ref(), k_auth);
-                    out.push(Outgoing {
-                        to: id,
-                        bytes: m.encode(),
-                    });
                 }
-                Some(KexContext::LocalUpdate) => {
-                    self.channel_mut(id).adhkd = None;
-                    out.extend(self.local_key_update(id));
-                }
-                _ => {}
+                continue; // dropped
             }
-        }
-        // Re-kick pending port-key redirects from the top.
-        let redirects: Vec<PortRedirect> = std::mem::take(&mut self.redirects);
-        for r in redirects {
-            out.extend(self.port_key_init(
-                r.initiator,
-                r.initiator_port,
-                r.responder,
-                r.responder_port,
-            ));
+            r.retry = RetryState {
+                attempts: r.retry.attempts + 1,
+                last_attempt_ns: now_ns,
+            };
+            let seq = self.channel_mut(r.initiator).next_seq();
+            let msg = Message::key_exchange(
+                SwitchId::CONTROLLER,
+                PortId::CPU,
+                seq,
+                KeyExchange::PortKeyInit {
+                    peer: r.responder,
+                    peer_port: r.initiator_port,
+                },
+            );
+            out.push(self.seal_local(r.initiator, msg));
+            self.redirects.push(r);
         }
         out
+    }
+
+    /// Abandons every pending exchange toward `switch` after the retry
+    /// budget is spent: terminal alert, counter, defence un-wedge.
+    fn abandon_kex(&mut self, switch: SwitchId) {
+        {
+            let chan = self.channel_mut(switch);
+            chan.eak = None;
+            chan.adhkd = None;
+            chan.retry = RetryState::default();
+        }
+        self.stats.kex_abandoned += 1;
+        self.push_alert(switch, AlertKind::KeyExchangeFailure);
+        if let Some(t) = &self.telemetry {
+            t.kex_abandoned.inc();
+            t.registry.record(
+                self.now_ns,
+                TelemetryEvent::KexStep {
+                    node: SwitchId::CONTROLLER.value(),
+                    step: "kex_abandoned",
+                },
+            );
+        }
+        // A defence mitigation waiting on this exchange would never
+        // complete; abort it so the channel is not wedged (quarantine
+        // included — its exit path just died).
+        if let Some(d) = &mut self.defence {
+            d.abort(switch, PortId::CPU);
+        }
+    }
+
+    /// Appends to the bounded alert ring, evicting (and counting) the
+    /// oldest when full.
+    fn push_alert(&mut self, switch: SwitchId, kind: AlertKind) {
+        while self.alerts.len() >= self.config.alert_capacity.max(1) {
+            self.alerts.pop_front();
+            self.stats.alerts_dropped += 1;
+            if let Some(t) = &self.telemetry {
+                t.alerts_dropped.inc();
+            }
+        }
+        self.alerts.push_back((switch, kind));
     }
 
     // ----- inbound processing ---------------------------------------------
@@ -826,6 +1154,7 @@ impl Controller {
                         reason,
                         RejectReason::BadDigest | RejectReason::Replayed { .. }
                     ) {
+                        self.count_channel_reject(from, PortId::CPU);
                         if let Some(d) = &mut self.defence {
                             d.record_signal(self.now_ns, from, PortId::CPU);
                         }
@@ -845,14 +1174,7 @@ impl Controller {
             Body::Register(op) => self.on_register_response(from, &msg, op, &mut events),
             Body::Alert(alert) => {
                 self.stats.alerts += 1;
-                while self.alerts.len() >= self.config.alert_capacity.max(1) {
-                    self.alerts.pop_front();
-                    self.stats.alerts_dropped += 1;
-                    if let Some(t) = &self.telemetry {
-                        t.alerts_dropped.inc();
-                    }
-                }
-                self.alerts.push_back((from, alert.kind));
+                self.push_alert(from, alert.kind);
                 if let Some(t) = &self.telemetry {
                     t.alerts_received.inc();
                 }
@@ -864,8 +1186,9 @@ impl Controller {
                 // channel the agent flagged: `detail` carries the ingress
                 // port for in-network rejects and 0 (the CPU channel) for
                 // C-DP register traffic.
+                let channel = PortId::new(alert.detail.min(u32::from(u8::MAX)) as u8);
+                self.count_channel_reject(from, channel);
                 if let Some(d) = &mut self.defence {
-                    let channel = PortId::new(alert.detail.min(u32::from(u8::MAX)) as u8);
                     d.record_signal(self.now_ns, from, channel);
                 }
             }
@@ -964,10 +1287,16 @@ impl Controller {
                             },
                         );
                     }
-                    // Continue Fig. 14(a): ADHKD offer under K_auth.
+                    // Continue Fig. 14(a): ADHKD offer under K_auth. The
+                    // exchange made progress, so its retry budget resets.
                     let (init, offer) = AdhkdInitiator::start(self.config.dh_params, &mut self.rng);
+                    let now_ns = self.now_ns;
                     let chan = self.channel_mut(from);
-                    chan.adhkd = Some((KexContext::LocalInit, init));
+                    chan.adhkd = Some((KexContext::LocalInit, init, offer));
+                    chan.retry = RetryState {
+                        attempts: 0,
+                        last_attempt_ns: now_ns,
+                    };
                     let seq = chan.next_seq();
                     let mut m = Message::key_exchange(
                         SwitchId::CONTROLLER,
@@ -1003,9 +1332,9 @@ impl Controller {
                     .switches
                     .get_mut(&from)
                     .expect("verified channel exists");
-                if let Some((pending_ctx, init)) = chan.adhkd.take() {
+                if let Some((pending_ctx, init, offer)) = chan.adhkd.take() {
                     if pending_ctx != context {
-                        chan.adhkd = Some((pending_ctx, init));
+                        chan.adhkd = Some((pending_ctx, init, offer));
                         return;
                     }
                     let master = init.finish(
@@ -1016,6 +1345,7 @@ impl Controller {
                         &self.kdf,
                     );
                     let rolled = context != KexContext::LocalInit;
+                    chan.retry = RetryState::default();
                     if rolled {
                         chan.local.rollover(master);
                         events.push(ControllerEvent::LocalKeyRolled(from));
@@ -1196,6 +1526,7 @@ mod tests {
             window_ns: 1_000_000_000,
             reject_threshold: 2,
             escalation_window_ns: 1_000_000_000,
+            ..crate::defence::DefenceConfig::default()
         });
         // A truncated (but genuine) frame and pure garbage, repeatedly —
         // far past the reject threshold.
@@ -1278,6 +1609,7 @@ mod tests {
             window_ns: 1_000_000,
             reject_threshold: 3,
             escalation_window_ns: 100_000_000,
+            ..crate::defence::DefenceConfig::default()
         });
         let mut agent = P4AuthSwitch::new(AgentConfig::new(sw, 4, k_seed), None);
         let init = c.local_key_init(sw);

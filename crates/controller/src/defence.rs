@@ -50,6 +50,12 @@ pub struct DefenceConfig {
     /// How long after a completed mitigation a re-crossing counts as
     /// "the rollover did not help" and escalates to quarantine.
     pub escalation_window_ns: u64,
+    /// Capacity of the pending-action queue. A harness that never drains
+    /// [`DefenceState::take_actions`] must not let a sustained flood grow
+    /// the queue without bound: when full, the *oldest* action is evicted
+    /// (its channel's in-flight mitigation is aborted so the channel is
+    /// not wedged) and counted in [`DefenceState::actions_dropped`].
+    pub pending_capacity: usize,
 }
 
 impl Default for DefenceConfig {
@@ -62,6 +68,7 @@ impl Default for DefenceConfig {
             window_ns: 10_000_000,
             reject_threshold: 4,
             escalation_window_ns: 50_000_000,
+            pending_capacity: 64,
         }
     }
 }
@@ -132,7 +139,14 @@ struct ChannelState {
 pub struct DefenceState {
     config: DefenceConfig,
     channels: HashMap<(SwitchId, PortId), ChannelState>,
-    pending: Vec<MitigationAction>,
+    pending: VecDeque<MitigationAction>,
+    /// Actions evicted from the bounded pending queue.
+    dropped: u64,
+    /// `false` when a rate-driven consumer (the defence daemon feeding on
+    /// `SnapshotRing::rate_gauges`) owns threshold detection: per-reject
+    /// signals then no longer drive the window logic, only explicit
+    /// [`DefenceState::trigger_crossing`] calls do.
+    signal_driven: bool,
 }
 
 impl DefenceState {
@@ -151,8 +165,22 @@ impl DefenceState {
         DefenceState {
             config,
             channels: HashMap::new(),
-            pending: Vec::new(),
+            pending: VecDeque::new(),
+            dropped: 0,
+            signal_driven: true,
         }
+    }
+
+    /// Creates a defence loop whose threshold detection is *rate-driven*:
+    /// per-reject [`DefenceState::record_signal`] calls are ignored and
+    /// crossings are reported explicitly via
+    /// [`DefenceState::trigger_crossing`] by a consumer of the windowed
+    /// `*_per_sec` telemetry series. The escalation ladder, in-flight
+    /// hysteresis and quarantine state behave identically.
+    pub fn new_rate_driven(config: DefenceConfig) -> Self {
+        let mut d = DefenceState::new(config);
+        d.signal_driven = false;
+        d
     }
 
     /// The active configuration.
@@ -160,14 +188,23 @@ impl DefenceState {
         &self.config
     }
 
+    /// Actions evicted from the bounded pending queue since creation.
+    pub fn actions_dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Records one auth-failure signal (a `BadDigest`/`Replayed` reject
     /// observed by the controller, or an authenticated agent alert) on
     /// `(peer, channel)` at simulated time `now_ns`. May enqueue a
     /// [`MitigationAction`]; drain with [`DefenceState::take_actions`].
     pub fn record_signal(&mut self, now_ns: u64, peer: SwitchId, channel: PortId) {
+        if !self.signal_driven {
+            // A rate-driven consumer owns detection; per-reject signals
+            // are already reflected in the windowed rate series.
+            return;
+        }
         let window_ns = self.config.window_ns;
         let threshold = self.config.reject_threshold;
-        let escalation_ns = self.config.escalation_window_ns;
         let state = self.channels.entry((peer, channel)).or_default();
         if state.in_flight.is_some() {
             // A mitigation is already underway; one crossing, one action.
@@ -181,10 +218,24 @@ impl DefenceState {
                 break;
             }
         }
-        if (state.rejects.len() as u32) < threshold {
+        if (state.rejects.len() as u32) >= threshold {
+            self.trigger_crossing(now_ns, peer, channel);
+        }
+    }
+
+    /// Reports one reject-threshold crossing on `(peer, channel)` at
+    /// `now_ns` and enqueues the corresponding rung of the escalation
+    /// ladder. No-op while a mitigation is already in flight on the
+    /// channel (one crossing, one action). Used internally by
+    /// [`DefenceState::record_signal`] and directly by rate-driven
+    /// consumers of the `*_per_sec` telemetry series.
+    pub fn trigger_crossing(&mut self, now_ns: u64, peer: SwitchId, channel: PortId) {
+        let escalation_ns = self.config.escalation_window_ns;
+        let state = self.channels.entry((peer, channel)).or_default();
+        if state.in_flight.is_some() {
             return;
         }
-        // Threshold crossed: decide the rung of the escalation ladder.
+        // Decide the rung of the escalation ladder.
         let kind = match state.last_completed_ns {
             Some(done) if now_ns.saturating_sub(done) <= escalation_ns => {
                 MitigationKind::Quarantine
@@ -196,7 +247,17 @@ impl DefenceState {
         if kind == MitigationKind::Quarantine {
             state.quarantined = true;
         }
-        self.pending.push(MitigationAction {
+        // Bounded queue: evict (and abort) the oldest rather than grow
+        // without limit under a harness that never drains.
+        while self.pending.len() >= self.config.pending_capacity.max(1) {
+            let evicted = self.pending.pop_front().expect("len checked");
+            self.dropped += 1;
+            if let Some(s) = self.channels.get_mut(&(evicted.peer, evicted.channel)) {
+                s.in_flight = None;
+                s.quarantined = false;
+            }
+        }
+        self.pending.push_back(MitigationAction {
             peer,
             channel,
             kind,
@@ -206,7 +267,7 @@ impl DefenceState {
 
     /// Drains the actions decided since the last call.
     pub fn take_actions(&mut self) -> Vec<MitigationAction> {
-        std::mem::take(&mut self.pending)
+        std::mem::take(&mut self.pending).into()
     }
 
     /// Notifies the loop that a fresh key was installed on
@@ -268,6 +329,7 @@ mod tests {
             window_ns: 1_000,
             reject_threshold: 3,
             escalation_window_ns: 10_000,
+            ..DefenceConfig::default()
         }
     }
 
@@ -407,6 +469,93 @@ mod tests {
         d.abort(S1, PortId::CPU);
         assert!(!d.is_quarantined(S1, PortId::CPU));
         assert!(!d.mitigation_in_flight(S1, PortId::CPU));
+    }
+
+    /// Regression: `pending` was an unbounded `Vec` — a harness that never
+    /// drained `take_actions` let a sustained flood across many channels
+    /// grow it without limit. The queue is now bounded: the oldest action
+    /// is evicted and counted, and its channel is un-wedged (in-flight
+    /// mitigation aborted, quarantine lifted) so a dropped action can
+    /// never leave a channel permanently ignoring signals.
+    #[test]
+    fn pending_queue_is_bounded_counts_drops_and_unwedges() {
+        let mut d = DefenceState::new(DefenceConfig {
+            pending_capacity: 2,
+            ..cfg()
+        });
+        // Cross the threshold on three distinct channels without draining.
+        for ch in 1..=3u8 {
+            for t in [100, 200, 300] {
+                d.record_signal(t, S1, PortId::new(ch));
+            }
+        }
+        assert_eq!(d.actions_dropped(), 1, "third crossing evicted the first");
+        // The evicted channel (1) was un-wedged: no mitigation in flight,
+        // so a fresh crossing can fire again later.
+        assert!(!d.mitigation_in_flight(S1, PortId::new(1)));
+        assert!(d.mitigation_in_flight(S1, PortId::new(2)));
+        assert!(d.mitigation_in_flight(S1, PortId::new(3)));
+        let actions = d.take_actions();
+        assert_eq!(actions.len(), 2);
+        assert_eq!(actions[0].channel, PortId::new(2));
+        assert_eq!(actions[1].channel, PortId::new(3));
+        // Channel 1 is live again.
+        for t in [400, 500, 600] {
+            d.record_signal(t, S1, PortId::new(1));
+        }
+        assert_eq!(d.take_actions().len(), 1);
+    }
+
+    #[test]
+    fn evicting_a_quarantine_action_lifts_the_quarantine() {
+        let mut d = DefenceState::new(DefenceConfig {
+            pending_capacity: 1,
+            ..cfg()
+        });
+        // Drive channel 1 to quarantine (rollover, complete, re-cross).
+        for t in [100, 200, 300] {
+            d.record_signal(t, S1, PortId::new(1));
+        }
+        d.take_actions();
+        d.on_key_installed(1_000, S1, PortId::new(1)).unwrap();
+        for t in [1_100, 1_200, 1_300] {
+            d.record_signal(t, S1, PortId::new(1));
+        }
+        assert!(d.is_quarantined(S1, PortId::new(1)));
+        // A crossing elsewhere evicts the undrained quarantine action —
+        // which must lift the quarantine, or the channel drops traffic
+        // forever with nobody ever issuing the exit-path key roll.
+        for t in [1_400, 1_500, 1_600] {
+            d.record_signal(t, S2, PortId::new(1));
+        }
+        assert_eq!(d.actions_dropped(), 1);
+        assert!(!d.is_quarantined(S1, PortId::new(1)));
+    }
+
+    #[test]
+    fn rate_driven_mode_ignores_signals_but_fires_on_crossing() {
+        let mut d = DefenceState::new_rate_driven(cfg());
+        // Per-reject signals are the monolith path; a rate-driven loop
+        // must not double-detect from them.
+        for t in [100, 200, 300, 400, 500] {
+            d.record_signal(t, S1, PortId::new(1));
+        }
+        assert!(d.take_actions().is_empty());
+        // An explicit crossing (from the windowed rate series) fires the
+        // same ladder: rollover first...
+        d.trigger_crossing(600, S1, PortId::new(1));
+        let actions = d.take_actions();
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].kind, MitigationKind::KeyRollover);
+        // ...with in-flight hysteresis...
+        d.trigger_crossing(700, S1, PortId::new(1));
+        assert!(d.take_actions().is_empty());
+        // ...and escalation to quarantine on a re-crossing soon after
+        // completion.
+        d.on_key_installed(1_000, S1, PortId::new(1)).unwrap();
+        d.trigger_crossing(1_100, S1, PortId::new(1));
+        assert_eq!(d.take_actions()[0].kind, MitigationKind::Quarantine);
+        assert!(d.is_quarantined(S1, PortId::new(1)));
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //!   tracking per `(peer, channel)` that automatically rolls keys or
 //!   quarantines a channel when forged digests or replays flood it.
 //!
+//! On top of the protocol core, the crate provides the *split* control
+//! plane (sonic-swss shape): a deterministic pub/sub [`statedb`] that
+//! per-domain orchestration [`daemons`] coordinate through, and a
+//! [`replica`] layer that partitions switches across N
+//! [`ControllerReplica`]s by a deterministic hash, with versioned bulk
+//! key rollover that is KMP-retry- and replica-restart-safe.
+//!
 //! ```
 //! use p4auth_controller::{Controller, ControllerConfig};
 //! use p4auth_primitives::Key64;
@@ -38,9 +45,13 @@
 #![warn(missing_docs)]
 
 mod controller;
+pub mod daemons;
 pub mod defence;
+pub mod replica;
+pub mod statedb;
 
 pub use controller::{Controller, ControllerConfig, ControllerEvent, ControllerStats, Outgoing};
 pub use defence::{
     CompletedMitigation, DefenceConfig, DefenceState, MitigationAction, MitigationKind,
 };
+pub use replica::{ControllerReplica, ReplicaSet};

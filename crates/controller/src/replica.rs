@@ -1,0 +1,560 @@
+//! Replicated control plane: N [`ControllerReplica`]s partitioning the
+//! switches by a deterministic hash, coordinating through one shared
+//! [`StateDb`].
+//!
+//! Each replica is a protocol [`Controller`] core plus the three
+//! orchestration [`daemons`](crate::daemons). The [`ReplicaSet`] owns
+//! the shared state table, routes incoming frames to the replica
+//! responsible for the sending switch, and implements the two places
+//! where replicas must cooperate:
+//!
+//! * **Versioned bulk key rollover** — [`ReplicaSet::start_bulk_rollover`]
+//!   bumps the `kmp/epoch` target in the table; every replica's
+//!   key-manager daemon then rolls its own partition independently,
+//!   recording per-switch progress (with the baseline key version) in
+//!   the table. The epoch cannot start while the previous one is
+//!   incomplete, a restarted replica resumes from the table without
+//!   re-baselining, and completion is judged by key-version movement —
+//!   together these make the rollover KMP-retry-safe and
+//!   restart-safe (no skipped or doubled derivation; proptested in
+//!   `tests/replica_rollover.rs`).
+//!
+//! * **Cross-partition port-key redirects** — Fig. 14(c) runs both legs
+//!   of an ADHKD exchange through *one* controller endpoint, but the
+//!   two switches may hash to different replicas. The initiator's owner
+//!   becomes the redirect *home*: it mirrors the responder's local key
+//!   (published in the `keys` table by the responder's key manager),
+//!   takes over the outbound sequence counter toward the responder
+//!   (agents demand strictly increasing sequence numbers from
+//!   `SwitchId::CONTROLLER`, whichever replica seals the frame), and a
+//!   lease in the `leases` table keeps the responder's own key manager
+//!   from touching the channel mid-redirect. When the answer leg
+//!   passes through, the counter is handed back and the lease dropped.
+//!
+//! Determinism: replicas step in index order, partitions iterate in
+//! switch-id order, the state table is `BTreeMap`-backed, and each
+//! replica's RNG seed derives from the base seed and its index — so a
+//! run with the same topology and seeds is bit-identical, which the CI
+//! two-run gate checks end-to-end.
+
+use crate::controller::{Controller, ControllerConfig, ControllerEvent, Outgoing};
+use crate::daemons::{tables, DefenceDaemon, KeyManagerDaemon, RegisterDaemon};
+use crate::defence::DefenceConfig;
+use crate::statedb::{StateDb, Value};
+use p4auth_primitives::Key64;
+use p4auth_telemetry::{GaugeSample, Registry};
+use p4auth_wire::body::{AdhkdRole, Body, KexContext, KeyExchange};
+use p4auth_wire::ids::{PortId, RegId, SwitchId};
+use p4auth_wire::Message;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// SplitMix64 finalizer — the partition hash. Deterministic across
+/// processes and runs (no hash-seed randomness), well-mixed enough that
+/// consecutive switch ids spread over the replicas.
+fn mix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Which of `n` replicas owns `switch`. Pure function of the id, so
+/// every component (and every run) agrees without coordination.
+pub fn partition_of(switch: SwitchId, n: usize) -> usize {
+    (mix(switch.value() as u64) % n.max(1) as u64) as usize
+}
+
+/// One replica: a protocol core plus its orchestration daemons. Build
+/// via [`ReplicaSet::new`]; the set owns the shared state table.
+pub struct ControllerReplica {
+    /// Replica index within the set.
+    pub index: usize,
+    /// Telemetry / fan-out label, `replica{index}`.
+    pub label: String,
+    /// The protocol core (sealing, verifying, exchanges).
+    pub core: Controller,
+    km: KeyManagerDaemon,
+    defence: Option<DefenceDaemon>,
+    registers: RegisterDaemon,
+    owned: Vec<SwitchId>,
+}
+
+impl ControllerReplica {
+    /// The switches this replica owns (sorted).
+    pub fn owned(&self) -> &[SwitchId] {
+        &self.owned
+    }
+}
+
+/// An in-flight cross-partition port-key redirect, keyed by each
+/// participating switch.
+#[derive(Clone, Copy, Debug)]
+struct RedirectLease {
+    /// Replica hosting both legs of the redirect.
+    home: usize,
+    /// The other switch in the exchange.
+    peer: SwitchId,
+}
+
+/// A set of controller replicas sharing one state table. See the
+/// module docs for the coordination protocol.
+pub struct ReplicaSet {
+    db: StateDb,
+    replicas: Vec<ControllerReplica>,
+    redirects: BTreeMap<SwitchId, RedirectLease>,
+    defence: Option<(DefenceConfig, u64)>,
+}
+
+impl ReplicaSet {
+    /// Builds `n` replicas over `switches`, each switch registered (with
+    /// its `K_seed`) on the replica [`partition_of`] assigns it to. Each
+    /// replica's RNG seed derives from `config.rng_seed` and its index.
+    pub fn new(n: usize, config: ControllerConfig, switches: &[(SwitchId, Key64)]) -> Self {
+        assert!(n >= 1, "a replica set needs at least one replica");
+        let mut db = StateDb::new();
+        let mut replicas = Vec::with_capacity(n);
+        for index in 0..n {
+            let mut owned: Vec<SwitchId> = switches
+                .iter()
+                .map(|(id, _)| *id)
+                .filter(|id| partition_of(*id, n) == index)
+                .collect();
+            owned.sort_unstable();
+            let replica_config = ControllerConfig {
+                rng_seed: mix(config.rng_seed ^ index as u64),
+                ..config
+            };
+            let mut core = Controller::new(replica_config);
+            for (id, seed) in switches {
+                if partition_of(*id, n) == index {
+                    core.register_switch(*id, *seed);
+                }
+            }
+            let label = format!("replica{index}");
+            let km = KeyManagerDaemon::new(&mut db, owned.clone(), label.clone());
+            replicas.push(ControllerReplica {
+                index,
+                label,
+                core,
+                km,
+                defence: None,
+                registers: RegisterDaemon,
+                owned,
+            });
+        }
+        ReplicaSet {
+            db,
+            replicas,
+            redirects: BTreeMap::new(),
+            defence: None,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the set is empty (never: `new` asserts `n >= 1`).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The replica index owning `switch`.
+    pub fn owner(&self, switch: SwitchId) -> usize {
+        partition_of(switch, self.replicas.len())
+    }
+
+    /// The replicas, in index order.
+    pub fn replicas(&self) -> &[ControllerReplica] {
+        &self.replicas
+    }
+
+    /// The shared state table (read-only).
+    pub fn db(&self) -> &StateDb {
+        &self.db
+    }
+
+    /// The core owning `switch`.
+    pub fn core(&self, switch: SwitchId) -> &Controller {
+        &self.replicas[self.owner(switch)].core
+    }
+
+    /// Mutable access to the core owning `switch`.
+    pub fn core_mut(&mut self, switch: SwitchId) -> &mut Controller {
+        let i = self.owner(switch);
+        &mut self.replicas[i].core
+    }
+
+    /// Attaches one registry to every replica's core, each labeled
+    /// `replica{i}` so their series stay distinguishable while the
+    /// per-channel reject counters (labeled by channel, not replica)
+    /// merge into the set-wide series the defence daemons consume.
+    pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
+        for r in &mut self.replicas {
+            let label = r.label.clone();
+            r.core.set_telemetry_labeled(registry.clone(), &label);
+        }
+    }
+
+    /// Pushes the simulation clock to every core.
+    pub fn set_now(&mut self, now_ns: u64) {
+        for r in &mut self.replicas {
+            r.core.set_now(now_ns);
+        }
+    }
+
+    /// Arms the rate-driven defence ladder on every replica:
+    /// mitigations trigger when a channel's windowed reject rate (from
+    /// [`ReplicaSet::observe_rates`]) reaches `threshold` rejects/sec.
+    pub fn enable_defence_rate_driven(&mut self, config: DefenceConfig, threshold: u64) {
+        self.defence = Some((config, threshold));
+        for r in &mut self.replicas {
+            r.core.enable_defence_rate_driven(config);
+            r.defence = Some(DefenceDaemon::new(&mut self.db, r.owned.clone(), threshold));
+        }
+    }
+
+    /// Publishes the snapshot ring's derived `*_per_sec` gauges into the
+    /// `rates` table for the defence daemons. Call with
+    /// `SnapshotRing::rate_gauges()` output after each ring sample.
+    pub fn observe_rates(&mut self, now_ns: u64, gauges: &[GaugeSample]) {
+        for g in gauges {
+            if g.name == "ctrl_channel_rejects_per_sec" {
+                self.db.set(
+                    now_ns,
+                    tables::RATES,
+                    &g.label,
+                    Value::U64(g.value.max(0) as u64),
+                );
+            }
+        }
+    }
+
+    /// Routes one frame from `switch` to the responsible replica and
+    /// publishes the resulting register-plane outcomes. Port-key
+    /// redirect legs go to the redirect's *home* replica instead of the
+    /// sender's owner; the answer leg completes the redirect.
+    pub fn on_message(
+        &mut self,
+        now_ns: u64,
+        from: SwitchId,
+        bytes: &[u8],
+    ) -> (Vec<Outgoing>, Vec<ControllerEvent>) {
+        let mut target = self.owner(from);
+        let mut answer_leg = false;
+        if let Ok(msg) = Message::decode(bytes) {
+            if let Body::KeyExchange(KeyExchange::Adhkd {
+                context: KexContext::PortInitRedirect,
+                role,
+                ..
+            }) = msg.body()
+            {
+                if let Some(lease) = self.redirects.get(&from) {
+                    target = lease.home;
+                    answer_leg = *role == AdhkdRole::Answer;
+                }
+            }
+        }
+        let r = &mut self.replicas[target];
+        r.core.set_now(now_ns);
+        let (out, events) = r.core.on_message(from, bytes);
+        r.registers.publish(&mut self.db, now_ns, &events);
+        if answer_leg {
+            self.finish_redirect(from);
+        }
+        (out, events)
+    }
+
+    /// Starts port-key initialization between `(sw1, port1)` and
+    /// `(sw2, port2)`. If the switches hash to different replicas, the
+    /// initiator's owner becomes the redirect home: it mirrors `sw2`'s
+    /// published local key, takes over the sequence counter toward
+    /// `sw2`, and leases the channel until the answer leg completes.
+    pub fn port_key_init(
+        &mut self,
+        now_ns: u64,
+        sw1: SwitchId,
+        port1: PortId,
+        sw2: SwitchId,
+        port2: PortId,
+    ) -> Vec<Outgoing> {
+        let home = self.owner(sw1);
+        let owner2 = self.owner(sw2);
+        if owner2 != home {
+            if let Some((k, v)) = self.replicas[owner2].core.local_key_material(sw2) {
+                let seq = self.replicas[owner2].core.channel_seq(sw2).unwrap_or(0);
+                let home_core = &mut self.replicas[home].core;
+                home_core.mirror_peer_key(sw2, k, v);
+                home_core.set_channel_seq(sw2, seq);
+            }
+            self.db.set(
+                now_ns,
+                tables::LEASES,
+                &sw2.to_string(),
+                Value::U64(home as u64),
+            );
+        }
+        self.redirects
+            .insert(sw1, RedirectLease { home, peer: sw2 });
+        self.redirects
+            .insert(sw2, RedirectLease { home, peer: sw1 });
+        let core = &mut self.replicas[home].core;
+        core.set_now(now_ns);
+        core.port_key_init(sw1, port1, sw2, port2)
+    }
+
+    /// Completes the redirect `party` participated in: hands sequence
+    /// counters back to the owners of any leased channels and drops the
+    /// leases.
+    fn finish_redirect(&mut self, party: SwitchId) {
+        let Some(lease) = self.redirects.remove(&party) else {
+            return;
+        };
+        self.redirects.remove(&lease.peer);
+        for sw in [party, lease.peer] {
+            let owner = self.owner(sw);
+            if owner != lease.home {
+                if let Some(seq) = self.replicas[lease.home].core.channel_seq(sw) {
+                    self.replicas[owner].core.set_channel_seq(sw, seq);
+                }
+            }
+            self.db.remove(tables::LEASES, &sw.to_string());
+        }
+    }
+
+    /// Whether the rate-driven defence ladder is armed.
+    pub fn defence_enabled(&self) -> bool {
+        self.defence.is_some()
+    }
+
+    /// Whether `switch`'s owner has its local key established.
+    pub fn has_local_key(&self, switch: SwitchId) -> bool {
+        self.core(switch).has_local_key(switch)
+    }
+
+    /// Starts local-key initialization for `switch` on its owner.
+    pub fn local_key_init(&mut self, now_ns: u64, switch: SwitchId) -> Vec<Outgoing> {
+        let i = self.owner(switch);
+        let core = &mut self.replicas[i].core;
+        core.set_now(now_ns);
+        core.local_key_init(switch)
+    }
+
+    /// Triggers a direct DP-DP port-key rollover via `sw1`'s owner.
+    pub fn port_key_update(
+        &mut self,
+        now_ns: u64,
+        sw1: SwitchId,
+        port1: PortId,
+        sw2: SwitchId,
+    ) -> Vec<Outgoing> {
+        let i = self.owner(sw1);
+        let core = &mut self.replicas[i].core;
+        core.set_now(now_ns);
+        core.port_key_update(sw1, port1, sw2)
+    }
+
+    /// Reports a DP-DP port-key install to the owner's defence
+    /// accounting (see [`Controller::notify_port_key_installed`]).
+    pub fn notify_port_key_installed(&mut self, now_ns: u64, peer: SwitchId, channel: PortId) {
+        let i = self.owner(peer);
+        let core = &mut self.replicas[i].core;
+        core.set_now(now_ns);
+        core.notify_port_key_installed(peer, channel);
+    }
+
+    /// Drains port-channel mitigations from every replica, in replica
+    /// order.
+    pub fn take_port_actions(&mut self) -> Vec<crate::defence::MitigationAction> {
+        self.replicas
+            .iter_mut()
+            .flat_map(|r| r.core.take_port_actions())
+            .collect()
+    }
+
+    /// Issues an authenticated register read toward `switch` via its
+    /// owner replica.
+    pub fn read_register(
+        &mut self,
+        now_ns: u64,
+        switch: SwitchId,
+        reg: RegId,
+        index: u32,
+    ) -> Outgoing {
+        let i = self.owner(switch);
+        let core = &mut self.replicas[i].core;
+        core.set_now(now_ns);
+        core.read_register(switch, reg, index)
+    }
+
+    /// Issues an authenticated register write toward `switch` via its
+    /// owner replica.
+    pub fn write_register(
+        &mut self,
+        now_ns: u64,
+        switch: SwitchId,
+        reg: RegId,
+        index: u32,
+        value: u64,
+    ) -> Outgoing {
+        let i = self.owner(switch);
+        let core = &mut self.replicas[i].core;
+        core.set_now(now_ns);
+        core.write_register(switch, reg, index, value)
+    }
+
+    /// One orchestration step: every replica (in index order) runs its
+    /// key-manager and defence daemons against the shared table.
+    pub fn step(&mut self, now_ns: u64) -> (Vec<Outgoing>, Vec<ControllerEvent>) {
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        for i in 0..self.replicas.len() {
+            let r = &mut self.replicas[i];
+            r.core.set_now(now_ns);
+            out.extend(r.km.step(&mut self.db, &mut r.core, now_ns));
+            if let Some(d) = &mut r.defence {
+                let (o, ev) = d.step(&mut self.db, &mut r.core, now_ns);
+                out.extend(o);
+                r.registers.publish(&mut self.db, now_ns, &ev);
+                events.extend(ev);
+            }
+        }
+        (out, events)
+    }
+
+    /// Steps only replica `i` — the proptest uses this to interleave
+    /// replica progress arbitrarily.
+    pub fn step_replica(&mut self, i: usize, now_ns: u64) -> Vec<Outgoing> {
+        let r = &mut self.replicas[i];
+        r.core.set_now(now_ns);
+        r.km.step(&mut self.db, &mut r.core, now_ns)
+    }
+
+    /// Starts the next bulk key-rollover epoch across *all* partitions.
+    /// Refuses (returns `None`) while a previous epoch is incomplete —
+    /// overlapping epochs could alias two rollovers into one derivation,
+    /// which is exactly the "skipped derivation" the versioned protocol
+    /// rules out. Returns the new epoch number on success.
+    pub fn start_bulk_rollover(&mut self, now_ns: u64) -> Option<u64> {
+        let current = KeyManagerDaemon::epoch(&self.db);
+        if current > 0 && !self.rollover_complete() {
+            return None;
+        }
+        let epoch = current + 1;
+        self.db.set(now_ns, tables::KMP, "epoch", Value::U64(epoch));
+        self.db.set(
+            now_ns,
+            tables::KMP,
+            &format!("started@{epoch}"),
+            Value::U64(now_ns),
+        );
+        Some(epoch)
+    }
+
+    /// The current bulk-rollover epoch target (0 = never started).
+    pub fn rollover_epoch(&self) -> u64 {
+        KeyManagerDaemon::epoch(&self.db)
+    }
+
+    /// Whether every switch on every replica has finished the current
+    /// epoch.
+    pub fn rollover_complete(&self) -> bool {
+        let epoch = self.rollover_epoch();
+        epoch == 0
+            || self
+                .replicas
+                .iter()
+                .all(|r| KeyManagerDaemon::partition_done(&self.db, &r.owned, epoch))
+    }
+
+    /// Simulates a crash/restart of replica `i`: every daemon is rebuilt
+    /// from scratch with fresh state-table subscriptions, exactly as a
+    /// respawned process would come up. All orchestration progress must
+    /// therefore be recoverable from the table — the mid-rollover
+    /// restart proptest pins this down.
+    pub fn restart_replica(&mut self, i: usize) {
+        let (owned, label) = {
+            let r = &self.replicas[i];
+            (r.owned.clone(), r.label.clone())
+        };
+        self.replicas[i].km = KeyManagerDaemon::new(&mut self.db, owned.clone(), label);
+        if let Some((config, threshold)) = self.defence {
+            self.replicas[i].core.enable_defence_rate_driven(config);
+            self.replicas[i].defence = Some(DefenceDaemon::new(&mut self.db, owned, threshold));
+        }
+    }
+
+    /// All alerts collected across the replicas, in replica order.
+    pub fn alerts(&self) -> Vec<(SwitchId, p4auth_wire::body::AlertKind)> {
+        self.replicas
+            .iter()
+            .flat_map(|r| r.core.alerts().iter().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeds(n: u16) -> Vec<(SwitchId, Key64)> {
+        (1..=n)
+            .map(|i| (SwitchId::new(i), Key64::new(0x5eed_0000 + i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_total() {
+        for n in 1..5 {
+            for s in 1..40u16 {
+                let a = partition_of(SwitchId::new(s), n);
+                let b = partition_of(SwitchId::new(s), n);
+                assert_eq!(a, b);
+                assert!(a < n);
+            }
+        }
+    }
+
+    #[test]
+    fn two_replicas_split_a_fat_tree_sized_fleet() {
+        // fat_tree(4) has 20 switches; both replicas must own a
+        // non-trivial share or "replicated" is a fiction.
+        let set = ReplicaSet::new(2, ControllerConfig::default(), &seeds(20));
+        assert!(set.replicas()[0].owned().len() >= 5);
+        assert!(set.replicas()[1].owned().len() >= 5);
+        let total: usize = set.replicas().iter().map(|r| r.owned().len()).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn rollover_refuses_to_overlap_epochs() {
+        let mut set = ReplicaSet::new(2, ControllerConfig::default(), &seeds(4));
+        assert_eq!(set.start_bulk_rollover(0), Some(1));
+        // Nothing has completed: a second epoch must be refused.
+        set.step(0);
+        assert_eq!(set.start_bulk_rollover(10), None);
+        assert_eq!(set.rollover_epoch(), 1);
+    }
+
+    #[test]
+    fn restart_rebuilds_daemons_without_losing_table_state() {
+        let mut set = ReplicaSet::new(2, ControllerConfig::default(), &seeds(4));
+        set.start_bulk_rollover(0);
+        set.step(0);
+        let statuses_before: Vec<_> = set
+            .db()
+            .entries(tables::KMP)
+            .map(|(k, e)| (k.to_string(), e.value.clone()))
+            .collect();
+        set.restart_replica(0);
+        set.restart_replica(1);
+        let statuses_after: Vec<_> = set
+            .db()
+            .entries(tables::KMP)
+            .map(|(k, e)| (k.to_string(), e.value.clone()))
+            .collect();
+        assert_eq!(statuses_before, statuses_after, "restart must not write");
+    }
+}

@@ -303,6 +303,13 @@ pub struct P4AuthSwitch {
     quarantined: HashSet<PortId>,
     seq_out: HashMap<PortId, SeqNum>,
     pending_kex: HashMap<(KexContext, PortId), AdhkdInitiator>,
+    /// At-most-once responder cache: the last ADHKD offer answered per
+    /// `(context, slot)` as `(offer_pk, offer_salt, answer_pk,
+    /// answer_salt)`. A retransmitted offer (the initiator's stall-retry
+    /// racing the original through the network) is answered from here
+    /// without re-deriving — deriving twice for one exchange would move
+    /// the key version twice while the initiator counts one rollover.
+    answered_offers: HashMap<(KexContext, PortId), (u64, u32, u64, u32)>,
     app: Option<Box<dyn InNetworkApp>>,
     reg_names: Vec<String>,
     stats: AgentStats,
@@ -371,6 +378,7 @@ impl P4AuthSwitch {
             quarantined: HashSet::new(),
             seq_out: HashMap::new(),
             pending_kex: HashMap::new(),
+            answered_offers: HashMap::new(),
             app,
             reg_names,
             chassis,
@@ -1052,30 +1060,47 @@ impl P4AuthSwitch {
                 public_key,
                 salt,
             } => {
-                let offer = AdhkdPayload {
-                    public_key: DhPublic::from_raw(public_key),
-                    salt,
-                };
-                let (answer, master) =
-                    adhkd::respond(self.config.dh_params, offer, &mut self.rng, &self.kdf);
                 // Which slot does this exchange target?
                 let slot = match context {
                     KexContext::LocalInit | KexContext::LocalUpdate => PortId::CPU,
                     KexContext::PortInitRedirect => msg.header().port,
                     KexContext::PortUpdateDirect => ingress,
                 };
-                match context {
-                    KexContext::LocalInit | KexContext::PortInitRedirect => {
-                        self.keys.install(slot, master);
-                        self.note_key_change(now_ns, slot, false);
-                        events.push(AgentEvent::KeyInstalled { port: slot });
+                // A retransmission of an already-answered offer (the
+                // initiator's stall-retry overtaken by the original): the
+                // key was derived once; only the answer is repeated.
+                let cached = self
+                    .answered_offers
+                    .get(&(context, slot))
+                    .filter(|&&(pk, s, _, _)| pk == public_key && s == salt)
+                    .map(|&(_, _, apk, asalt)| (apk, asalt));
+                let (answer_pk, answer_salt) = match cached {
+                    Some(cached) => cached,
+                    None => {
+                        let offer = AdhkdPayload {
+                            public_key: DhPublic::from_raw(public_key),
+                            salt,
+                        };
+                        let (answer, master) =
+                            adhkd::respond(self.config.dh_params, offer, &mut self.rng, &self.kdf);
+                        match context {
+                            KexContext::LocalInit | KexContext::PortInitRedirect => {
+                                self.keys.install(slot, master);
+                                self.note_key_change(now_ns, slot, false);
+                                events.push(AgentEvent::KeyInstalled { port: slot });
+                            }
+                            KexContext::LocalUpdate | KexContext::PortUpdateDirect => {
+                                self.keys.rollover(slot, master);
+                                self.note_key_change(now_ns, slot, true);
+                                events.push(AgentEvent::KeyRolled { port: slot });
+                            }
+                        }
+                        let reply = (answer.public_key.to_raw(), answer.salt);
+                        self.answered_offers
+                            .insert((context, slot), (public_key, salt, reply.0, reply.1));
+                        reply
                     }
-                    KexContext::LocalUpdate | KexContext::PortUpdateDirect => {
-                        self.keys.rollover(slot, master);
-                        self.note_key_change(now_ns, slot, true);
-                        events.push(AgentEvent::KeyRolled { port: slot });
-                    }
-                }
+                };
                 // Answer, sealed with the same channel key that verified
                 // the offer (the pre-update key for rollovers).
                 let reply_port = if context == KexContext::PortUpdateDirect {
@@ -1091,8 +1116,8 @@ impl P4AuthSwitch {
                     Body::KeyExchange(KeyExchange::Adhkd {
                         role: AdhkdRole::Answer,
                         context,
-                        public_key: answer.public_key.to_raw(),
-                        salt: answer.salt,
+                        public_key: answer_pk,
+                        salt: answer_salt,
                     }),
                 );
                 reply.header_mut().key_version = msg.header().key_version;

@@ -64,6 +64,18 @@ impl KeySlot {
         self.installed = true;
     }
 
+    /// Overwrites the slot with `key` at an explicit `version`, dropping
+    /// any retained previous generation. Used when mirroring a key that
+    /// was derived elsewhere (a switch owned by a peer controller
+    /// replica): the mirror trusts the publisher's version counter
+    /// instead of running its own install/rollover sequence.
+    pub fn force(&mut self, key: Key64, version: KeyVersion) {
+        self.previous = None;
+        self.current = key;
+        self.version = version;
+        self.installed = true;
+    }
+
     /// Rolls over to `key`: the old key is retained for in-flight messages
     /// tagged with the previous version.
     pub fn rollover(&mut self, key: Key64) {

@@ -327,6 +327,36 @@ impl Topology {
     pub fn fat_tree(k: u16, latency_ns: u64) -> Self {
         crate::fattree::FatTree::new(k).build(latency_ns)
     }
+
+    /// A [`Topology::fat_tree`] with the controller attached to every
+    /// switch, the same way [`Topology::chain`] does it: switch port 63
+    /// is the C-DP control channel, landing on controller port `i − 1`
+    /// for switch `i`. `latency_ns` applies to the data-plane links,
+    /// `cp_latency_ns` to the control channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k` is even and `2 ≤ k ≤ 14` (the controller has
+    /// at most 256 ports, one per switch; `k = 16` has 320 switches).
+    pub fn fat_tree_with_controller(k: u16, latency_ns: u64, cp_latency_ns: u64) -> Self {
+        let mut t = Topology::fat_tree(k, latency_ns);
+        // Hosts are nodes too, but only switches get a control channel.
+        let switches = crate::fattree::FatTree::new(k).switch_count();
+        assert!(
+            switches <= 256,
+            "fat_tree({k}) has {switches} switches; the controller has 256 ports"
+        );
+        t.add_node(SwitchId::CONTROLLER).unwrap();
+        for i in 1..=switches {
+            t.add_link(
+                Endpoint::new(SwitchId::new(i), PortId::new(63)),
+                Endpoint::new(SwitchId::CONTROLLER, PortId::new((i - 1) as u8)),
+                cp_latency_ns,
+            )
+            .unwrap();
+        }
+        t
+    }
 }
 
 #[cfg(test)]
@@ -453,5 +483,26 @@ mod tests {
     #[should_panic(expected = "at least one switch")]
     fn empty_chain_rejected() {
         let _ = Topology::chain(0, 1, 1);
+    }
+
+    #[test]
+    fn fat_tree_with_controller_wires_every_switch_but_no_host() {
+        let plain = Topology::fat_tree(4, 1_000);
+        let t = Topology::fat_tree_with_controller(4, 1_000, 50_000);
+        // 20 switches gain one C-DP link each; 16 hosts gain none.
+        assert_eq!(t.links().len(), plain.links().len() + 20);
+        assert_eq!(t.nodes().len(), plain.nodes().len() + 1);
+        for i in 1..=20u16 {
+            let (_, link) = t
+                .link_at(SwitchId::new(i), PortId::new(63))
+                .expect("C-DP link");
+            let ctrl = link.opposite(SwitchId::new(i)).unwrap();
+            assert_eq!(ctrl.node, SwitchId::CONTROLLER);
+            assert_eq!(ctrl.port, PortId::new((i - 1) as u8));
+            assert_eq!(link.latency_ns, 50_000);
+        }
+        assert!(t
+            .link_at(SwitchId::new(HOST_ID_BASE), PortId::new(63))
+            .is_none());
     }
 }

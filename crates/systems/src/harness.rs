@@ -4,6 +4,7 @@
 
 use p4auth_controller::{
     Controller, ControllerConfig, ControllerEvent, DefenceConfig, MitigationKind, Outgoing,
+    ReplicaSet,
 };
 use p4auth_core::agent::{AgentConfig, AgentEvent, InNetworkApp, P4AuthSwitch};
 use p4auth_netsim::frame::FrameBytes;
@@ -15,7 +16,7 @@ pub use p4auth_netsim::sched::SchedulerKind;
 pub use p4auth_netsim::topology::HOST_ID_BASE;
 use p4auth_primitives::Key64;
 use p4auth_wire::ids::{PortId, RegId, SwitchId};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -36,6 +37,12 @@ pub type SharedController = Rc<RefCell<Controller>>;
 /// the prototype); applied by the controller node when transmitting.
 pub const CONTROLLER_PROC_NS: u64 = 150_000;
 
+/// Callback a [`SwitchNode`] invokes when a DP-DP port key lands:
+/// `(sim-ns, switch, port)`. The control plane only redirects port-key
+/// legs and never sees them finish; the defence loop needs the
+/// completion for its detection-to-mitigation latency accounting.
+pub type PortKeyNotifier = Rc<RefCell<dyn FnMut(u64, SwitchId, PortId)>>;
+
 /// A [`SimNode`] wrapping a [`P4AuthSwitch`]. Frames are processed by the
 /// agent; outputs are transmitted after the agent's modelled processing
 /// cost.
@@ -48,27 +55,51 @@ pub struct SwitchNode {
     id: SwitchId,
     agent: SharedSwitch,
     cpu_netport: Option<PortId>,
-    /// Controller handle for reporting DP-DP port-key completions (the
-    /// controller only redirects port-key legs and never sees them
-    /// finish; the defence loop needs the completion for its
-    /// detection-to-mitigation latency accounting).
-    controller: Option<SharedController>,
+    notify: Option<PortKeyNotifier>,
 }
 
 impl SwitchNode {
     /// Wraps a shared agent; `cpu_netport` is the topology port carrying
-    /// the C-DP channel (if any).
+    /// the C-DP channel (if any). Port-key completions are reported to
+    /// `controller` (the single-controller wiring).
     pub fn new(
         id: SwitchId,
         agent: SharedSwitch,
         cpu_netport: Option<PortId>,
         controller: Option<SharedController>,
     ) -> Self {
+        let notify = controller.map(|c| {
+            let f: PortKeyNotifier = Rc::new(RefCell::new(
+                move |now_ns: u64, peer: SwitchId, channel: PortId| {
+                    let mut c = c.borrow_mut();
+                    c.set_now(now_ns);
+                    c.notify_port_key_installed(peer, channel);
+                },
+            ));
+            f
+        });
         SwitchNode {
             id,
             agent,
             cpu_netport,
-            controller,
+            notify,
+        }
+    }
+
+    /// Like [`SwitchNode::new`] but with an arbitrary completion
+    /// callback — the replicated wiring routes completions to the owner
+    /// replica instead of a single controller.
+    pub fn with_notifier(
+        id: SwitchId,
+        agent: SharedSwitch,
+        cpu_netport: Option<PortId>,
+        notify: Option<PortKeyNotifier>,
+    ) -> Self {
+        SwitchNode {
+            id,
+            agent,
+            cpu_netport,
+            notify,
         }
     }
 }
@@ -84,13 +115,11 @@ impl SimNode for SwitchNode {
             .agent
             .borrow_mut()
             .on_packet(now.as_ns(), logical_ingress, &payload);
-        if let Some(controller) = &self.controller {
+        if let Some(notify) = &self.notify {
             for ev in &output.events {
                 if let AgentEvent::KeyInstalled { port } | AgentEvent::KeyRolled { port } = ev {
                     if !port.is_cpu() {
-                        let mut c = controller.borrow_mut();
-                        c.set_now(now.as_ns());
-                        c.notify_port_key_installed(self.id, *port);
+                        (notify.borrow_mut())(now.as_ns(), self.id, *port);
                     }
                 }
             }
@@ -716,6 +745,448 @@ impl Network {
     }
 }
 
+/// Shared handle to a [`ReplicaSet`].
+pub type SharedReplicaSet = Rc<RefCell<ReplicaSet>>;
+
+/// Shared slot for the (optional) snapshot ring — the [`ReplicaSetNode`]
+/// samples it on every orchestration tick, the network reads the
+/// windowed rates out of it.
+type SharedRing = Rc<RefCell<Option<p4auth_telemetry::SnapshotRing>>>;
+type SharedRegistry = Rc<RefCell<Option<std::sync::Arc<p4auth_telemetry::Registry>>>>;
+
+/// Timer id driving the replicated control plane's orchestration tick.
+pub const ORCH_TIMER: u64 = 0x0c4e;
+
+/// Orchestration tick period: every tick samples telemetry into the
+/// snapshot ring, feeds the windowed reject rates to the defence
+/// daemons, and steps every replica's key manager (which re-drives
+/// stalled exchanges with capped backoff).
+pub const ORCH_PERIOD_NS: u64 = 5_000_000;
+
+/// A [`SimNode`] mounting a whole [`ReplicaSet`] at the controller's
+/// topology position. Externally the replicas share one network
+/// identity (`SwitchId::CONTROLLER` and its per-switch ports) — which
+/// replica handles a frame is decided by the set's partition hash, not
+/// by the wire.
+pub struct ReplicaSetNode {
+    set: SharedReplicaSet,
+    events: Rc<RefCell<Vec<ControllerEvent>>>,
+    /// DP-DP adjacency: `(switch, port)` → peer switch, for translating
+    /// defence mitigations on port channels into `portKeyUpdate`s.
+    links: HashMap<(SwitchId, PortId), SwitchId>,
+    /// Agent handles, for flipping agent-side quarantine enforcement.
+    switches: HashMap<SwitchId, SharedSwitch>,
+    ring: SharedRing,
+    registry: SharedRegistry,
+    /// Whether an ORCH timer chain is live (shared with the network so
+    /// arming is idempotent).
+    armed: Rc<Cell<bool>>,
+}
+
+impl ReplicaSetNode {
+    /// Same contract as [`ControllerNode::apply_port_actions`], routed
+    /// through the owning replica.
+    fn apply_port_actions(&self, set: &mut ReplicaSet, now_ns: u64, outgoing: &mut Vec<Outgoing>) {
+        for action in set.take_port_actions() {
+            if action.kind == MitigationKind::Quarantine {
+                if let Some(agent) = self.switches.get(&action.peer) {
+                    agent
+                        .borrow_mut()
+                        .set_channel_quarantine(action.channel, true);
+                }
+            }
+            if let Some(&peer) = self.links.get(&(action.peer, action.channel)) {
+                outgoing.extend(set.port_key_update(now_ns, action.peer, action.channel, peer));
+            }
+        }
+    }
+}
+
+impl SimNode for ReplicaSetNode {
+    fn on_frame(&mut self, now: SimTime, ingress: PortId, payload: FrameBytes, out: &mut Outbox) {
+        let now_ns = now.as_ns();
+        let from = ControllerNode::switch_for(ingress);
+        let outgoing = {
+            let mut set = self.set.borrow_mut();
+            let (mut outgoing, events) = set.on_message(now_ns, from, &payload);
+            self.apply_port_actions(&mut set, now_ns, &mut outgoing);
+            self.events.borrow_mut().extend(events);
+            outgoing
+        };
+        ControllerNode::transmit(out, outgoing);
+    }
+
+    fn on_timer(&mut self, now: SimTime, timer_id: u64, out: &mut Outbox) {
+        if timer_id != ORCH_TIMER {
+            return;
+        }
+        let now_ns = now.as_ns();
+        // Sample telemetry into the ring; the defence daemons consume the
+        // windowed `*_per_sec` rates the ring derives.
+        let gauges = {
+            let mut ring = self.ring.borrow_mut();
+            let registry = self.registry.borrow();
+            if let (Some(ring), Some(registry)) = (ring.as_mut(), registry.as_ref()) {
+                ring.push(now_ns, registry.snapshot());
+            }
+            ring.as_ref().map(|r| r.rate_gauges()).unwrap_or_default()
+        };
+        let outgoing = {
+            let mut set = self.set.borrow_mut();
+            set.observe_rates(now_ns, &gauges);
+            let (mut outgoing, events) = set.step(now_ns);
+            self.apply_port_actions(&mut set, now_ns, &mut outgoing);
+            self.events.borrow_mut().extend(events);
+            // Keep ticking while there is something to drive: an armed
+            // defence ladder, or an unfinished bulk-rollover epoch.
+            if set.defence_enabled() || !set.rollover_complete() {
+                out.set_timer(ORCH_TIMER, ORCH_PERIOD_NS);
+            } else {
+                self.armed.set(false);
+            }
+            outgoing
+        };
+        ControllerNode::transmit(out, outgoing);
+    }
+
+    fn on_topology(&mut self, now: SimTime, event: TopologyEvent, out: &mut Outbox) {
+        // §VI-C: a link-up event triggers port-key initialization, routed
+        // through (and possibly redirected across) the owning replicas.
+        if let TopologyEvent::LinkUp { a, b, .. } = event {
+            let is_switch = |id: SwitchId| !id.is_controller() && id.value() < HOST_ID_BASE;
+            if !is_switch(a.node) || !is_switch(b.node) {
+                return;
+            }
+            let outgoing =
+                self.set
+                    .borrow_mut()
+                    .port_key_init(now.as_ns(), a.node, a.port, b.node, b.port);
+            ControllerNode::transmit(out, outgoing);
+        }
+    }
+}
+
+/// A built P4Auth network whose control plane is a [`ReplicaSet`] of N
+/// partitioned controller replicas instead of one monolithic
+/// [`Controller`]. The data plane is identical to [`Network`]'s.
+pub struct ReplicatedNetwork {
+    /// The simulator (topology, taps, clock).
+    pub sim: Simulator,
+    /// Shared agent handles by switch id.
+    pub switches: HashMap<SwitchId, SharedSwitch>,
+    /// Shared replica-set handle.
+    pub set: SharedReplicaSet,
+    /// Controller events accumulated during the run (all replicas).
+    pub events: Rc<RefCell<Vec<ControllerEvent>>>,
+    ring: SharedRing,
+    registry: SharedRegistry,
+    orch_armed: Rc<Cell<bool>>,
+}
+
+impl ReplicatedNetwork {
+    /// Builds a network over `topology` with `n_replicas` controller
+    /// replicas partitioning the switches. Same agent-side contract as
+    /// [`Network::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_replicas` is zero.
+    pub fn build(
+        topology: Topology,
+        n_replicas: usize,
+        controller_config: ControllerConfig,
+        seed_base: u64,
+        mut make_app: impl FnMut(SwitchId) -> Option<Box<dyn InNetworkApp>>,
+        mut configure: impl FnMut(SwitchId, AgentConfig) -> AgentConfig,
+    ) -> ReplicatedNetwork {
+        assert!(n_replicas > 0, "at least one controller replica");
+        let mut sim = Simulator::with_scheduler(topology, SchedulerKind::default());
+        let events: Rc<RefCell<Vec<ControllerEvent>>> = Rc::new(RefCell::new(Vec::new()));
+        let ring: SharedRing = Rc::new(RefCell::new(None));
+        let registry: SharedRegistry = Rc::new(RefCell::new(None));
+        let orch_armed = Rc::new(Cell::new(false));
+
+        // Seeds sorted by id so replica registration order (and with it
+        // every per-replica RNG stream) is identical run to run.
+        let mut switch_ids: Vec<SwitchId> = sim
+            .topology()
+            .nodes()
+            .iter()
+            .copied()
+            .filter(|id| !id.is_controller() && id.value() < HOST_ID_BASE)
+            .collect();
+        switch_ids.sort();
+        let seeds: Vec<(SwitchId, Key64)> = switch_ids
+            .iter()
+            .map(|&id| {
+                let k =
+                    Key64::new(seed_base ^ (id.value() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                (id, k)
+            })
+            .collect();
+        let set: SharedReplicaSet = Rc::new(RefCell::new(ReplicaSet::new(
+            n_replicas,
+            controller_config,
+            &seeds,
+        )));
+
+        // One shared notifier: completions go to whichever replica owns
+        // the reporting switch.
+        let notify: PortKeyNotifier = Rc::new(RefCell::new({
+            let set = set.clone();
+            move |now_ns: u64, peer: SwitchId, channel: PortId| {
+                set.borrow_mut()
+                    .notify_port_key_installed(now_ns, peer, channel);
+            }
+        }));
+
+        let mut switches = HashMap::new();
+        let has_controller = sim.topology().nodes().iter().any(|id| id.is_controller());
+        for &(id, k_seed) in &seeds {
+            let neighbors = sim.topology().neighbors(id);
+            let cpu_netport = neighbors
+                .iter()
+                .find(|(_, ep)| ep.node.is_controller())
+                .map(|(p, _)| *p);
+            let max_port = neighbors
+                .iter()
+                .filter(|(_, ep)| !ep.node.is_controller())
+                .map(|(p, _)| p.value())
+                .max()
+                .unwrap_or(1);
+            let config = configure(id, AgentConfig::new(id, max_port, k_seed));
+            let agent = Rc::new(RefCell::new(P4AuthSwitch::new(config, make_app(id))));
+            switches.insert(id, agent.clone());
+            sim.register_node(
+                id,
+                Box::new(SwitchNode::with_notifier(
+                    id,
+                    agent,
+                    cpu_netport,
+                    Some(notify.clone()),
+                )),
+            );
+        }
+        if has_controller {
+            let mut links = HashMap::new();
+            for l in sim.topology().links() {
+                if is_dp_dp_link(l) {
+                    links.insert((l.a.node, l.a.port), l.b.node);
+                    links.insert((l.b.node, l.b.port), l.a.node);
+                }
+            }
+            sim.register_node(
+                SwitchId::CONTROLLER,
+                Box::new(ReplicaSetNode {
+                    set: set.clone(),
+                    events: events.clone(),
+                    links,
+                    switches: switches.clone(),
+                    ring: ring.clone(),
+                    registry: registry.clone(),
+                    armed: orch_armed.clone(),
+                }),
+            );
+        }
+
+        ReplicatedNetwork {
+            sim,
+            switches,
+            set,
+            events,
+            ring,
+            registry,
+            orch_armed,
+        }
+    }
+
+    /// Runs the key-management bootstrap across all replicas: local-key
+    /// initialization for every switch (each driven by its owner), then
+    /// port-key initialization for every DP-DP link (redirected across
+    /// partitions where the endpoints hash to different replicas).
+    /// Returns the simulated time the bootstrap took.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key fails to establish.
+    pub fn bootstrap_keys(&mut self) -> SimTime {
+        let start = self.sim.now();
+        let switch_ids: Vec<SwitchId> = {
+            let mut s: Vec<SwitchId> = self.switches.keys().copied().collect();
+            s.sort();
+            s
+        };
+        for &id in &switch_ids {
+            let now_ns = self.sim.now().as_ns();
+            let outgoing = self.set.borrow_mut().local_key_init(now_ns, id);
+            self.send_from_controller(outgoing);
+        }
+        self.sim.run_to_completion();
+        for &id in &switch_ids {
+            assert!(
+                self.set.borrow().has_local_key(id),
+                "local key init failed for {id}"
+            );
+        }
+
+        let links: Vec<_> = self
+            .sim
+            .topology()
+            .links()
+            .iter()
+            .filter(|l| is_dp_dp_link(l))
+            .copied()
+            .collect();
+        for link in links {
+            let now_ns = self.sim.now().as_ns();
+            let outgoing = self.set.borrow_mut().port_key_init(
+                now_ns,
+                link.a.node,
+                link.a.port,
+                link.b.node,
+                link.b.port,
+            );
+            self.send_from_controller(outgoing);
+            self.sim.run_to_completion();
+        }
+
+        for link in self.sim.topology().links() {
+            if !is_dp_dp_link(link) {
+                continue;
+            }
+            for (node, port) in [(link.a.node, link.a.port), (link.b.node, link.b.port)] {
+                assert!(
+                    self.switches[&node]
+                        .borrow()
+                        .keys()
+                        .port(port)
+                        .is_installed(),
+                    "port key init failed for {node}:{port}"
+                );
+            }
+        }
+        SimTime::from_ns(self.sim.now().since(start))
+    }
+
+    /// Transmits replica-originated messages with the controller's
+    /// processing delay (see [`Network::send_from_controller`]).
+    pub fn send_from_controller(&mut self, outgoing: Vec<Outgoing>) {
+        for o in outgoing {
+            self.sim.inject_frame_delayed(
+                SwitchId::CONTROLLER,
+                ControllerNode::port_for(o.to),
+                o.bytes,
+                CONTROLLER_PROC_NS,
+            );
+        }
+    }
+
+    /// Sends a register read toward `switch` via its owner replica.
+    pub fn controller_read(&mut self, switch: SwitchId, reg: RegId, index: u32) {
+        let now_ns = self.sim.now().as_ns();
+        let o = self
+            .set
+            .borrow_mut()
+            .read_register(now_ns, switch, reg, index);
+        self.send_from_controller(vec![o]);
+    }
+
+    /// Sends a register write toward `switch` via its owner replica.
+    pub fn controller_write(&mut self, switch: SwitchId, reg: RegId, index: u32, value: u64) {
+        let now_ns = self.sim.now().as_ns();
+        let o = self
+            .set
+            .borrow_mut()
+            .write_register(now_ns, switch, reg, index, value);
+        self.send_from_controller(vec![o]);
+    }
+
+    /// Drains accumulated controller events (all replicas, in arrival
+    /// order).
+    pub fn take_events(&mut self) -> Vec<ControllerEvent> {
+        std::mem::take(&mut *self.events.borrow_mut())
+    }
+
+    /// Attaches one telemetry registry to the whole network. Replica
+    /// metrics are labeled `"replica0"`, `"replica1"`, … so one snapshot
+    /// distinguishes the partitions.
+    pub fn enable_telemetry(&mut self, registry: std::sync::Arc<p4auth_telemetry::Registry>) {
+        self.sim.set_telemetry(registry.clone());
+        self.set.borrow_mut().set_telemetry(registry.clone());
+        for agent in self.switches.values() {
+            agent.borrow_mut().set_telemetry(registry.clone());
+        }
+        *self.registry.borrow_mut() = Some(registry);
+    }
+
+    /// Attaches a snapshot ring of `capacity`; the orchestration tick
+    /// samples it automatically.
+    ///
+    /// # Panics
+    ///
+    /// If [`ReplicatedNetwork::enable_telemetry`] has not been called
+    /// first.
+    pub fn enable_snapshot_ring(&mut self, capacity: usize) {
+        assert!(
+            self.registry.borrow().is_some(),
+            "enable_telemetry must be called before enable_snapshot_ring"
+        );
+        *self.ring.borrow_mut() = Some(p4auth_telemetry::SnapshotRing::new(capacity));
+    }
+
+    /// Pushes the current registry snapshot into the ring, stamped with
+    /// the simulator clock (the orchestration tick also does this).
+    pub fn sample_ring(&mut self) {
+        let mut ring = self.ring.borrow_mut();
+        let registry = self.registry.borrow();
+        if let (Some(ring), Some(registry)) = (ring.as_mut(), registry.as_ref()) {
+            ring.push(self.sim.now().as_ns(), registry.snapshot());
+        }
+    }
+
+    /// The shared snapshot-ring slot, if one was enabled.
+    pub fn ring(&self) -> SharedRing {
+        self.ring.clone()
+    }
+
+    /// Arms the rate-driven defence on every replica: each replica's
+    /// defence daemon consumes the ring's windowed `*_per_sec` reject
+    /// rates (via the shared state table) and mitigates crossings on the
+    /// channels it owns. Starts the orchestration tick.
+    ///
+    /// With the defence armed the tick re-arms forever — drive the
+    /// simulation with `run_until`, not `run_to_completion`.
+    pub fn enable_defence_rate_driven(&mut self, config: DefenceConfig, threshold: u64) {
+        self.set
+            .borrow_mut()
+            .enable_defence_rate_driven(config, threshold);
+        self.arm_orchestrator();
+    }
+
+    /// Starts the next versioned bulk key-rollover epoch and the
+    /// orchestration tick that fans it out. Returns the epoch, or `None`
+    /// while a previous epoch is still incomplete.
+    pub fn start_bulk_rollover(&mut self) -> Option<u64> {
+        let now_ns = self.sim.now().as_ns();
+        let epoch = self.set.borrow_mut().start_bulk_rollover(now_ns);
+        if epoch.is_some() {
+            self.arm_orchestrator();
+        }
+        epoch
+    }
+
+    /// Schedules the ORCH timer if no chain is already live (the chain
+    /// re-arms itself while there is work; double-arming would
+    /// double-step every replica each period).
+    fn arm_orchestrator(&mut self) {
+        if !self.orch_armed.get() {
+            self.orch_armed.set(true);
+            self.sim
+                .schedule_timer(SwitchId::CONTROLLER, ORCH_TIMER, ORCH_PERIOD_NS);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -762,6 +1233,94 @@ mod tests {
             .keys()
             .port(PortId::new(1))
             .is_installed());
+    }
+
+    #[test]
+    fn replicated_bootstrap_establishes_all_keys_across_partitions() {
+        let mut net = ReplicatedNetwork::build(
+            Topology::chain(4, 1_000, 200_000),
+            2,
+            ControllerConfig::default(),
+            0xb007_5eed,
+            |_| None,
+            |_, c| c,
+        );
+        // The partition hash must actually split the fleet, otherwise
+        // this exercises nothing replicated.
+        {
+            let set = net.set.borrow();
+            assert!(set.replicas().iter().all(|r| !r.owned().is_empty()));
+        }
+        net.bootstrap_keys();
+        for (id, sw) in &net.switches {
+            assert!(
+                sw.borrow().keys().local().is_installed(),
+                "local key missing on {id}"
+            );
+        }
+        // Chain DP-DP links: S1:p2<->S2:p1, S2:p2<->S3:p1, S3:p2<->S4:p1.
+        // At least one of these crosses a partition boundary (4 switches,
+        // 2 non-empty partitions), so the redirect + seq-handoff path ran.
+        let set = net.set.borrow();
+        let crossings = [(1u16, 2u16), (2, 3), (3, 4)]
+            .iter()
+            .filter(|&&(a, b)| set.owner(SwitchId::new(a)) != set.owner(SwitchId::new(b)))
+            .count();
+        assert!(crossings > 0, "chain never crossed a partition");
+        for sw in [1u16, 2, 3] {
+            assert!(net.switches[&SwitchId::new(sw)]
+                .borrow()
+                .keys()
+                .port(PortId::new(2))
+                .is_installed());
+            assert!(net.switches[&SwitchId::new(sw + 1)]
+                .borrow()
+                .keys()
+                .port(PortId::new(1))
+                .is_installed());
+        }
+    }
+
+    #[test]
+    fn replicated_bulk_rollover_converges_and_records_fanout() {
+        let registry = std::sync::Arc::new(p4auth_telemetry::Registry::new());
+        let mut net = ReplicatedNetwork::build(
+            Topology::chain(4, 1_000, 200_000),
+            2,
+            ControllerConfig::default(),
+            0xb007_5eed,
+            |_| None,
+            |_, c| c,
+        );
+        net.enable_telemetry(registry.clone());
+        net.bootstrap_keys();
+
+        let epoch = net.start_bulk_rollover().expect("first epoch starts");
+        assert_eq!(epoch, 1);
+        // A second epoch must be refused while the first is in flight.
+        assert_eq!(net.start_bulk_rollover(), None);
+        net.sim.run_to_completion();
+
+        let set = net.set.borrow();
+        assert!(set.rollover_complete(), "epoch 1 must converge");
+        // Every local key moved exactly one version past INITIAL.
+        for r in set.replicas() {
+            for &sw in r.owned() {
+                let (_, v) = r.core.local_key_material(sw).expect("key established");
+                assert_eq!(v.value(), 1, "exactly one rollover for {sw}");
+            }
+        }
+        drop(set);
+        // Fan-out latency landed in telemetry, labeled per replica.
+        let snap = registry.snapshot();
+        let fanouts: usize = (0..2)
+            .filter(|i| {
+                snap.histogram("ctrl_rollover_fanout_ns", &format!("replica{i}"))
+                    .map(|h| h.count > 0)
+                    .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(fanouts, 2, "both partitions record fan-out latency");
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod harness;
 pub mod hula;
 pub mod netcache;
 pub mod netwarden;
+pub mod replicated;
 pub mod routescout;
 pub mod scaleload;
 pub mod silkroad;

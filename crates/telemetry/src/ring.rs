@@ -209,6 +209,33 @@ mod tests {
         assert_eq!(ring.rate("absent", ""), None);
     }
 
+    /// Regression: two snapshots stamped at the same sim-ns used to divide
+    /// by a zero span, yielding `inf` (or `NaN` for a flat counter) rates
+    /// that poisoned every derived `*_per_sec` gauge. A zero-width window
+    /// must yield `None` — even when the counters did move between the
+    /// pushes — and must keep `rates()` / `rate_gauges()` empty.
+    #[test]
+    fn zero_span_window_yields_none_not_inf() {
+        let r = Registry::new();
+        let c = r.counter("burst");
+        let mut ring = SnapshotRing::new(3);
+        c.add(3);
+        ring.push(7_000, r.snapshot());
+        c.add(5); // counter moves, clock does not
+        ring.push(7_000, r.snapshot());
+        assert_eq!(ring.window_ns(), 0);
+        assert_eq!(ring.rate("burst", ""), None, "0-span must not divide");
+        assert!(ring.rates().is_empty());
+        assert!(ring.rate_gauges().is_empty());
+        // The moment the window gains width, the same ring produces a
+        // finite rate again (5 more over 1 µs).
+        c.add(5);
+        ring.push(8_000, r.snapshot());
+        let rate = ring.rate("burst", "").expect("non-zero span");
+        assert!(rate.is_finite());
+        assert!((rate - 1e7).abs() < 1e-6, "rate = {rate}");
+    }
+
     /// Regression: a counter series that restarts lower (snapshots from a
     /// reset/replaced registry) used to wrap and report an astronomical
     /// rate. Release builds saturate at zero; debug builds assert.
