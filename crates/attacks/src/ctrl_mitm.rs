@@ -10,7 +10,7 @@
 //! data plane and the controller only), so rewritten messages keep their
 //! now-stale digest — which is exactly what P4Auth detects.
 
-use p4auth_netsim::sim::{Tap, TapAction};
+use p4auth_netsim::sim::{Tap, TapAction, TapFrame};
 use p4auth_wire::body::{Body, RegisterOp};
 use p4auth_wire::ids::RegId;
 use p4auth_wire::Message;
@@ -30,7 +30,7 @@ pub fn tamper_counter() -> TamperCount {
 /// attack on RouteScout ("the attacker aiming to congest Path 2 may
 /// inflate latency on Path 1").
 pub fn inflate_read_response(reg: RegId, index: u32, factor: u64, count: TamperCount) -> Tap {
-    Box::new(move |_now, _from, _to, payload: &mut Vec<u8>| {
+    Box::new(move |_now, _from, _to, payload: &mut TapFrame| {
         let Ok(mut msg) = Message::decode(payload) else {
             return TapAction::Forward;
         };
@@ -46,7 +46,7 @@ pub fn inflate_read_response(reg: RegId, index: u32, factor: u64, count: TamperC
                     index: i,
                     value: value.saturating_mul(factor),
                 });
-                *payload = msg.encode();
+                payload.replace(msg.encode());
                 *count.borrow_mut() += 1;
             }
         }
@@ -58,7 +58,7 @@ pub fn inflate_read_response(reg: RegId, index: u32, factor: u64, count: TamperC
 /// `reg`/`index` — the "alter a C-DP update message" attack (e.g.
 /// rewriting RouteScout's split ratio or Blink's next-hop list, Table I).
 pub fn rewrite_write_request(reg: RegId, index: u32, new_value: u64, count: TamperCount) -> Tap {
-    Box::new(move |_now, _from, _to, payload: &mut Vec<u8>| {
+    Box::new(move |_now, _from, _to, payload: &mut TapFrame| {
         let Ok(mut msg) = Message::decode(payload) else {
             return TapAction::Forward;
         };
@@ -72,7 +72,7 @@ pub fn rewrite_write_request(reg: RegId, index: u32, new_value: u64, count: Tamp
                     index: i,
                     value: new_value,
                 });
-                *payload = msg.encode();
+                payload.replace(msg.encode());
                 *count.borrow_mut() += 1;
             }
         }
@@ -83,7 +83,7 @@ pub fn rewrite_write_request(reg: RegId, index: u32, new_value: u64, count: Tamp
 /// A tap that drops every register response — a crude suppression attack
 /// (the controller's outstanding-request accounting flags this, §VIII).
 pub fn drop_responses(count: TamperCount) -> Tap {
-    Box::new(move |_now, _from, _to, payload: &mut Vec<u8>| {
+    Box::new(move |_now, _from, _to, payload: &mut TapFrame| {
         let Ok(msg) = Message::decode(payload) else {
             return TapAction::Forward;
         };
@@ -102,7 +102,7 @@ pub fn drop_responses(count: TamperCount) -> Tap {
 /// compromised control plane, which is why they must be authenticated and
 /// why the derived secrets never cross the wire).
 pub fn eavesdropper(log: Rc<RefCell<Vec<Message>>>) -> Tap {
-    Box::new(move |_now, _from, _to, payload: &mut Vec<u8>| {
+    Box::new(move |_now, _from, _to, payload: &mut TapFrame| {
         if let Ok(msg) = Message::decode(payload) {
             log.borrow_mut().push(msg);
         }
@@ -145,9 +145,10 @@ mod tests {
         let mut tap = inflate_read_response(RegId::new(2001), 0, 10, count.clone());
         let (a, b) = endpoints();
         let sealed = ack(100).sealed(&HalfSipHashMac::default(), Key64::new(5));
-        let mut bytes = sealed.encode();
-        assert_eq!(tap(SimTime::ZERO, a, b, &mut bytes), TapAction::Forward);
-        let tampered = Message::decode(&bytes).unwrap();
+        let mut frame = TapFrame::new(sealed.encode());
+        assert_eq!(tap(SimTime::ZERO, a, b, &mut frame), TapAction::Forward);
+        assert!(frame.modified());
+        let tampered = Message::decode(&frame).unwrap();
         assert!(matches!(
             tampered.body(),
             Body::Register(RegisterOp::Ack { value: 1000, .. })
@@ -163,8 +164,8 @@ mod tests {
         let mut tap = inflate_read_response(RegId::new(2001), 0, 10, count.clone());
         let (a, b) = endpoints();
         // Different index: untouched.
-        let mut bytes = ack(100).encode();
-        let orig = bytes.clone();
+        let mut frame = TapFrame::new(ack(100).encode());
+        let orig = ack(100).encode();
         let other = Message::new(
             SwitchId::new(1),
             PortId::CPU,
@@ -175,16 +176,18 @@ mod tests {
                 value: 100,
             }),
         );
-        let mut other_bytes = other.encode();
-        tap(SimTime::ZERO, a, b, &mut other_bytes);
-        assert_eq!(other_bytes, other.encode());
+        let mut other_frame = TapFrame::new(other.encode());
+        tap(SimTime::ZERO, a, b, &mut other_frame);
+        assert!(!other_frame.modified());
+        assert_eq!(*other_frame, other.encode());
         // Garbage: untouched.
-        let mut garbage = vec![1, 2, 3];
+        let mut garbage = TapFrame::new(vec![1, 2, 3]);
         tap(SimTime::ZERO, a, b, &mut garbage);
-        assert_eq!(garbage, vec![1, 2, 3]);
+        assert_eq!(*garbage, vec![1, 2, 3]);
         // Matching: touched.
-        tap(SimTime::ZERO, a, b, &mut bytes);
-        assert_ne!(bytes, orig);
+        tap(SimTime::ZERO, a, b, &mut frame);
+        assert!(frame.modified());
+        assert_ne!(*frame, orig);
         assert_eq!(*count.borrow(), 1);
     }
 
@@ -198,9 +201,9 @@ mod tests {
             SeqNum::new(1),
             RegisterOp::write_req(RegId::new(2003), 0, 50),
         );
-        let mut bytes = req.encode();
-        tap(SimTime::ZERO, b, a, &mut bytes);
-        let tampered = Message::decode(&bytes).unwrap();
+        let mut frame = TapFrame::new(req.encode());
+        tap(SimTime::ZERO, b, a, &mut frame);
+        let tampered = Message::decode(&frame).unwrap();
         assert!(matches!(
             tampered.body(),
             Body::Register(RegisterOp::WriteReq { value: 0, .. })
@@ -213,14 +216,16 @@ mod tests {
         let count = tamper_counter();
         let mut tap = drop_responses(count.clone());
         let (a, b) = endpoints();
-        let mut resp = ack(1).encode();
+        let mut resp = TapFrame::new(ack(1).encode());
         assert_eq!(tap(SimTime::ZERO, a, b, &mut resp), TapAction::Drop);
-        let mut req = Message::register_request(
-            SwitchId::CONTROLLER,
-            SeqNum::new(1),
-            RegisterOp::read_req(RegId::new(1), 0),
-        )
-        .encode();
+        let mut req = TapFrame::new(
+            Message::register_request(
+                SwitchId::CONTROLLER,
+                SeqNum::new(1),
+                RegisterOp::read_req(RegId::new(1), 0),
+            )
+            .encode(),
+        );
         assert_eq!(tap(SimTime::ZERO, b, a, &mut req), TapAction::Forward);
         assert_eq!(*count.borrow(), 1);
     }
@@ -230,10 +235,12 @@ mod tests {
         let log = Rc::new(RefCell::new(Vec::new()));
         let mut tap = eavesdropper(log.clone());
         let (a, b) = endpoints();
-        let mut bytes = ack(9).encode();
-        let orig = bytes.clone();
-        assert_eq!(tap(SimTime::ZERO, a, b, &mut bytes), TapAction::Forward);
-        assert_eq!(bytes, orig);
+        let mut frame = TapFrame::new(ack(9).encode());
+        let orig = ack(9).encode();
+        assert_eq!(tap(SimTime::ZERO, a, b, &mut frame), TapAction::Forward);
+        // Passive read: no snapshot, no modification.
+        assert!(!frame.modified());
+        assert_eq!(*frame, orig);
         assert_eq!(log.borrow().len(), 1);
     }
 }

@@ -5,7 +5,7 @@
 //! link — the HULA attack: rewrite `probeUtil` so the compromised path
 //! looks idle and attracts all traffic (Fig. 17).
 
-use p4auth_netsim::sim::{Tap, TapAction};
+use p4auth_netsim::sim::{Tap, TapAction, TapFrame};
 use p4auth_wire::body::{Body, InNetwork};
 use p4auth_wire::Message;
 use std::cell::RefCell;
@@ -28,7 +28,7 @@ pub fn tamper_counter() -> TamperCount {
 /// via S4 is low (10 %), though the actual utilization is relatively
 /// high" attack.
 pub fn rewrite_probe_field(system: u8, offset: usize, value: u8, count: TamperCount) -> Tap {
-    Box::new(move |_now, _from, _to, payload: &mut Vec<u8>| {
+    Box::new(move |_now, _from, _to, payload: &mut TapFrame| {
         let Ok(mut msg) = Message::decode(payload) else {
             return TapAction::Forward;
         };
@@ -45,7 +45,7 @@ pub fn rewrite_probe_field(system: u8, offset: usize, value: u8, count: TamperCo
         bytes[offset] = value;
         let sys = inner.system;
         *msg.body_mut() = Body::InNetwork(InNetwork::new(sys, bytes));
-        *payload = msg.encode();
+        payload.replace(msg.encode());
         *count.borrow_mut() += 1;
         TapAction::Forward
     })
@@ -55,7 +55,7 @@ pub fn rewrite_probe_field(system: u8, offset: usize, value: u8, count: TamperCo
 /// the link (probe suppression: the coarser cousin of rewriting, §II-A's
 /// "drop control messages").
 pub fn drop_probes(system: u8, count: TamperCount) -> Tap {
-    Box::new(move |_now, _from, _to, payload: &mut Vec<u8>| {
+    Box::new(move |_now, _from, _to, payload: &mut TapFrame| {
         if let Ok(msg) = Message::decode(payload) {
             if let Body::InNetwork(inner) = msg.body() {
                 if inner.system == system {
@@ -102,9 +102,10 @@ mod tests {
         let key = Key64::new(0xab07);
         let sealed = probe_msg(50).sealed(&HalfSipHashMac::default(), key);
         let (a, b) = eps();
-        let mut bytes = sealed.encode();
-        assert_eq!(tap(SimTime::ZERO, a, b, &mut bytes), TapAction::Forward);
-        let tampered = Message::decode(&bytes).unwrap();
+        let mut frame = TapFrame::new(sealed.encode());
+        assert_eq!(tap(SimTime::ZERO, a, b, &mut frame), TapAction::Forward);
+        assert!(frame.modified());
+        let tampered = Message::decode(&frame).unwrap();
         let Body::InNetwork(inner) = tampered.body() else {
             panic!()
         };
@@ -124,9 +125,10 @@ mod tests {
             SeqNum::new(3),
             InNetwork::new(9, vec![0; 7]),
         );
-        let mut bytes = other.encode();
-        tap(SimTime::ZERO, a, b, &mut bytes);
-        assert_eq!(bytes, other.encode());
+        let mut frame = TapFrame::new(other.encode());
+        tap(SimTime::ZERO, a, b, &mut frame);
+        assert!(!frame.modified());
+        assert_eq!(*frame, other.encode());
         assert_eq!(*count.borrow(), 0);
     }
 
@@ -135,10 +137,11 @@ mod tests {
         let count = tamper_counter();
         let mut tap = rewrite_probe_field(1, 6, 10, count.clone());
         let (a, b) = eps();
-        let mut bytes = probe_msg(10).encode();
-        let orig = bytes.clone();
-        tap(SimTime::ZERO, a, b, &mut bytes);
-        assert_eq!(bytes, orig);
+        let mut frame = TapFrame::new(probe_msg(10).encode());
+        let orig = probe_msg(10).encode();
+        tap(SimTime::ZERO, a, b, &mut frame);
+        assert!(!frame.modified());
+        assert_eq!(*frame, orig);
         assert_eq!(*count.borrow(), 0);
     }
 
@@ -147,10 +150,11 @@ mod tests {
         let count = tamper_counter();
         let mut tap = rewrite_probe_field(1, 99, 10, count.clone());
         let (a, b) = eps();
-        let mut bytes = probe_msg(50).encode();
-        let orig = bytes.clone();
-        tap(SimTime::ZERO, a, b, &mut bytes);
-        assert_eq!(bytes, orig);
+        let mut frame = TapFrame::new(probe_msg(50).encode());
+        let orig = probe_msg(50).encode();
+        tap(SimTime::ZERO, a, b, &mut frame);
+        assert!(!frame.modified());
+        assert_eq!(*frame, orig);
     }
 
     #[test]
@@ -158,16 +162,16 @@ mod tests {
         let count = tamper_counter();
         let mut tap = drop_probes(1, count.clone());
         let (a, b) = eps();
-        let mut bytes = probe_msg(50).encode();
-        assert_eq!(tap(SimTime::ZERO, a, b, &mut bytes), TapAction::Drop);
+        let mut frame = TapFrame::new(probe_msg(50).encode());
+        assert_eq!(tap(SimTime::ZERO, a, b, &mut frame), TapAction::Drop);
         let other = Message::in_network(
             SwitchId::new(4),
             PortId::new(1),
             SeqNum::new(3),
             InNetwork::new(2, vec![1]),
         );
-        let mut bytes = other.encode();
-        assert_eq!(tap(SimTime::ZERO, a, b, &mut bytes), TapAction::Forward);
+        let mut frame = TapFrame::new(other.encode());
+        assert_eq!(tap(SimTime::ZERO, a, b, &mut frame), TapAction::Forward);
         assert_eq!(*count.borrow(), 1);
     }
 }

@@ -6,7 +6,7 @@
 //! the replayed message's `seqNum` is at or below the receiver's window,
 //! so it is rejected and an alert raised.
 
-use p4auth_netsim::sim::{Tap, TapAction};
+use p4auth_netsim::sim::{Tap, TapAction, TapFrame};
 use p4auth_wire::body::{Body, RegisterOp};
 use p4auth_wire::Message;
 use std::cell::RefCell;
@@ -23,7 +23,7 @@ pub fn capture_buffer() -> Capture {
 /// A passive tap that records every sealed register *write request*
 /// crossing the link into `capture` (and forwards it untouched).
 pub fn record_write_requests(capture: Capture) -> Tap {
-    Box::new(move |_now, _from, _to, payload: &mut Vec<u8>| {
+    Box::new(move |_now, _from, _to, payload: &mut TapFrame| {
         if let Ok(msg) = Message::decode(payload) {
             if matches!(msg.body(), Body::Register(RegisterOp::WriteReq { .. })) {
                 capture.borrow_mut().push(payload.clone());
@@ -80,12 +80,13 @@ mod tests {
         )
         .encode();
 
-        let mut w = write.clone();
+        let mut w = TapFrame::new(write.clone());
         assert_eq!(tap(SimTime::ZERO, a, b, &mut w), TapAction::Forward);
-        assert_eq!(w, write, "recording must not modify the frame");
-        let mut r = read.clone();
+        assert!(!w.modified(), "recording must not modify the frame");
+        assert_eq!(*w, write);
+        let mut r = TapFrame::new(read.clone());
         tap(SimTime::ZERO, a, b, &mut r);
-        let mut garbage = vec![9, 9];
+        let mut garbage = TapFrame::new(vec![9, 9]);
         tap(SimTime::ZERO, a, b, &mut garbage);
 
         let frames = drain(&cap);

@@ -1,0 +1,78 @@
+//! Counting global allocator: live/peak heap gauges for the repro binary.
+//!
+//! The `repro` binary installs [`CountingAlloc`] as its
+//! `#[global_allocator]`; reports read [`live_bytes`] / [`peak_bytes`]
+//! around a run to record a memory-footprint proxy (heap bytes, not OS
+//! pages — no platform-specific RSS probing). The counters are plain
+//! relaxed atomics, so the overhead is two adds per allocation; when a
+//! process uses the default system allocator instead (library tests,
+//! Criterion benches), the counters simply stay at zero and reports
+//! publish `0` for the proxy.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Wraps [`System`], tracking live and peak heap bytes.
+pub struct CountingAlloc;
+
+fn on_alloc(bytes: u64) {
+    let live = LIVE.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn on_dealloc(bytes: u64) {
+    LIVE.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size() as u64);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            on_dealloc(layout.size() as u64);
+            on_alloc(new_size as u64);
+        }
+        p
+    }
+}
+
+/// Heap bytes currently allocated (0 unless [`CountingAlloc`] is the
+/// process's global allocator).
+pub fn live_bytes() -> u64 {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`live_bytes`] since process start or the last
+/// [`reset_peak`].
+pub fn peak_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the peak watermark to the current live footprint, so the next
+/// [`peak_bytes`] reading covers only growth after this call.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}

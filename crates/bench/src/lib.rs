@@ -21,10 +21,13 @@
 //! | `primitives` | MAC / KDF / DH micro-benchmarks |
 //! | `sim_scale` | simulator events/sec, heap vs. calendar scheduler on fat-trees |
 
+pub mod alloc;
 pub mod report;
 /// The fat-tree scale workload, shared with the systems crate so CI, the
 /// Criterion bench and `repro -- scale` all drive identical runs.
 pub use p4auth_systems::scaleload as scale;
+/// The aggregate-host user-scale workload behind `repro -- users`.
+pub use p4auth_systems::userscale;
 
 use p4auth_dataplane::cost::{
     request_completion_ns, sequential_throughput_rps, AccessMethod, CostModel, RwDirection,

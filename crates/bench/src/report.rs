@@ -395,7 +395,7 @@ pub fn metrics() {
     net.sim.install_tap(
         cdp_link,
         SwitchId::CONTROLLER,
-        Box::new(move |_, _, _, bytes: &mut Vec<u8>| {
+        Box::new(move |_, _, _, bytes| {
             sink.borrow_mut().push(bytes.clone());
             TapAction::Forward
         }),
@@ -412,7 +412,7 @@ pub fn metrics() {
     net.sim.install_tap(
         cdp_link,
         SwitchId::CONTROLLER,
-        Box::new(|_, _, _, bytes: &mut Vec<u8>| {
+        Box::new(|_, _, _, bytes| {
             if let Some(b) = bytes.last_mut() {
                 *b ^= 0xff;
             }
@@ -825,6 +825,221 @@ pub fn scale() {
     println!("{json}");
     if let Ok(path) = std::env::var("P4AUTH_SCALE_OUT") {
         std::fs::write(&path, format!("{json}\n")).expect("write P4AUTH_SCALE_OUT");
+        println!("wrote {path}");
+    }
+}
+
+/// Extracts the `ns_per_user` recorded for `users` modelled users from a
+/// checked-in `BENCH_users.json`, by the same line scan
+/// [`baseline_sharded_speedup`] uses (one run entry per line).
+fn baseline_ns_per_user(json: &str, users: u64) -> Option<f64> {
+    let tag = format!("\"users\": {users},");
+    let entry = json.lines().find(|l| l.contains(&tag))?;
+    let field = "\"ns_per_user\": ";
+    let start = entry.find(field)? + field.len();
+    let rest = &entry[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// User-scale report (`repro -- users`): the heavy-tailed fig19-style
+/// arrival mix through aggregate host nodes on fat-tree(8) at 10k, 100k
+/// and 1M modelled users at fixed aggregate offered load (per-user idle
+/// gaps scale with the user count — more users sharing the same
+/// access-port capacity), recording events/sec, frames/sec, wall-ns per
+/// modelled user (asserted within 2× across the size sweep — the
+/// near-constant per-user cost claim), per-user cost normalized by
+/// simulated duration, and a peak-heap proxy from the repro binary's
+/// counting allocator (zero when the report runs without it). The
+/// smallest size is first cross-checked for fingerprint equality across
+/// heap, calendar and sharded engines.
+///
+/// Short mode (`P4AUTH_SCALE_SHORT=1`, used by CI) sweeps 1k and 10k
+/// users on fat-tree(4). `P4AUTH_USERS_OUT=<path>` writes the JSON (how
+/// `BENCH_users.json` is regenerated); each run entry carries a
+/// `"fingerprint"` array of its deterministic fields, which CI extracts
+/// and diffs across two runs. `P4AUTH_USERS_BASELINE=<path>` asserts the
+/// measured `ns_per_user` has not grown more than 3× above the checked-in
+/// value for any size present in both runs (the wall-clock-tolerant
+/// non-regression gate).
+pub fn users() {
+    use crate::scale::Engine;
+    use crate::userscale::{run_users_engine, AggregateMode, UserScaleConfig};
+    use p4auth_netsim::sched::SchedulerKind;
+    use std::fmt::Write as _;
+
+    banner(
+        "users — aggregate hosts: modelled users at near-constant per-user cost",
+        "ROADMAP \"a million modelled hosts\"; fig19 mix at user scale",
+    );
+
+    let short = std::env::var("P4AUTH_SCALE_SHORT").is_ok_and(|v| v != "0");
+    let baseline = std::env::var("P4AUTH_USERS_BASELINE").ok().map(|path| {
+        std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read P4AUTH_USERS_BASELINE {path}: {e}"))
+    });
+    let (k, frames, sizes): (u16, u32, Vec<u64>) = if short {
+        (4, 4, vec![1_000, 10_000])
+    } else {
+        (8, 4, vec![10_000, 100_000, 1_000_000])
+    };
+    let (mode, window_ns) = match UserScaleConfig::for_k(k, sizes[0], frames).mode {
+        AggregateMode::Amortized { window_ns } => ("amortized", window_ns),
+        AggregateMode::Exact => ("exact", 0),
+    };
+
+    println!(
+        "{:>9} {:>5} {:>10} {:>10} {:>13} {:>13} {:>13} {:>9} {:>12} {:>9}",
+        "users",
+        "aggs",
+        "events",
+        "frames",
+        "sim_ns",
+        "events/s",
+        "frames/s",
+        "ns/user",
+        "ns/usr/sims",
+        "peak MiB"
+    );
+    let mut entries = String::new();
+    let mut runs = Vec::new();
+    for (i, &users) in sizes.iter().enumerate() {
+        let mut cfg = UserScaleConfig::for_k(k, users, frames);
+        // Fixed aggregate offered load: the users share the access-port
+        // capacity, so each user's mean idle gap grows with the user
+        // count (the smallest size keeps the default fig19-style pacing).
+        // Without this the 1M-user run would model a fabric overloaded
+        // 100x beyond the 10k-user one and the per-user comparison would
+        // measure queue pressure, not aggregation cost.
+        let load_scale = users / sizes[0];
+        if let p4auth_workloads::flows::ArrivalMix::HeavyTailed(ref mut ht) = cfg.mix {
+            ht.idle_mean_ns *= load_scale;
+        }
+        // The amortized window is both the sweep cadence and the batch
+        // lookahead: too short and the O(users) sweeps dominate, too long
+        // and every frame due inside the window sits pre-scheduled in the
+        // event queue. √load balances the two (sweep cost and queue depth
+        // then grow with the same factor — DESIGN.md §4f).
+        let window_scale = (load_scale as f64).sqrt().round().max(1.0) as u64;
+        if let AggregateMode::Amortized { ref mut window_ns } = cfg.mode {
+            *window_ns *= window_scale;
+        }
+        if i == 0 {
+            // Engine cross-check on the smallest size: one fingerprint for
+            // heap, calendar and the sharded engine, before anything is
+            // timed (this also warms the allocator and page cache).
+            let cal = run_users_engine(&cfg, Engine::Sequential(SchedulerKind::Calendar), None);
+            let heap = run_users_engine(&cfg, Engine::Sequential(SchedulerKind::Heap), None);
+            let sharded = run_users_engine(&cfg, Engine::Sharded { shards: 4 }, None);
+            assert_eq!(
+                cal.fingerprint(),
+                heap.fingerprint(),
+                "schedulers diverged at {users} users"
+            );
+            assert_eq!(
+                cal.fingerprint(),
+                sharded.fingerprint(),
+                "sharded engine diverged at {users} users"
+            );
+        }
+        crate::alloc::reset_peak();
+        let live_before = crate::alloc::live_bytes();
+        let run = run_users_engine(&cfg, Engine::Sequential(SchedulerKind::Calendar), None);
+        let peak = crate::alloc::peak_bytes().saturating_sub(live_before);
+        let frames_per_sec = run.frames_sent as f64 / (run.wall_ns.max(1) as f64 / 1e9);
+        println!(
+            "{:>9} {:>5} {:>10} {:>10} {:>13} {:>13.0} {:>13.0} {:>9.1} {:>12.1} {:>9.1}",
+            run.users,
+            run.aggregates,
+            run.events,
+            run.frames_sent,
+            run.sim_ns,
+            run.events_per_sec(),
+            frames_per_sec,
+            run.ns_per_user(),
+            run.ns_per_user_per_sim_sec(),
+            peak as f64 / (1024.0 * 1024.0),
+        );
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        write!(
+            entries,
+            "    {{\"users\": {}, \"aggregates\": {}, \"window_ns\": {}, \
+             \"events\": {}, \
+             \"frames_sent\": {}, \"frames_delivered\": {}, \"sim_ns\": {}, \
+             \"fingerprint\": [{}, {}, {}, {}], \
+             \"events_per_sec\": {:.0}, \"frames_per_sec\": {frames_per_sec:.0}, \
+             \"ns_per_user\": {:.1}, \"ns_per_user_per_sim_sec\": {:.1}, \
+             \"peak_alloc_bytes\": {peak}, \"peak_alloc_bytes_per_user\": {:.1}}}",
+            run.users,
+            run.aggregates,
+            window_ns * window_scale,
+            run.events,
+            run.frames_sent,
+            run.frames_delivered,
+            run.sim_ns,
+            run.events,
+            run.frames_sent,
+            run.frames_delivered,
+            run.sim_ns,
+            run.events_per_sec(),
+            run.ns_per_user(),
+            run.ns_per_user_per_sim_sec(),
+            peak as f64 / run.users.max(1) as f64,
+        )
+        .expect("writing to a String cannot fail");
+        runs.push(run);
+    }
+
+    // The tentpole claim: per-user wall cost must not grow more than 2×
+    // from the smallest to the largest sweep size.
+    let (first, last) = (&runs[0], &runs[runs.len() - 1]);
+    let growth = last.ns_per_user() / first.ns_per_user();
+    assert!(
+        growth <= 2.0,
+        "per-user cost grew {growth:.2}x from {} to {} users \
+         ({:.1} -> {:.1} ns/user); aggregation is no longer near-constant",
+        first.users,
+        last.users,
+        first.ns_per_user(),
+        last.ns_per_user(),
+    );
+    println!(
+        "  ns/user {} -> {} users: {:.1} -> {:.1} ({growth:.2}x <= 2.0x) ✓",
+        first.users,
+        last.users,
+        first.ns_per_user(),
+        last.ns_per_user(),
+    );
+    if let Some(base_json) = baseline {
+        const FACTOR: f64 = 3.0;
+        for run in &runs {
+            let Some(base) = baseline_ns_per_user(&base_json, run.users) else {
+                continue;
+            };
+            let measured = run.ns_per_user();
+            assert!(
+                measured <= base * FACTOR,
+                "ns_per_user regressed at {} users: measured {measured:.1} vs \
+                 checked-in baseline {base:.1} (allowed factor {FACTOR})",
+                run.users,
+            );
+            println!(
+                "  {} users: ns_per_user {measured:.1} <= baseline {base:.1} * {FACTOR} ✓",
+                run.users
+            );
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"user_scale\",\n  \"short_mode\": {short},\n  \
+         \"k\": {k},\n  \"frames_per_user\": {frames},\n  \"mode\": \"{mode}\",\n  \
+         \"base_window_ns\": {window_ns},\n  \"runs\": [\n{entries}\n  ]\n}}"
+    );
+    println!("{json}");
+    if let Ok(path) = std::env::var("P4AUTH_USERS_OUT") {
+        std::fs::write(&path, format!("{json}\n")).expect("write P4AUTH_USERS_OUT");
         println!("wrote {path}");
     }
 }

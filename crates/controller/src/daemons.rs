@@ -41,7 +41,7 @@
 //! [`Controller::retry_stalled`] re-drives it.
 
 use crate::controller::{Controller, ControllerEvent, Outgoing};
-use crate::statedb::{StateDb, SubscriberId, Value};
+use crate::statedb::{StateDb, SubscriberId, Value, WriteBatch};
 use p4auth_wire::ids::{PortId, SwitchId};
 
 /// Table names shared by the daemons (and the replica layer).
@@ -185,11 +185,20 @@ impl KeyManagerDaemon {
     /// `kmp` table, issue whatever exchanges are due, publish finished
     /// key material, and re-drive stalled exchanges (capped backoff
     /// inside the core). Returns the frames to put on the wire.
+    ///
+    /// All per-switch writes generated by the tick are coalesced into one
+    /// [`WriteBatch`] applied after the reconcile loop — one drain (the
+    /// poll below), one table write per touched key — instead of a
+    /// `db.set` per switch per table. Safe because the loop never reads a
+    /// key it wrote in the same tick: each switch's status read precedes
+    /// its own (sole) status write, and the cross-switch `partition_done`
+    /// check runs after the batch lands.
     pub fn step(&mut self, db: &mut StateDb, core: &mut Controller, now_ns: u64) -> Vec<Outgoing> {
         // Drain the subscription; the reconcile below re-reads the table
         // directly, so a `missed` gap costs nothing extra.
         let _ = db.poll(self.sub);
         let mut out = Vec::new();
+        let mut batch = WriteBatch::new();
         let epoch = Self::epoch(db);
 
         for &switch in &self.owned {
@@ -208,14 +217,14 @@ impl KeyManagerDaemon {
                         epoch,
                         baseline: core.local_key_material(switch).map(|(_, v)| v.value()),
                     };
-                    db.set(now_ns, tables::KMP, &key, Value::Text(s.encode()));
+                    batch.set(tables::KMP, &key, Value::Text(s.encode()));
                     s
                 }
                 _ => {
                     // No epoch ever started; still keep published key
                     // material fresh (ad-hoc rollovers happen outside
                     // epochs too, e.g. defence-triggered).
-                    self.publish_key(db, core, now_ns, switch);
+                    Self::publish_key(&mut batch, core, switch);
                     continue;
                 }
             };
@@ -228,8 +237,7 @@ impl KeyManagerDaemon {
                     _ => false,
                 };
                 if completed {
-                    db.set(
-                        now_ns,
+                    batch.set(
                         tables::KMP,
                         &key,
                         Value::Text(KexStatus::Done { epoch }.encode()),
@@ -247,8 +255,9 @@ impl KeyManagerDaemon {
                 // else: exchange in flight; retry_stalled below re-drives
                 // it with capped backoff if frames were lost.
             }
-            self.publish_key(db, core, now_ns, switch);
+            Self::publish_key(&mut batch, core, switch);
         }
+        db.apply(now_ns, batch);
 
         // Record this partition's fan-out latency exactly once per epoch
         // (the `set` is a no-op on every later step, and the db flag
@@ -270,12 +279,11 @@ impl KeyManagerDaemon {
         out
     }
 
-    /// Publishes `switch`'s current local key to the `keys` table (no-op
-    /// when unchanged), so peer replicas can mirror it.
-    fn publish_key(&self, db: &mut StateDb, core: &Controller, now_ns: u64, switch: SwitchId) {
+    /// Queues `switch`'s current local key for the `keys` table (a no-op
+    /// at apply time when unchanged), so peer replicas can mirror it.
+    fn publish_key(batch: &mut WriteBatch, core: &Controller, switch: SwitchId) {
         if let Some((k, v)) = core.local_key_material(switch) {
-            db.set(
-                now_ns,
+            batch.set(
                 tables::KEYS,
                 &switch.to_string(),
                 Value::Key(k.expose(), v.value()),
@@ -493,6 +501,35 @@ mod tests {
         let out = km.step(&mut db, &mut core, 0);
         assert!(out.is_empty(), "no double-issue: {}", out.len());
         assert!(core.kex_in_flight(sw));
+    }
+
+    /// One orchestrator tick over a multi-switch partition lands exactly
+    /// one table write per touched key (the batch), and a repeated tick
+    /// at the same instant adds none (every batched write no-ops).
+    #[test]
+    fn key_manager_tick_coalesces_writes() {
+        let mut db = StateDb::new();
+        let mut core = Controller::new(ControllerConfig::default());
+        let switches: Vec<SwitchId> = (1..=8).map(SwitchId::new).collect();
+        for &sw in &switches {
+            core.register_switch(sw, Key64::new(0x5eed ^ sw.value() as u64));
+        }
+        let mut km = KeyManagerDaemon::new(&mut db, switches.clone(), "r0");
+        db.set(0, tables::KMP, "epoch", Value::U64(1));
+        db.set(0, tables::KMP, "started@1", Value::U64(0));
+
+        let before = db.writes();
+        let out = km.step(&mut db, &mut core, 0);
+        assert!(!out.is_empty(), "rollover exchanges must be issued");
+        // Exactly one pending entry per switch; no keys exist yet so the
+        // keys table stays untouched.
+        assert_eq!(db.writes() - before, switches.len() as u64);
+
+        // Re-stepping with nothing changed: the whole batch no-ops.
+        let before = db.writes();
+        let out = km.step(&mut db, &mut core, 0);
+        assert!(out.is_empty(), "no double-issue under batching");
+        assert_eq!(db.writes(), before, "idempotent tick writes nothing");
     }
 
     /// Defence daemon reads rates from the table and triggers the core's

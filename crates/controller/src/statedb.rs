@@ -113,6 +113,51 @@ pub struct Poll {
     pub missed: u64,
 }
 
+/// An ordered set of writes accumulated during one daemon tick and
+/// applied in one [`StateDb::apply`] call.
+///
+/// Writing the same `table/key` twice coalesces to a single write (the
+/// last value wins, at the first write's position), so a daemon that
+/// reconsiders a decision mid-tick still lands exactly one table write
+/// per key per tick — the batching contract the key manager relies on
+/// when it fans a rollover out to hundreds of switches.
+#[derive(Default, Debug)]
+pub struct WriteBatch {
+    writes: Vec<(String, String, Value)>,
+}
+
+impl WriteBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        WriteBatch::default()
+    }
+
+    /// Queues `table/key = value`, replacing any value already queued for
+    /// the same key in this batch.
+    pub fn set(&mut self, table: &str, key: &str, value: Value) {
+        if let Some(w) = self
+            .writes
+            .iter_mut()
+            .find(|(t, k, _)| t == table && k == key)
+        {
+            w.2 = value;
+        } else {
+            self.writes
+                .push((table.to_string(), key.to_string(), value));
+        }
+    }
+
+    /// Number of distinct keys queued.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
 /// The deterministic pub/sub state table. See the module docs.
 pub struct StateDb {
     tables: BTreeMap<String, BTreeMap<String, Entry>>,
@@ -192,6 +237,19 @@ impl StateDb {
             value,
         });
         version
+    }
+
+    /// Applies a batch in queue order at one timestamp, returning the
+    /// number of value-changing writes (no-op writes — values already
+    /// stored — are dropped here exactly as in [`StateDb::set`]).
+    pub fn apply(&mut self, now_ns: u64, batch: WriteBatch) -> u64 {
+        let mut changed = 0;
+        for (table, key, value) in batch.writes {
+            let before = self.next_seq;
+            self.set(now_ns, &table, &key, value);
+            changed += self.next_seq - before;
+        }
+        changed
     }
 
     /// Removes `table/key`, logging a tombstone is *not* supported — the
@@ -325,6 +383,57 @@ mod tests {
         // what the determinism gate needs; daemons that want numeric
         // order sort their own owned-switch lists.
         assert_eq!(keys, ["S1", "S10", "S2"]);
+    }
+
+    #[test]
+    fn batch_applies_in_order_and_coalesces_per_key() {
+        let mut db = StateDb::new();
+        let sub = db.subscribe();
+        let mut batch = WriteBatch::new();
+        batch.set("kmp", "S1", Value::Text("pending@1@-".into()));
+        batch.set("keys", "S1", Value::Key(7, 0));
+        // Reconsidered mid-tick: coalesces onto the first S1 write.
+        batch.set("kmp", "S1", Value::Text("done@1".into()));
+        assert_eq!(batch.len(), 2);
+        assert_eq!(db.apply(100, batch), 2);
+        let keys: Vec<_> = db
+            .poll(sub)
+            .updates
+            .iter()
+            .map(|u| format!("{}/{}={:?}", u.table, u.key, u.value))
+            .collect();
+        assert_eq!(
+            keys,
+            [
+                "kmp/S1=Text(\"done@1\")".to_string(),
+                "keys/S1=Key(7, 0)".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_noop_writes_vanish() {
+        let mut db = StateDb::new();
+        db.set(0, "kmp", "epoch", Value::U64(3));
+        let mut batch = WriteBatch::new();
+        batch.set("kmp", "epoch", Value::U64(3)); // already stored
+        batch.set("kmp", "started@3", Value::U64(50));
+        assert_eq!(db.apply(50, batch), 1, "only the new key lands");
+        assert_eq!(db.writes(), 2);
+        assert_eq!(
+            db.get("kmp", "epoch").unwrap().written_at_ns,
+            0,
+            "no-op batch write must not restamp"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let mut db = StateDb::new();
+        let batch = WriteBatch::new();
+        assert!(batch.is_empty());
+        assert_eq!(db.apply(9, batch), 0);
+        assert_eq!(db.writes(), 0);
     }
 
     #[test]

@@ -81,7 +81,7 @@ pub use fattree::FatTree;
 pub use frame::FrameBytes;
 pub use sched::SchedulerKind;
 pub use shard::{ShardPlan, ShardRunReport, ShardedSimulator};
-pub use sim::{Outbox, SimNode, Simulator, TapAction};
+pub use sim::{Outbox, SimNode, Simulator, TapAction, TapFrame};
 pub use time::SimTime;
 pub use timeline::{Timeline, TimelineEntry};
 pub use topology::{LinkId, Topology};

@@ -18,9 +18,76 @@ pub enum TapAction {
     Drop,
 }
 
+/// The payload view handed to a [`Tap`].
+///
+/// Dereferences to the frame bytes, so read-only taps (eavesdroppers,
+/// filters) cost nothing beyond the dereference. The pristine content is
+/// snapshotted lazily on the first *mutable* access, which is how the
+/// simulator knows whether a tap actually modified the frame without
+/// cloning every tapped payload up front.
+#[derive(Debug)]
+pub struct TapFrame {
+    bytes: Vec<u8>,
+    pristine: Option<Vec<u8>>,
+}
+
+impl TapFrame {
+    /// Wraps raw frame bytes (used by the simulator and by unit tests that
+    /// drive taps directly).
+    pub fn new(bytes: Vec<u8>) -> Self {
+        TapFrame {
+            bytes,
+            pristine: None,
+        }
+    }
+
+    /// Replaces the entire payload (the common "re-encode the tampered
+    /// message" move in attack taps).
+    pub fn replace(&mut self, bytes: Vec<u8>) {
+        self.snapshot();
+        self.bytes = bytes;
+    }
+
+    /// Whether a tap changed the content relative to what arrived.
+    pub fn modified(&self) -> bool {
+        self.pristine.as_ref().is_some_and(|p| *p != self.bytes)
+    }
+
+    /// Unwraps the (possibly rewritten) payload bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    fn snapshot(&mut self) {
+        if self.pristine.is_none() {
+            self.pristine = Some(self.bytes.clone());
+        }
+    }
+}
+
+impl From<Vec<u8>> for TapFrame {
+    fn from(bytes: Vec<u8>) -> Self {
+        TapFrame::new(bytes)
+    }
+}
+
+impl std::ops::Deref for TapFrame {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.bytes
+    }
+}
+
+impl std::ops::DerefMut for TapFrame {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        self.snapshot();
+        &mut self.bytes
+    }
+}
+
 /// A frame interception hook: sees the payload (mutable — the adversary can
 /// rewrite it) and the direction `(from, to)` endpoints.
-pub type Tap = Box<dyn FnMut(SimTime, Endpoint, Endpoint, &mut Vec<u8>) -> TapAction>;
+pub type Tap = Box<dyn FnMut(SimTime, Endpoint, Endpoint, &mut TapFrame) -> TapAction>;
 
 /// Messages a node wants to send / timers it wants set, collected during a
 /// callback.
@@ -45,6 +112,23 @@ impl Outbox {
     /// Sends `payload` out of `port` immediately.
     pub fn send(&mut self, port: PortId, payload: impl Into<FrameBytes>) {
         self.send_delayed(port, payload, 0);
+    }
+
+    /// Queues a whole batch of delayed sends out of `port` in one call —
+    /// the host-aggregation hot path, where a single timer event expands
+    /// into an interval's worth of per-user frames. Each item is
+    /// `(payload, processing_ns)`; capacity is reserved up front so the
+    /// expansion does at most one growth reallocation.
+    pub fn send_batch(
+        &mut self,
+        port: PortId,
+        frames: impl IntoIterator<Item = (FrameBytes, u64)>,
+    ) {
+        let frames = frames.into_iter();
+        self.frames.reserve(frames.size_hint().0);
+        for (payload, processing_ns) in frames {
+            self.frames.push((port, payload, processing_ns));
+        }
     }
 
     /// Requests a timer callback `delay_ns` from now with identifier `id`.
@@ -595,14 +679,14 @@ impl Simulator {
                     let mut dropped = false;
                     if self.tap_count > 0 {
                         if let Some(tap) = self.taps[link_id.0 as usize * 2 + dir].as_mut() {
-                            // Taps operate on plain byte vectors (the
-                            // adversary API predates FrameBytes); this
-                            // conversion only runs when a tap is installed.
-                            let mut bytes = payload.into_vec();
-                            let before = bytes.clone();
-                            match tap(self.now, src, dst, &mut bytes) {
+                            // Taps operate on a TapFrame view; the pristine
+                            // copy is only snapshotted if the tap takes a
+                            // mutable borrow of the bytes, so read-only taps
+                            // never clone the payload.
+                            let mut frame = TapFrame::new(payload.into_vec());
+                            match tap(self.now, src, dst, &mut frame) {
                                 TapAction::Forward => {
-                                    if bytes != before {
+                                    if frame.modified() {
                                         self.stats.frames_tapped_modified += 1;
                                         if let Some(t) = &self.telemetry {
                                             t.frames_tap_modified.inc();
@@ -624,7 +708,7 @@ impl Simulator {
                                     }
                                 }
                             }
-                            payload = FrameBytes::from(bytes);
+                            payload = FrameBytes::from(frame.into_bytes());
                         }
                     }
                     if !dropped {
@@ -926,7 +1010,7 @@ mod tests {
         sim.install_tap(
             link,
             SwitchId::new(1),
-            Box::new(|_, _, _, payload: &mut Vec<u8>| {
+            Box::new(|_, _, _, payload| {
                 payload[0] = 0xff;
                 TapAction::Forward
             }),
@@ -949,7 +1033,7 @@ mod tests {
         sim.install_tap(
             link,
             SwitchId::new(2),
-            Box::new(move |_, _, _, _payload: &mut Vec<u8>| {
+            Box::new(move |_, _, _, _payload| {
                 seen2.fetch_add(1, Ordering::Relaxed);
                 TapAction::Forward
             }),
@@ -970,7 +1054,7 @@ mod tests {
         sim.install_tap(
             link,
             SwitchId::new(1),
-            Box::new(|_, _, _, _: &mut Vec<u8>| TapAction::Drop),
+            Box::new(|_, _, _, _| TapAction::Drop),
         );
         sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![7]);
         sim.run_to_completion();
@@ -1158,7 +1242,7 @@ mod tests {
         sim.install_tap(
             link,
             SwitchId::new(2),
-            Box::new(|_, _, _, _: &mut Vec<u8>| TapAction::Drop),
+            Box::new(|_, _, _, _| TapAction::Drop),
         );
         sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![1, 2, 3]);
         sim.run_to_completion();

@@ -56,6 +56,11 @@ pub struct SwitchNode {
     agent: SharedSwitch,
     cpu_netport: Option<PortId>,
     notify: Option<PortKeyNotifier>,
+    /// §II-A compromised-switch-OS model (default off; see
+    /// [`Network::compromise_switch_os`]): when set, frames arriving from
+    /// data ports that impersonate this switch's own C-DP traffic are
+    /// relayed out the control uplink unauthenticated.
+    compromised: Rc<Cell<bool>>,
 }
 
 impl SwitchNode {
@@ -83,6 +88,7 @@ impl SwitchNode {
             agent,
             cpu_netport,
             notify,
+            compromised: Rc::new(Cell::new(false)),
         }
     }
 
@@ -100,6 +106,7 @@ impl SwitchNode {
             agent,
             cpu_netport,
             notify,
+            compromised: Rc::new(Cell::new(false)),
         }
     }
 }
@@ -111,6 +118,22 @@ impl SimNode for SwitchNode {
         } else {
             ingress
         };
+        // §II-A compromised switch OS (modelled, default off): an attacker
+        // foothold in the switch's OS hijacks frames arriving from data
+        // ports that impersonate the switch's own control-plane traffic and
+        // relays them out the C-DP uplink without authentication — the path
+        // by which a digest flood sourced at an edge user reaches the
+        // controller. Legitimate DP-DP traffic is untouched (peers never
+        // claim *this* switch as sender).
+        if self.compromised.get() && logical_ingress != PortId::CPU {
+            if let (Some(cpu), Ok(msg)) = (self.cpu_netport, p4auth_wire::Message::decode(&payload))
+            {
+                if msg.header().sender == self.id && msg.header().port.is_cpu() {
+                    out.send_delayed(cpu, payload, 1_000);
+                    return;
+                }
+            }
+        }
         let output = self
             .agent
             .borrow_mut()
@@ -369,6 +392,9 @@ pub struct Network {
     rollover: SharedRollover,
     registry: Option<std::sync::Arc<p4auth_telemetry::Registry>>,
     ring: Option<p4auth_telemetry::SnapshotRing>,
+    /// Per-switch compromised-OS relay flags (see
+    /// [`Network::compromise_switch_os`]).
+    relay_flags: HashMap<SwitchId, Rc<Cell<bool>>>,
 }
 
 impl Network {
@@ -408,6 +434,7 @@ impl Network {
     ) -> Network {
         let mut sim = Simulator::with_scheduler(topology, scheduler);
         let mut switches = HashMap::new();
+        let mut relay_flags = HashMap::new();
         let controller = Rc::new(RefCell::new(Controller::new(controller_config)));
         let events = Rc::new(RefCell::new(Vec::new()));
         let rollover: SharedRollover = Rc::new(RefCell::new(None));
@@ -441,15 +468,9 @@ impl Network {
             let config = configure(id, AgentConfig::new(id, max_port, k_seed));
             let agent = Rc::new(RefCell::new(P4AuthSwitch::new(config, make_app(id))));
             switches.insert(id, agent.clone());
-            sim.register_node(
-                id,
-                Box::new(SwitchNode::new(
-                    id,
-                    agent,
-                    cpu_netport,
-                    Some(controller.clone()),
-                )),
-            );
+            let node = SwitchNode::new(id, agent, cpu_netport, Some(controller.clone()));
+            relay_flags.insert(id, node.compromised.clone());
+            sim.register_node(id, Box::new(node));
         }
         if has_controller {
             // DP-DP adjacency for translating port-channel defence
@@ -481,7 +502,19 @@ impl Network {
             rollover,
             registry: None,
             ring: None,
+            relay_flags,
         }
+    }
+
+    /// Arms the §II-A compromised-switch-OS model on `switch` (see the
+    /// relay logic in [`SwitchNode`]): from now on, frames arriving from
+    /// the switch's data ports that impersonate its own C-DP traffic are
+    /// relayed to the controller unauthenticated. The defence tests use
+    /// this to let a digest flood sourced at an aggregated edge user reach
+    /// the control channel, exactly the foothold the paper defends
+    /// against.
+    pub fn compromise_switch_os(&mut self, switch: SwitchId) {
+        self.relay_flags[&switch].set(true);
     }
 
     /// Arms the controller's telemetry-driven adaptive defence loop:

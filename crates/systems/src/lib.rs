@@ -30,6 +30,11 @@
 //! * [`scaleload`] — the fat-tree scale workload behind `repro -- scale`
 //!   and the `sim_scale` bench, runnable on the sequential schedulers or
 //!   the sharded engine with a bit-identical fingerprint.
+//! * [`userscale`] — host aggregation: one [`SimNode`](p4auth_netsim::SimNode)
+//!   modelling thousands of edge users in flat per-user arrays, scaling
+//!   `repro -- users` to millions of modelled users at near-constant
+//!   per-user cost while an aggregate of one user stays bit-identical to
+//!   an individual [`scaleload`] host.
 //!
 //! Together with [`blink`], [`netcache`] and [`netwarden`], every Table I
 //! row exists here as a *working* miniature of the cited system, not just
@@ -49,3 +54,4 @@ pub mod replicated;
 pub mod routescout;
 pub mod scaleload;
 pub mod silkroad;
+pub mod userscale;

@@ -27,8 +27,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Fig19-style request sizes: header + digest + read body / write body.
-const READ_FRAME_BYTES: usize = 34;
-const WRITE_FRAME_BYTES: usize = 58;
+/// (Shared with `userscale`, whose aggregates emit the same mix.)
+pub(crate) const READ_FRAME_BYTES: usize = 34;
+pub(crate) const WRITE_FRAME_BYTES: usize = 58;
 
 /// One scale-workload configuration.
 #[derive(Clone, Copy, Debug)]
@@ -141,7 +142,7 @@ struct Forwarder {
 
 /// Destination host id lives in payload bytes `[0..2]` (LE), the ECMP flow
 /// label in byte `[2]`.
-fn frame_dst(payload: &[u8]) -> SwitchId {
+pub(crate) fn frame_dst(payload: &[u8]) -> SwitchId {
     SwitchId::new(u16::from_le_bytes([payload[0], payload[1]]))
 }
 
@@ -168,7 +169,7 @@ struct Host {
     arrivals: Arc<AtomicU64>,
 }
 
-const SEND_TIMER: u64 = 1;
+pub(crate) const SEND_TIMER: u64 = 1;
 
 impl SimNode for Host {
     fn on_frame(&mut self, _now: SimTime, _ingress: PortId, _payload: FrameBytes, _: &mut Outbox) {
@@ -211,6 +212,13 @@ fn forwarder(cfg: &ScaleConfig, ft: FatTree, id: SwitchId) -> Box<Forwarder> {
     })
 }
 
+/// A fabric forwarder for other workloads in this crate (`userscale`
+/// reuses the exact scale-workload switch so host aggregation changes
+/// nothing about the fabric).
+pub(crate) fn fabric_forwarder(ft: FatTree, id: SwitchId, proc_ns: u64) -> Box<dyn SimNode + Send> {
+    Box::new(Forwarder { ft, id, proc_ns })
+}
+
 fn host(cfg: &ScaleConfig, ft: FatTree, h: u16, arrivals: &Arc<AtomicU64>) -> Box<Host> {
     Box::new(Host {
         index: h,
@@ -224,7 +232,7 @@ fn host(cfg: &ScaleConfig, ft: FatTree, h: u16, arrivals: &Arc<AtomicU64>) -> Bo
 }
 
 /// Staggered start so transmissions interleave instead of phasing.
-fn boot_delay(h: u16) -> u64 {
+pub(crate) fn boot_delay(h: u16) -> u64 {
     1 + (h as u64 % 97) * 11
 }
 

@@ -82,6 +82,14 @@ impl Registry {
             .clone()
     }
 
+    /// Sets the labeled gauge `name{label}` in one call — the idiom for
+    /// per-entity series (per-aggregate user counts, per-replica
+    /// partition sizes) where the caller has a value to publish rather
+    /// than a handle to keep.
+    pub fn set_gauge_with(&self, name: &str, label: &str, value: i64) {
+        self.gauge_with(name, label).set(value);
+    }
+
     /// The unlabeled histogram `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         self.histogram_with(name, "")

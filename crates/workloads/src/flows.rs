@@ -7,6 +7,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One generated flow.
 #[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
@@ -136,6 +137,244 @@ impl FlowGen {
     }
 }
 
+// --- Per-user arrival mixes -------------------------------------------------
+//
+// Host aggregation models thousands of edge users inside one sim node; each
+// user needs its own deterministic arrival schedule that depends only on
+// `(seed, user_idx)` — never on how many other users exist or in what order
+// their streams are advanced. The samplers below therefore carry all of
+// their state inline (a SplitMix64 word plus a burst counter / trace
+// cursor), so two streams for the same `(seed, user_idx)` are identical
+// regardless of interleaving.
+
+/// One SplitMix64 step (same constants as `p4auth_primitives::rng`); kept
+/// inline so this crate stays free of the crypto-primitives dependency.
+/// Public so flat-array aggregates can drive per-user destination/flow
+/// draws from the same raw state word their arrival mix advances.
+pub fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives the per-user seed from an aggregate seed — the same golden-ratio
+/// mix the scale workload uses for individual host RNGs, so an aggregate of
+/// one user can reproduce an individual host bit-for-bit.
+pub fn user_seed(seed: u64, user_idx: u64) -> u64 {
+    seed ^ user_idx.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Uniform in (0, 1) from a raw SplitMix64 output (53 mantissa bits),
+/// clamped away from zero so `ln` stays finite.
+fn unit_open(raw: u64) -> f64 {
+    ((raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)).max(f64::MIN_POSITIVE)
+}
+
+/// Elephant/mice burst parameters for [`ArrivalMix::HeavyTailed`].
+///
+/// A user alternates between idle periods (exponential, mean
+/// `idle_mean_ns`) and bursts whose length in frames is drawn from a
+/// bounded Pareto on `[burst_min, burst_max]` with shape `alpha`: most
+/// bursts are mice near `burst_min`, a heavy tail of elephants stretches
+/// toward `burst_max`. Frames within a burst are `frame_gap_ns` apart.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HeavyTailed {
+    /// Bounded-Pareto shape (smaller ⇒ heavier tail; 1.1–1.6 is typical).
+    pub alpha: f64,
+    /// Minimum burst length in frames (the mice).
+    pub burst_min: u32,
+    /// Maximum burst length in frames (the elephant cap).
+    pub burst_max: u32,
+    /// Gap between consecutive frames inside a burst.
+    pub frame_gap_ns: u64,
+    /// Mean idle gap before each burst (exponential).
+    pub idle_mean_ns: u64,
+}
+
+impl Default for HeavyTailed {
+    fn default() -> Self {
+        // Mice of a few frames, elephants up to 4096, sub-µs pacing inside
+        // a burst — fig19-like load shape with a CAIDA-like tail.
+        HeavyTailed {
+            alpha: 1.3,
+            burst_min: 2,
+            burst_max: 4096,
+            frame_gap_ns: 200,
+            idle_mean_ns: 40_000,
+        }
+    }
+}
+
+impl HeavyTailed {
+    fn sample_burst(&self, rng: &mut u64) -> u32 {
+        let u = unit_open(splitmix_next(rng));
+        let l = self.burst_min.max(1) as f64;
+        let h = self.burst_max.max(self.burst_min.max(1)) as f64;
+        // Bounded-Pareto inverse CDF: x = L·(1 − u·(1 − (L/H)^α))^(−1/α).
+        let x = l * (1.0 - u * (1.0 - (l / h).powf(self.alpha))).powf(-1.0 / self.alpha);
+        x.clamp(l, h) as u32
+    }
+
+    fn sample_idle(&self, rng: &mut u64) -> u64 {
+        let u = unit_open(splitmix_next(rng));
+        ((-(self.idle_mean_ns as f64) * u.ln()) as u64).max(1)
+    }
+}
+
+/// How the users behind an aggregate space their frames.
+#[derive(Clone, Debug)]
+pub enum ArrivalMix {
+    /// Every user sends with a fixed gap — the fig19 uniform mix, and the
+    /// mode in which an aggregate of one user is bit-identical to an
+    /// individual host node.
+    Uniform {
+        /// Fixed inter-frame gap.
+        gap_ns: u64,
+    },
+    /// Elephant/mice bursts with bounded-Pareto lengths.
+    HeavyTailed(HeavyTailed),
+    /// Trace-driven: users replay a shared gap trace (e.g. derived from a
+    /// [`FlowGen`] run via [`trace_gaps`]), each starting at a
+    /// seed-derived offset and cycling.
+    Trace(Arc<[u64]>),
+}
+
+impl ArrivalMix {
+    /// A sampler for one user's stream under this mix.
+    pub fn sampler(&self, seed: u64, user_idx: u64) -> ArrivalSampler {
+        ArrivalSampler::new(self, seed, user_idx)
+    }
+
+    /// Initial per-user state as plain words — the SoA-friendly twin of
+    /// [`ArrivalMix::sampler`] for host aggregates that keep millions of
+    /// user streams in flat arrays. Returns `(rng_word, trace_cursor)`;
+    /// the burst counter starts at 0.
+    pub fn init_state(&self, seed: u64, user_idx: u64) -> (u64, u32) {
+        let mut rng = user_seed(seed, user_idx);
+        let trace_pos = match self {
+            ArrivalMix::Trace(gaps) => (splitmix_next(&mut rng) % gaps.len() as u64) as u32,
+            _ => 0,
+        };
+        (rng, trace_pos)
+    }
+
+    /// Offset (ns) of a user's *first* frame relative to its boot
+    /// instant. `Uniform` starts at boot — drawing nothing, so a one-user
+    /// aggregate stays bit-identical to an individual host. `HeavyTailed`
+    /// treats boot as the start of the idle period before the first
+    /// burst: it draws the burst length (left in `burst_left`) and an
+    /// idle gap, so a large population's first frames spread over the
+    /// idle distribution instead of arriving as one synchronized
+    /// thundering herd. `Trace` consumes the first gap at the user's
+    /// cursor.
+    pub fn initial_gap_ns(&self, rng: &mut u64, burst_left: &mut u32, trace_pos: &mut u32) -> u64 {
+        match self {
+            ArrivalMix::Uniform { .. } => 0,
+            ArrivalMix::HeavyTailed(ht) => {
+                *burst_left = ht.sample_burst(rng).max(1) - 1;
+                ht.sample_idle(rng)
+            }
+            ArrivalMix::Trace(gaps) => {
+                let gap = gaps[*trace_pos as usize].max(1);
+                *trace_pos = (*trace_pos + 1) % gaps.len() as u32;
+                gap
+            }
+        }
+    }
+
+    /// Draws the next gap (ns, ≥ 1) given per-user SoA state. This is
+    /// *the* gap implementation — [`ArrivalSampler`] wraps it — so flat-
+    /// array aggregates and per-user samplers can never drift apart.
+    pub fn next_gap(&self, rng: &mut u64, burst_left: &mut u32, trace_pos: &mut u32) -> u64 {
+        match self {
+            ArrivalMix::Uniform { gap_ns } => (*gap_ns).max(1),
+            ArrivalMix::HeavyTailed(ht) => {
+                if *burst_left == 0 {
+                    *burst_left = ht.sample_burst(rng).max(1) - 1;
+                    ht.sample_idle(rng)
+                } else {
+                    *burst_left -= 1;
+                    ht.frame_gap_ns.max(1)
+                }
+            }
+            ArrivalMix::Trace(gaps) => {
+                let gap = gaps[*trace_pos as usize].max(1);
+                *trace_pos = (*trace_pos + 1) % gaps.len() as u32;
+                gap
+            }
+        }
+    }
+}
+
+/// Converts a flow list into an inter-arrival gap trace suitable for
+/// [`ArrivalMix::Trace`] (each flow contributes one gap; zero gaps are
+/// lifted to 1 ns so schedules stay strictly advancing).
+pub fn trace_gaps(flows: &[Flow]) -> Arc<[u64]> {
+    let mut gaps = Vec::with_capacity(flows.len());
+    let mut prev = 0u64;
+    for f in flows {
+        gaps.push((f.arrival_ns - prev).max(1));
+        prev = f.arrival_ns;
+    }
+    if gaps.is_empty() {
+        gaps.push(1);
+    }
+    gaps.into()
+}
+
+/// A single user's deterministic arrival-gap stream.
+///
+/// All state lives here, so the stream for a given `(seed, user_idx)` is a
+/// pure function of how many gaps have been drawn — independent of every
+/// other user.
+#[derive(Clone, Debug)]
+pub struct ArrivalSampler {
+    mix: ArrivalMix,
+    rng: u64,
+    burst_left: u32,
+    trace_pos: u32,
+}
+
+impl ArrivalSampler {
+    /// Creates the stream for `user_idx` under `mix`.
+    pub fn new(mix: &ArrivalMix, seed: u64, user_idx: u64) -> Self {
+        let (rng, trace_pos) = mix.init_state(seed, user_idx);
+        ArrivalSampler {
+            mix: mix.clone(),
+            rng,
+            burst_left: 0,
+            trace_pos,
+        }
+    }
+
+    /// Offset of the user's first frame from its boot instant (call once,
+    /// before any [`ArrivalSampler::next_gap_ns`]; see
+    /// [`ArrivalMix::initial_gap_ns`]).
+    pub fn initial_gap_ns(&mut self) -> u64 {
+        self.mix
+            .initial_gap_ns(&mut self.rng, &mut self.burst_left, &mut self.trace_pos)
+    }
+
+    /// The gap (ns, ≥ 1) preceding the user's next frame.
+    pub fn next_gap_ns(&mut self) -> u64 {
+        self.mix
+            .next_gap(&mut self.rng, &mut self.burst_left, &mut self.trace_pos)
+    }
+
+    /// The first `n` absolute arrival offsets (prefix sums of the gaps).
+    pub fn schedule(mut self, n: usize) -> Vec<u64> {
+        let mut at = 0u64;
+        (0..n)
+            .map(|_| {
+                at = at.saturating_add(self.next_gap_ns());
+                at
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,5 +450,84 @@ mod tests {
             mean_interarrival_ns: 0.0,
             ..Default::default()
         });
+    }
+
+    #[test]
+    fn uniform_mix_is_a_fixed_grid() {
+        let mix = ArrivalMix::Uniform { gap_ns: 25 };
+        assert_eq!(mix.sampler(7, 3).schedule(4), vec![25, 50, 75, 100]);
+    }
+
+    #[test]
+    fn heavy_tailed_bursts_are_bounded_and_heavy() {
+        let ht = HeavyTailed::default();
+        let mut rng = user_seed(0xabcd, 9);
+        let bursts: Vec<u32> = (0..20_000).map(|_| ht.sample_burst(&mut rng)).collect();
+        assert!(bursts
+            .iter()
+            .all(|&b| b >= ht.burst_min && b <= ht.burst_max));
+        let mut sorted = bursts.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        let p99 = sorted[sorted.len() * 99 / 100] as f64;
+        assert!(p99 / median > 10.0, "median {median}, p99 {p99}");
+    }
+
+    #[test]
+    fn heavy_tailed_gaps_alternate_idle_and_paced() {
+        let mix = ArrivalMix::HeavyTailed(HeavyTailed::default());
+        let mut s = mix.sampler(1, 0);
+        let gaps: Vec<u64> = (0..5_000).map(|_| s.next_gap_ns()).collect();
+        let paced = gaps.iter().filter(|&&g| g == 200).count();
+        let idle = gaps.iter().filter(|&&g| g != 200).count();
+        assert!(paced > 0 && idle > 0, "paced {paced}, idle {idle}");
+        assert!(gaps.iter().all(|&g| g >= 1));
+    }
+
+    #[test]
+    fn trace_mix_cycles_with_per_user_offsets() {
+        let gaps: Arc<[u64]> = vec![10, 20, 30].into();
+        let mix = ArrivalMix::Trace(gaps);
+        let schedules: Vec<Vec<u64>> = (0..8).map(|u| mix.sampler(5, u).schedule(9)).collect();
+        // Every user cycles the same 60 ns period…
+        for s in &schedules {
+            assert_eq!(s[8] - s[5], 60);
+        }
+        // …but the 3 possible start offsets are all hit across a few users.
+        let distinct: std::collections::BTreeSet<u64> = schedules.iter().map(|s| s[0]).collect();
+        assert_eq!(distinct.len(), 3, "offsets {distinct:?}");
+    }
+
+    #[test]
+    fn trace_gaps_strictly_advance() {
+        let flows = FlowGen::new(FlowGenConfig::default()).take_flows(64);
+        let gaps = trace_gaps(&flows);
+        assert_eq!(gaps.len(), 64);
+        assert!(gaps.iter().all(|&g| g >= 1));
+        assert!(trace_gaps(&[]).iter().all(|&g| g == 1));
+    }
+
+    #[test]
+    fn samplers_are_independent_of_interleaving() {
+        let mix = ArrivalMix::HeavyTailed(HeavyTailed::default());
+        // Advance two users round-robin, then compare against each stream
+        // drawn in isolation.
+        let mut s0 = mix.sampler(99, 0);
+        let mut s1 = mix.sampler(99, 1);
+        let mut interleaved = (Vec::new(), Vec::new());
+        for _ in 0..100 {
+            interleaved.0.push(s0.next_gap_ns());
+            interleaved.1.push(s1.next_gap_ns());
+        }
+        let solo0: Vec<u64> = {
+            let mut s = mix.sampler(99, 0);
+            (0..100).map(|_| s.next_gap_ns()).collect()
+        };
+        let solo1: Vec<u64> = {
+            let mut s = mix.sampler(99, 1);
+            (0..100).map(|_| s.next_gap_ns()).collect()
+        };
+        assert_eq!(interleaved.0, solo0);
+        assert_eq!(interleaved.1, solo1);
     }
 }

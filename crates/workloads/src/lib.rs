@@ -9,7 +9,10 @@
 //! per-packet traces, plus per-path latency processes for the RouteScout
 //! scenario. Everything is seeded and deterministic.
 //!
-//! * [`flows`] — flow-level generation (arrival times, sizes, flow ids).
+//! * [`flows`] — flow-level generation (arrival times, sizes, flow ids),
+//!   plus per-user arrival mixes ([`flows::ArrivalMix`]: uniform,
+//!   bounded-Pareto elephant/mice bursts, trace-driven replay) consumed
+//!   in structure-of-arrays form by the `systems` host aggregates.
 //! * [`trace`] — packet-level traces derived from flows.
 //! * [`latency`] — per-path latency processes (stable mean + jitter, with
 //!   optional congestion episodes).

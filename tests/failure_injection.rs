@@ -37,7 +37,7 @@ fn inject(net: &mut Network, outgoing: Vec<p4auth::controller::Outgoing>) {
 fn drop_first_n(n: u64) -> (p4auth::netsim::sim::Tap, Rc<RefCell<u64>>) {
     let dropped = Rc::new(RefCell::new(0u64));
     let d = dropped.clone();
-    let tap = Box::new(move |_now, _f, _t, _p: &mut Vec<u8>| {
+    let tap = Box::new(move |_now, _f, _t, _p: &mut _| {
         if *d.borrow() < n {
             *d.borrow_mut() += 1;
             TapAction::Drop
@@ -85,7 +85,7 @@ fn lost_adhkd_answer_is_recovered_by_retry() {
     net.sim.install_tap(
         link,
         S1,
-        Box::new(move |_now, _f, _t, p: &mut Vec<u8>| {
+        Box::new(move |_now, _f, _t, p: &mut _| {
             // Drop exactly the second switch→controller frame.
             *d.borrow_mut() += 1;
             if *d.borrow() == 2 {
