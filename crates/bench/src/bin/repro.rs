@@ -53,12 +53,14 @@ impl ReportSink {
         ("timeline", "P4AUTH_TIMELINE_OUT"),
         ("replicas", "P4AUTH_REPLICAS_OUT"),
         ("users", "P4AUTH_USERS_OUT"),
+        ("scenarios", "P4AUTH_SCENARIOS_OUT"),
         ("decode", "P4AUTH_DECODE_OUT"),
     ];
     /// Experiments with a checked-in baseline gate.
     const BASELINE_VARS: &'static [(&'static str, &'static str)] = &[
         ("scale", "P4AUTH_SCALE_BASELINE"),
         ("users", "P4AUTH_USERS_BASELINE"),
+        ("scenarios", "P4AUTH_SCENARIOS_BASELINE"),
     ];
 
     /// Parses the CLI. Flags that are plain env-var switches (`--short`,
@@ -165,7 +167,7 @@ fn main() {
         sink.filter.is_empty() || sink.filter.iter().any(|f| name.contains(f.as_str()))
     };
 
-    let experiments: [(&str, fn()); 15] = [
+    let experiments: [(&str, fn()); 16] = [
         ("table1", report::table1),
         ("fig16", report::fig16),
         ("fig17", report::fig17),
@@ -181,6 +183,7 @@ fn main() {
         ("users", report::users),
         ("timeline", report::timeline),
         ("replicas", report::replicas),
+        ("scenarios", report::scenarios),
     ];
     let mut ran = 0;
     for (name, run) in experiments {
@@ -194,7 +197,7 @@ fn main() {
         ran += 1;
     }
     if ran == 0 {
-        eprintln!("no experiment matches {filter:?}; available: table1 fig16 fig17 fig18 fig19 fig20 fig21 table2 table3 fct metrics scale users timeline replicas ablation decode", filter = sink.filter);
+        eprintln!("no experiment matches {filter:?}; available: table1 fig16 fig17 fig18 fig19 fig20 fig21 table2 table3 fct metrics scale users timeline replicas scenarios ablation decode", filter = sink.filter);
         std::process::exit(1);
     }
 }

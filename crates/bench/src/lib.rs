@@ -23,6 +23,8 @@
 
 pub mod alloc;
 pub mod report;
+/// The fault-injection scenario campaigns behind `repro -- scenarios`.
+pub use p4auth_systems::campaigns;
 /// The fat-tree scale workload, shared with the systems crate so CI, the
 /// Criterion bench and `repro -- scale` all drive identical runs.
 pub use p4auth_systems::scaleload as scale;

@@ -1044,6 +1044,171 @@ pub fn users() {
     }
 }
 
+/// Whether the baseline JSON recorded campaign `name` as passing. The
+/// format is our own `BENCH_scenarios.json`, where each campaign entry
+/// keeps `"name"` and `"passed"` on one line.
+fn baseline_campaign_passed(json: &str, name: &str) -> Option<bool> {
+    let tag = format!("\"name\": \"{name}\"");
+    let entry = json.lines().find(|l| l.contains(&tag))?;
+    let field = "\"passed\": ";
+    let start = entry.find(field)? + field.len();
+    entry[start..].trim_start().starts_with("true").into()
+}
+
+/// Scenario campaigns: deterministic fault injection (link flaps,
+/// correlated groups, pod/switch failure, boot storms) composed with
+/// attack overlays, each judged by explicit defence invariants
+/// (`p4auth_systems::campaigns`).
+///
+/// Short mode (`P4AUTH_SCALE_SHORT=1`, used by CI) runs every campaign
+/// at 10k modelled users; the full report runs at 100k.
+/// `P4AUTH_SCENARIOS_OUT=<path>` writes the JSON (how
+/// `BENCH_scenarios.json` is regenerated). The JSON contains only
+/// deterministic fields — two runs produce byte-identical files, which
+/// CI diffs directly; wall-clock throughput is printed to stdout only.
+/// `P4AUTH_SCENARIOS_BASELINE=<path>` points at the checked-in JSON and
+/// fails the run if any campaign it recorded as passing no longer
+/// passes (the verdict-regression gate).
+pub fn scenarios() {
+    use crate::campaigns::{run_campaigns, CampaignConfig};
+    use std::fmt::Write as _;
+
+    banner(
+        "scenarios — churn + attack campaigns with per-scenario defence invariants",
+        "ROADMAP \"fault injection\"; DESIGN §4g",
+    );
+
+    let short = std::env::var("P4AUTH_SCALE_SHORT").is_ok_and(|v| v != "0");
+    let baseline = std::env::var("P4AUTH_SCENARIOS_BASELINE").ok().map(|path| {
+        std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read P4AUTH_SCENARIOS_BASELINE {path}: {e}"))
+    });
+    let cfg = if short {
+        CampaignConfig::short()
+    } else {
+        CampaignConfig::standard()
+    };
+
+    let verdicts = run_campaigns(&cfg);
+
+    println!(
+        "{:<30} {:>5} {:>7} {:>12} {:>9} {:>10} {:>10} {:>8} {:>7} {:>13}",
+        "campaign",
+        "f+a",
+        "passed",
+        "mit_lat_ns",
+        "events",
+        "sent",
+        "delivered",
+        "undeliv",
+        "faults",
+        "events/s"
+    );
+    let mut entries = String::new();
+    for (i, v) in verdicts.iter().enumerate() {
+        println!(
+            "{:<30} {:>5} {:>7} {:>12} {:>9} {:>10} {:>10} {:>8} {:>7} {:>13.0}",
+            v.name,
+            if v.fault_attack { "yes" } else { "no" },
+            if v.passed() { "ok" } else { "FAIL" },
+            v.mitigation_latency_ns
+                .map_or_else(|| "-".into(), |ns| ns.to_string()),
+            v.fabric.events,
+            v.fabric.frames_sent,
+            v.fabric.frames_delivered,
+            v.fabric.frames_undeliverable,
+            v.fabric.faults_applied,
+            v.fabric.events_per_sec,
+        );
+        for c in &v.checks {
+            println!(
+                "    {} {:<32} {}",
+                if c.passed { "✓" } else { "✗" },
+                c.name,
+                c.detail
+            );
+        }
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        let mut checks = String::new();
+        for (j, c) in v.checks.iter().enumerate() {
+            if j > 0 {
+                checks.push_str(", ");
+            }
+            write!(
+                checks,
+                "{{\"name\": \"{}\", \"passed\": {}}}",
+                c.name, c.passed
+            )
+            .expect("writing to a String cannot fail");
+        }
+        write!(
+            entries,
+            "    {{\"name\": \"{}\", \"fault_attack\": {}, \"passed\": {}, \
+             \"mitigation_latency_ns\": {}, \
+             \"checks\": [{checks}], \
+             \"fabric\": {{\"users\": {}, \"events\": {}, \"frames_sent\": {}, \
+             \"frames_delivered\": {}, \"frames_undeliverable\": {}, \
+             \"faults_applied\": {}, \"sim_ns\": {}}}}}",
+            v.name,
+            v.fault_attack,
+            v.passed(),
+            v.mitigation_latency_ns
+                .map_or_else(|| "null".into(), |ns| ns.to_string()),
+            v.fabric.users,
+            v.fabric.events,
+            v.fabric.frames_sent,
+            v.fabric.frames_delivered,
+            v.fabric.frames_undeliverable,
+            v.fabric.faults_applied,
+            v.fabric.sim_ns,
+        )
+        .expect("writing to a String cannot fail");
+    }
+
+    let fault_attack = verdicts.iter().filter(|v| v.fault_attack).count();
+    assert!(
+        verdicts.len() >= 5 && fault_attack >= 3,
+        "campaign roster shrank: {} campaigns, {fault_attack} fault+attack",
+        verdicts.len()
+    );
+    for v in &verdicts {
+        for c in v.checks.iter().filter(|c| !c.passed) {
+            eprintln!("FAILED {}/{}: {}", v.name, c.name, c.detail);
+        }
+        assert!(v.passed(), "campaign {} failed its invariants", v.name);
+    }
+    println!(
+        "  {} campaigns ({fault_attack} fault+attack) at {} users: all invariants hold ✓",
+        verdicts.len(),
+        cfg.users
+    );
+    if let Some(base_json) = baseline {
+        for v in &verdicts {
+            if baseline_campaign_passed(&base_json, v.name) == Some(true) {
+                assert!(
+                    v.passed(),
+                    "campaign {} regressed: baseline passed, this run failed",
+                    v.name
+                );
+                println!("  {}: baseline passed, still passes ✓", v.name);
+            }
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"scenario_campaigns\",\n  \"short_mode\": {short},\n  \
+         \"users_per_campaign\": {},\n  \"campaigns\": [\n{entries}\n  ]\n}}",
+        cfg.users
+    );
+    println!("{json}");
+    if let Ok(path) = std::env::var("P4AUTH_SCENARIOS_OUT") {
+        std::fs::write(&path, format!("{json}\n")).expect("write P4AUTH_SCENARIOS_OUT");
+        println!("wrote {path}");
+    }
+}
+
 /// §XI digest-width ablation.
 pub fn ablation_digest() {
     banner(

@@ -784,6 +784,25 @@ impl Controller {
         vec![self.seal_local(switch, msg)]
     }
 
+    /// Whether a redirected port-key exchange for exactly this link is
+    /// still pending (started but not yet completed by its answer leg).
+    /// Link-recovery handlers use this to avoid starting a second,
+    /// overlapping exchange generation for a flapping link.
+    pub fn has_pending_port_exchange(
+        &self,
+        sw1: SwitchId,
+        port1: PortId,
+        sw2: SwitchId,
+        port2: PortId,
+    ) -> bool {
+        self.redirects.iter().any(|r| {
+            r.initiator == sw1
+                && r.initiator_port == port1
+                && r.responder == sw2
+                && r.responder_port == port2
+        })
+    }
+
     /// Starts port-key initialization between `(sw1, port1)` and
     /// `(sw2, port2)` (Fig. 14 c): `portKeyInit` to the initiator switch;
     /// subsequent ADHKD legs are redirected through
@@ -1391,10 +1410,14 @@ impl Controller {
                 // re-sealing with that plane's K_local and rewriting the
                 // port field to the *receiver's* local port. The controller
                 // never learns the port key: `public_key`/`salt` are public
-                // values.
+                // values. Both legs carry the sender's local exchange port
+                // in the header, and matching must use it: a correlated
+                // link recovery starts several exchanges that share a
+                // switch, and switch-only matching would cross their legs.
+                let leg_port = msg.header().port;
                 let redirect = self.redirects.iter().find(|r| match role {
-                    AdhkdRole::Offer => r.initiator == from,
-                    AdhkdRole::Answer => r.responder == from,
+                    AdhkdRole::Offer => r.initiator == from && r.initiator_port == leg_port,
+                    AdhkdRole::Answer => r.responder == from && r.responder_port == leg_port,
                 });
                 let Some(&r) = redirect else {
                     return;
@@ -1437,9 +1460,15 @@ impl Controller {
                     );
                 }
                 if role == AdhkdRole::Answer {
-                    // Exchange complete; drop the redirect record.
-                    self.redirects
-                        .retain(|x| !(x.initiator == r.initiator && x.responder == r.responder));
+                    // Exchange complete; drop the redirect record (this
+                    // link's only — concurrent exchanges between the same
+                    // switch pair on other ports stay pending).
+                    self.redirects.retain(|x| {
+                        !(x.initiator == r.initiator
+                            && x.initiator_port == r.initiator_port
+                            && x.responder == r.responder
+                            && x.responder_port == r.responder_port)
+                    });
                 }
             }
             _ => {}

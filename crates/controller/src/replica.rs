@@ -46,7 +46,7 @@ use p4auth_telemetry::{GaugeSample, Registry};
 use p4auth_wire::body::{AdhkdRole, Body, KexContext, KeyExchange};
 use p4auth_wire::ids::{PortId, RegId, SwitchId};
 use p4auth_wire::Message;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// SplitMix64 finalizer — the partition hash. Deterministic across
@@ -104,6 +104,11 @@ pub struct ReplicaSet {
     replicas: Vec<ControllerReplica>,
     redirects: BTreeMap<SwitchId, RedirectLease>,
     defence: Option<(DefenceConfig, u64)>,
+    /// Channel labels seen in the previous `observe_rates` sample. A
+    /// label present here but absent from the current sample has gone
+    /// quiet (or rotated out of the snapshot ring) and decays to zero
+    /// rather than holding its last value forever.
+    rate_labels: BTreeSet<String>,
 }
 
 impl ReplicaSet {
@@ -148,6 +153,7 @@ impl ReplicaSet {
             replicas,
             redirects: BTreeMap::new(),
             defence: None,
+            rate_labels: BTreeSet::new(),
         }
     }
 
@@ -219,7 +225,14 @@ impl ReplicaSet {
     /// Publishes the snapshot ring's derived `*_per_sec` gauges into the
     /// `rates` table for the defence daemons. Call with
     /// `SnapshotRing::rate_gauges()` output after each ring sample.
+    ///
+    /// A series that disappears between samples — its channel went
+    /// quiet, or the ring rotated it out — decays to zero instead of
+    /// leaving its last rate in the table: the daemons read the table as
+    /// "current rate", and a stale spike would hold a mitigation ladder
+    /// armed long after the traffic stopped.
     pub fn observe_rates(&mut self, now_ns: u64, gauges: &[GaugeSample]) {
+        let mut seen = BTreeSet::new();
         for g in gauges {
             if g.name == "ctrl_channel_rejects_per_sec" {
                 self.db.set(
@@ -228,8 +241,15 @@ impl ReplicaSet {
                     &g.label,
                     Value::U64(g.value.max(0) as u64),
                 );
+                seen.insert(g.label.clone());
             }
         }
+        for label in &self.rate_labels {
+            if !seen.contains(label) {
+                self.db.set(now_ns, tables::RATES, label, Value::U64(0));
+            }
+        }
+        self.rate_labels = seen;
     }
 
     /// Routes one frame from `switch` to the responsible replica and
@@ -536,6 +556,40 @@ mod tests {
         set.step(0);
         assert_eq!(set.start_bulk_rollover(10), None);
         assert_eq!(set.rollover_epoch(), 1);
+    }
+
+    #[test]
+    fn vanished_rate_series_decays_to_zero() {
+        let mut set = ReplicaSet::new(1, ControllerConfig::default(), &seeds(2));
+        let gauge = |label: &str, value: i64| GaugeSample {
+            name: "ctrl_channel_rejects_per_sec".to_string(),
+            label: label.to_string(),
+            value,
+        };
+        set.observe_rates(1_000, &[gauge("ch1", 40), gauge("ch2", 7)]);
+        assert_eq!(
+            set.db().get(tables::RATES, "ch1").map(|e| &e.value),
+            Some(&Value::U64(40))
+        );
+
+        // ch1 goes quiet: the next sample no longer carries it. Its rate
+        // must read as zero, not hold the old 40 rejects/sec forever.
+        set.observe_rates(2_000, &[gauge("ch2", 9)]);
+        assert_eq!(
+            set.db().get(tables::RATES, "ch1").map(|e| &e.value),
+            Some(&Value::U64(0)),
+            "vanished series must decay to zero"
+        );
+        assert_eq!(
+            set.db().get(tables::RATES, "ch2").map(|e| &e.value),
+            Some(&Value::U64(9))
+        );
+
+        // Once decayed it stays quiet: no re-zeroing writes on later
+        // samples that still lack the label.
+        let version = set.db().get(tables::RATES, "ch1").unwrap().version;
+        set.observe_rates(3_000, &[gauge("ch2", 3)]);
+        assert_eq!(set.db().get(tables::RATES, "ch1").unwrap().version, version);
     }
 
     #[test]

@@ -238,21 +238,47 @@ impl FatTree {
     /// not a host). `flow` seeds the deterministic ECMP choice on the
     /// upward legs — equal `flow` values always take the same path.
     pub fn next_hop(&self, at: SwitchId, dst_host: SwitchId, flow: u64) -> Option<PortId> {
+        self.next_hop_avoiding(at, dst_host, flow, |_| false)
+    }
+
+    /// [`FatTree::next_hop`] with failure awareness: `is_down` reports
+    /// ports whose link the caller believes is dead. On the upward ECMP
+    /// legs (edge and aggregation towards a remote pod) the flow's
+    /// primary choice rotates through the other uplinks until a live one
+    /// is found — re-routing around link and switch failures while
+    /// staying deterministic (the detour depends only on `flow` and the
+    /// down set). Single-path legs (downward, host access) have no
+    /// alternative; those and a fully-dead uplink fan return the primary
+    /// port, leaving the frame to die at the link as a counted loss.
+    pub fn next_hop_avoiding(
+        &self,
+        at: SwitchId,
+        dst_host: SwitchId,
+        flow: u64,
+        is_down: impl Fn(PortId) -> bool,
+    ) -> Option<PortId> {
         let half = self.half();
         let d = self.host_index(dst_host)?;
         let pod_d = d / self.hosts_per_pod();
         let in_pod = d % self.hosts_per_pod();
         let edge_d = in_pod / half;
         let host_d = in_pod % half;
-        let port = match self.classify(at)? {
-            Role::Host(_) => 1,
-            Role::Edge(pod, e) if pod == pod_d && e == edge_d => host_d + 1,
-            Role::Edge(..) => half + 1 + (flow % half as u64) as u16,
-            Role::Agg(pod, _) if pod == pod_d => edge_d + 1,
-            Role::Agg(..) => half + 1 + (flow % half as u64) as u16,
-            Role::Core(_) => pod_d + 1,
+        let upward = |flow: u64| {
+            let primary = (flow % half as u64) as u16;
+            (0..half)
+                .map(|i| PortId::new((half + 1 + (primary + i) % half) as u8))
+                .find(|&p| !is_down(p))
+                .unwrap_or(PortId::new((half + 1 + primary) as u8))
         };
-        Some(PortId::new(port as u8))
+        let port = match self.classify(at)? {
+            Role::Host(_) => PortId::new(1),
+            Role::Edge(pod, e) if pod == pod_d && e == edge_d => PortId::new((host_d + 1) as u8),
+            Role::Edge(..) => upward(flow),
+            Role::Agg(pod, _) if pod == pod_d => PortId::new((edge_d + 1) as u8),
+            Role::Agg(..) => upward(flow),
+            Role::Core(_) => PortId::new((pod_d + 1) as u8),
+        };
+        Some(port)
     }
 }
 
@@ -345,6 +371,29 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn ecmp_reroutes_around_down_uplinks() {
+        let ft = FatTree::new(4);
+        let edge = ft.edge(0, 0);
+        let far = ft.host(15);
+        // Flow 0's primary uplink is port 3 (half+1); declare it dead and
+        // the rotation must pick the other uplink, port 4.
+        let primary = ft.next_hop(edge, far, 0).unwrap();
+        assert_eq!(primary, PortId::new(3));
+        let detour = ft
+            .next_hop_avoiding(edge, far, 0, |p| p == PortId::new(3))
+            .unwrap();
+        assert_eq!(detour, PortId::new(4));
+        // Every uplink dead: fall back to the primary (a counted loss at
+        // the link, not a panic or a loop downward).
+        let stuck = ft.next_hop_avoiding(edge, far, 0, |_| true).unwrap();
+        assert_eq!(stuck, primary);
+        // Downward legs are single-path: the dead set cannot change them.
+        let agg = ft.agg(3, 1);
+        let down = ft.next_hop(agg, far, 0).unwrap();
+        assert_eq!(ft.next_hop_avoiding(agg, far, 0, |_| true).unwrap(), down);
     }
 
     #[test]

@@ -33,6 +33,10 @@
 //!   conservative lookahead derived from link latency floors. The merge
 //!   order reproduces the sequential tiebreak, so sharded runs are
 //!   bit-identical to single-threaded ones.
+//! * **Fault injection** ([`fault`]): deterministic churn schedules — link
+//!   flaps, correlated groups, switch/pod failure and recovery, boot-storm
+//!   stagger — installed as first-class sim events so fault-injected runs
+//!   drain identically on every engine.
 //!
 //! ```
 //! use p4auth_netsim::frame::FrameBytes;
@@ -69,6 +73,7 @@
 #![warn(missing_docs)]
 
 pub mod fattree;
+pub mod fault;
 pub mod frame;
 pub mod sched;
 pub mod shard;
@@ -78,6 +83,7 @@ pub mod timeline;
 pub mod topology;
 
 pub use fattree::FatTree;
+pub use fault::{BootStorm, FaultPlan};
 pub use frame::FrameBytes;
 pub use sched::SchedulerKind;
 pub use shard::{ShardPlan, ShardRunReport, ShardedSimulator};

@@ -404,6 +404,9 @@ pub struct ShardedSimulator {
     /// Deterministic per-(shard, window) sleep schedule in ns; empty
     /// disables staggering.
     stagger_ns: Vec<u64>,
+    /// Fault schedule every worker installs (see
+    /// [`ShardedSimulator::set_fault_plan`]).
+    fault_plan: Option<crate::fault::FaultPlan>,
 }
 
 impl ShardedSimulator {
@@ -428,6 +431,7 @@ impl ShardedSimulator {
             export_interval_ns: None,
             chain_depth: DEFAULT_CHAIN_DEPTH,
             stagger_ns: stagger_from_env(),
+            fault_plan: None,
         }
     }
 
@@ -486,6 +490,16 @@ impl ShardedSimulator {
     pub fn set_export_interval(&mut self, interval_ns: u64) {
         assert!(interval_ns > 0, "export interval must be positive");
         self.export_interval_ns = Some(interval_ns);
+    }
+
+    /// Installs a [`crate::fault::FaultPlan`] (the sharded equivalent of
+    /// [`Simulator::install_fault_plan`]). Every worker installs the full
+    /// plan — each shard must flip its own topology copy and notify its
+    /// own nodes at exactly the scheduled instants — but only the shard
+    /// owning a link's `a` endpoint tallies the event, so reported event
+    /// counts and `faults_applied` match a sequential run exactly.
+    pub fn set_fault_plan(&mut self, plan: crate::fault::FaultPlan) {
+        self.fault_plan = Some(plan);
     }
 
     /// Sets how many safe windows each coordinator rendezvous grants
@@ -591,6 +605,7 @@ impl ShardedSimulator {
                 event_capacity: self.telemetry.as_ref().map(|r| r.event_capacity()),
                 export_interval_ns: self.export_interval_ns,
                 stagger_ns: stagger.clone(),
+                fault_plan: self.fault_plan.clone(),
                 out_links: (0..n)
                     .filter_map(|i| mailboxes[s][i].clone().map(|mb| (i, mb)))
                     .collect(),
@@ -736,6 +751,7 @@ impl ShardedSimulator {
             stats.frames_tapped_modified += shard_stats.frames_tapped_modified;
             stats.frames_undeliverable += shard_stats.frames_undeliverable;
             stats.timers_fired += shard_stats.timers_fired;
+            stats.faults_applied += shard_stats.faults_applied;
             now = now.max(shard_now);
             snapshots.push(shard_snap);
             captures.push(shard_caps);
@@ -861,6 +877,9 @@ struct WorkerSetup {
     event_capacity: Option<usize>,
     export_interval_ns: Option<u64>,
     stagger_ns: Arc<Vec<u64>>,
+    /// Fault schedule to install after shard routing (owner tallying
+    /// depends on the route being set first).
+    fault_plan: Option<crate::fault::FaultPlan>,
     /// Mailboxes this worker publishes to, by ascending peer index.
     out_links: Vec<(usize, Arc<Mailbox>)>,
     /// Mailboxes this worker drains, by ascending peer index.
@@ -902,6 +921,7 @@ fn worker(setup: WorkerSetup) -> WorkerOutcome {
         event_capacity,
         export_interval_ns,
         stagger_ns,
+        fault_plan,
         out_links,
         in_links,
         cmd_rx,
@@ -925,6 +945,9 @@ fn worker(setup: WorkerSetup) -> WorkerOutcome {
     }
     for (node, timer_id, delay_ns) in timers {
         sim.schedule_timer(node, timer_id, delay_ns);
+    }
+    if let Some(plan) = &fault_plan {
+        sim.install_fault_plan(plan);
     }
     if let Some(interval) = export_interval_ns {
         // After boot timers: setup-time pushes belong to the baseline,
@@ -1014,7 +1037,7 @@ mod tests {
     use super::*;
     use crate::frame::FrameBytes;
     use crate::sim::Outbox;
-    use crate::topology::Endpoint;
+    use crate::topology::{Endpoint, LinkId};
     use p4auth_wire::ids::PortId;
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -1383,5 +1406,71 @@ mod tests {
         assert_eq!(report.windows, 1);
         assert_eq!(audits[0].windows.len(), 1);
         assert_eq!(audits[0].windows[0].bound_ns, vec![u64::MAX]);
+    }
+
+    #[test]
+    fn sharded_fault_plan_matches_sequential() {
+        // A link flap mid-conversation: the t=1500 send dies during the
+        // outage, the t=3500 send flows after recovery. Both engines must
+        // agree on every count, and the fault must be tallied exactly
+        // once (by the owner shard) even though both workers pop it.
+        let mut plan = crate::fault::FaultPlan::new();
+        plan.flap(LinkId(0), 1_100, 3_000);
+
+        let seq_arrivals = [Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0))];
+        let mut seq = Simulator::with_scheduler(two_node_topology(), SchedulerKind::Calendar);
+        seq.register_node(
+            SwitchId::new(1),
+            Box::new(Echo {
+                arrivals: seq_arrivals[0].clone(),
+                reply: false,
+            }),
+        );
+        seq.register_node(
+            SwitchId::new(2),
+            Box::new(Echo {
+                arrivals: seq_arrivals[1].clone(),
+                reply: true,
+            }),
+        );
+        for delay in [50, 1_500, 3_500] {
+            seq.schedule_timer(SwitchId::new(1), 7, delay);
+        }
+        seq.install_fault_plan(&plan);
+        let seq_events = seq.run_to_completion();
+
+        let t = two_node_topology();
+        let shard_plan = ShardPlan::round_robin(&t, 2);
+        let arrivals = [Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0))];
+        let mut sharded = ShardedSimulator::new(t, shard_plan);
+        sharded.set_stagger(Vec::new());
+        sharded.register_node(
+            SwitchId::new(1),
+            Box::new(Echo {
+                arrivals: arrivals[0].clone(),
+                reply: false,
+            }),
+        );
+        sharded.register_node(
+            SwitchId::new(2),
+            Box::new(Echo {
+                arrivals: arrivals[1].clone(),
+                reply: true,
+            }),
+        );
+        for delay in [50, 1_500, 3_500] {
+            sharded.schedule_timer(SwitchId::new(1), 7, delay);
+        }
+        sharded.set_fault_plan(plan);
+        let report = sharded.run();
+
+        assert_eq!(report.events, seq_events);
+        assert_eq!(report.stats, seq.stats());
+        assert_eq!(report.now, seq.now());
+        assert_eq!(report.stats.faults_applied, 2, "down + up, counted once");
+        assert_eq!(report.stats.frames_undeliverable, 1, "the mid-outage send");
+        for (a, b) in arrivals.iter().zip(&seq_arrivals) {
+            assert_eq!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
+        }
     }
 }

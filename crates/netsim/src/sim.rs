@@ -184,8 +184,26 @@ pub trait SimNode {
 
 #[derive(Debug)]
 enum EventKind {
-    FrameArrival { dst: Endpoint, payload: FrameBytes },
-    Timer { node: SwitchId, timer_id: u64 },
+    FrameArrival {
+        dst: Endpoint,
+        payload: FrameBytes,
+    },
+    Timer {
+        node: SwitchId,
+        timer_id: u64,
+    },
+    /// A scheduled link-state change from a [`crate::fault::FaultPlan`].
+    /// In a sharded run every worker holds its own copy of each fault
+    /// (the topology is replicated, so every shard must flip its own
+    /// view); `count_here` marks the one shard — the owner of the link's
+    /// `a` endpoint — whose pop counts toward the event tally and the
+    /// `faults_applied` statistics, so sharded totals still sum to the
+    /// sequential run's.
+    Fault {
+        link: LinkId,
+        up: bool,
+        count_here: bool,
+    },
 }
 
 /// Bits of the tiebreak key reserved for the per-source event count; the
@@ -194,6 +212,12 @@ enum EventKind {
 /// would have assigned, which is what lets [`crate::shard`] reproduce the
 /// sequential drain order without a global counter.
 const SRC_SEQ_BITS: u32 = 48;
+
+/// The pseudo-source id fault events carry in their tiebreak keys: above
+/// every real node id, so a fault scheduled at the same instant as node
+/// events sorts after them — identically on every engine, because the
+/// fault sequence counter advances in plan order on each of them.
+const FAULT_SRC_ID: u64 = u16::MAX as u64;
 
 /// A frame arrival destined for a node owned by another shard, diverted
 /// out of the local queue at schedule time and carried to the owning
@@ -219,6 +243,9 @@ pub struct SimStats {
     pub frames_undeliverable: u64,
     /// Timer callbacks fired.
     pub timers_fired: u64,
+    /// Scheduled fault events applied (each counted once globally, on the
+    /// owning shard in a sharded run).
+    pub faults_applied: u64,
 }
 
 /// Pre-registered telemetry handles, built once when a registry is
@@ -237,6 +264,9 @@ struct SimTelemetry {
     /// Lazily created per-(link, direction) frame counters, dense by
     /// `link * 2 + direction`.
     link_frames: Vec<Option<Arc<Counter>>>,
+    /// Lazily created on the first applied fault, so fault-free runs keep
+    /// their snapshots byte-identical to before fault injection existed.
+    faults_applied: Option<Arc<Counter>>,
 }
 
 /// Shard-routing state for a worker's simulator: frame arrivals whose
@@ -264,8 +294,14 @@ impl SimTelemetry {
             timers_fired: registry.counter("sim_timers_fired"),
             event_lead_ns: registry.histogram("sim_event_lead_ns"),
             link_frames: vec![None; link_count * 2],
+            faults_applied: None,
             registry,
         }
+    }
+
+    fn faults_applied(&mut self) -> &Counter {
+        self.faults_applied
+            .get_or_insert_with(|| self.registry.counter("sim_faults_applied"))
     }
 
     fn link_frames(&mut self, link: LinkId, dir: usize, from: SwitchId) -> &Counter {
@@ -302,6 +338,10 @@ pub struct Simulator {
     /// Per-source event counts, dense by raw switch id: the low
     /// [`SRC_SEQ_BITS`] of each event's tiebreak key.
     src_seq: Vec<u64>,
+    /// Event count for the fault pseudo-source ([`FAULT_SRC_ID`]):
+    /// advances in plan-installation order, so every engine assigns each
+    /// fault the identical tiebreak key.
+    fault_seq: u64,
     /// When sharded: the owner assignment and per-peer outbound buffers.
     /// `None` means this simulator owns everything (the sequential case).
     route: Option<ShardRoute>,
@@ -367,6 +407,7 @@ impl Simulator {
             scheduler_kind: kind,
             now: SimTime::ZERO,
             src_seq: vec![0; max_id + 1],
+            fault_seq: 0,
             route: None,
             taps: (0..link_slots).map(|_| None).collect(),
             tap_count: 0,
@@ -597,7 +638,21 @@ impl Simulator {
     }
 
     /// Changes a link's state and notifies every registered node.
+    ///
+    /// This is the *immediate* operator action ("pull the cable now");
+    /// for deterministic mid-run churn use a [`crate::fault::FaultPlan`]
+    /// via [`Simulator::install_fault_plan`], which schedules the change
+    /// as a first-class sim event instead of tying it to wherever the
+    /// driving loop happens to pause.
     pub fn set_link_state(&mut self, link: LinkId, up: bool) {
+        self.apply_link_state(link, up);
+    }
+
+    /// Shared body of [`Simulator::set_link_state`] and the
+    /// [`EventKind::Fault`] arm of the event loop: flips the topology
+    /// state (no-op if already there — a deduplicated fault schedule keeps
+    /// this unreachable for faults) and notifies every registered node.
+    fn apply_link_state(&mut self, link: LinkId, up: bool) {
         let was_up = self.topology.set_link_state(link, up);
         if was_up == up {
             return;
@@ -626,6 +681,55 @@ impl Simulator {
             self.put_node(id, node);
             self.flush_and_return(id, out);
         }
+    }
+
+    /// Installs a [`crate::fault::FaultPlan`]: every scheduled link-state
+    /// change becomes a first-class sim event, applied between the other
+    /// events of its instant in a fixed drain position — so fault-injected
+    /// runs stay bit-identical across schedulers and shard counts. In a
+    /// sharded run every worker installs the full plan (each must flip its
+    /// own topology copy and notify its own nodes); call this *after*
+    /// shard routing is set so the owner accounting is correct — the shard
+    /// runtime does ([`crate::shard::ShardedSimulator::set_fault_plan`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown link or a change scheduled before `now`.
+    pub fn install_fault_plan(&mut self, plan: &crate::fault::FaultPlan) {
+        for ev in plan.events() {
+            self.push_fault(SimTime::from_ns(ev.at_ns), ev.link, ev.up);
+        }
+    }
+
+    /// Schedules one link-state change. Fault keys use the pseudo-source
+    /// [`FAULT_SRC_ID`] with their own sequence counter, so every engine
+    /// assigns identical keys; scheduling records **no** telemetry
+    /// (every shard schedules every fault — counting here would multiply
+    /// `sim_events_scheduled` by the shard count) and the pop is counted
+    /// only where `count_here` is set: the shard owning the link's `a`
+    /// endpoint, or unconditionally in a sequential run.
+    fn push_fault(&mut self, at: SimTime, link: LinkId, up: bool) {
+        assert!(at >= self.now, "fault scheduled in the past");
+        let l = self.topology.link(link).expect("fault on unknown link");
+        let count_here = match &self.route {
+            Some(route) => route.assign[l.a.node.value() as usize] == route.self_shard,
+            None => true,
+        };
+        self.fault_seq += 1;
+        assert!(
+            self.fault_seq < (1u64 << SRC_SEQ_BITS),
+            "fault event sequence counter overflowed"
+        );
+        let seq = (FAULT_SRC_ID << SRC_SEQ_BITS) | self.fault_seq;
+        self.queue.schedule(
+            at,
+            seq,
+            EventKind::Fault {
+                link,
+                up,
+                count_here,
+            },
+        );
     }
 
     fn push(&mut self, src: SwitchId, at: SimTime, kind: EventKind) {
@@ -768,9 +872,17 @@ impl Simulator {
 
     /// Processes a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(event) = self.queue.pop() else {
-            return false;
-        };
+        self.step_tallied().is_some()
+    }
+
+    /// Processes a single event; `None` when the queue is empty, else
+    /// `Some(counted)` where `counted` says whether this event belongs in
+    /// the processed-event tally. Fault events on links owned by another
+    /// shard are popped (every shard must flip its own topology copy) but
+    /// tallied only by the owner, so sequential and sharded runs report
+    /// identical event counts.
+    fn step_tallied(&mut self) -> Option<bool> {
+        let event = self.queue.pop()?;
         debug_assert!(event.at >= self.now, "time went backwards");
         if let Some(rec) = &mut self.recorder {
             // Capture any export-grid boundaries this event is about to
@@ -816,8 +928,22 @@ impl Simulator {
                     self.flush_and_return(id, out);
                 }
             }
+            EventKind::Fault {
+                link,
+                up,
+                count_here,
+            } => {
+                if count_here {
+                    self.stats.faults_applied += 1;
+                    if let Some(t) = &mut self.telemetry {
+                        t.faults_applied().inc();
+                    }
+                }
+                self.apply_link_state(link, up);
+                return Some(count_here);
+            }
         }
-        true
+        Some(true)
     }
 
     /// Runs until the queue drains or `deadline` passes. Events scheduled
@@ -829,8 +955,10 @@ impl Simulator {
             if at > deadline {
                 break;
             }
-            self.step();
-            processed += 1;
+            let Some(counted) = self.step_tallied() else {
+                break;
+            };
+            processed += counted as u64;
         }
         if self.now < deadline {
             self.now = deadline;
@@ -841,8 +969,8 @@ impl Simulator {
     /// Runs until the event queue is empty. Returns events processed.
     pub fn run_to_completion(&mut self) -> u64 {
         let mut processed = 0;
-        while self.step() {
-            processed += 1;
+        while let Some(counted) = self.step_tallied() {
+            processed += counted as u64;
         }
         processed
     }
@@ -914,8 +1042,10 @@ impl Simulator {
             if at >= bound {
                 break;
             }
-            self.step();
-            processed += 1;
+            let Some(counted) = self.step_tallied() else {
+                break;
+            };
+            processed += counted as u64;
         }
         processed
     }
@@ -1274,5 +1404,119 @@ mod tests {
                 reply: false,
             }),
         );
+    }
+
+    #[test]
+    fn fault_plan_flap_applies_at_scheduled_instants() {
+        for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            let (mut sim, a, b) = pair_with(kind);
+            let registry = Arc::new(p4auth_telemetry::Registry::new());
+            sim.set_telemetry(registry.clone());
+            let (link, _) = sim
+                .topology()
+                .link_at(SwitchId::new(1), PortId::new(1))
+                .unwrap();
+            let mut plan = crate::fault::FaultPlan::new();
+            plan.flap(link, 2_000, 3_000);
+            sim.install_fault_plan(&plan);
+
+            // Before the fault: frame and echo both cross the link.
+            sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![1]);
+            sim.run_until(SimTime::from_ns(2_500));
+            assert_eq!(
+                (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed)),
+                (1, 1)
+            );
+            assert!(!sim.topology().link(link).unwrap().up, "link is mid-flap");
+
+            // During the outage: sends fail at ingress, counted as lost.
+            sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![2]);
+            sim.run_until(SimTime::from_ns(2_900));
+            assert_eq!(b.load(Ordering::Relaxed), 1);
+            assert_eq!(sim.stats().frames_undeliverable, 1);
+
+            // After recovery: traffic flows again.
+            sim.run_until(SimTime::from_ns(3_500));
+            assert!(sim.topology().link(link).unwrap().up);
+            sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![3]);
+            sim.run_to_completion();
+            assert_eq!(
+                (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed)),
+                (2, 2)
+            );
+            assert_eq!(sim.stats().faults_applied, 2);
+            assert_eq!(
+                registry.snapshot().counter("sim_faults_applied", ""),
+                Some(2)
+            );
+        }
+    }
+
+    #[test]
+    fn fault_sorts_after_node_events_at_the_same_instant() {
+        // The frame arrives at t=1000 and its echo is sent during the same
+        // processing instant. A fault at exactly t=1000 pops *after* the
+        // arrival (its pseudo-source id is above every real node id), so
+        // the echo still escapes; a fault one tick earlier pops first and
+        // the echo dies at the downed link. Both orders must be identical
+        // on every engine.
+        for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            for (down_at, echo_escapes) in [(1_000u64, true), (999, false)] {
+                let (mut sim, a, b) = pair_with(kind);
+                let (link, _) = sim
+                    .topology()
+                    .link_at(SwitchId::new(1), PortId::new(1))
+                    .unwrap();
+                let mut plan = crate::fault::FaultPlan::new();
+                plan.down(link, down_at);
+                sim.install_fault_plan(&plan);
+                sim.inject_frame(SwitchId::new(1), PortId::new(1), vec![7]);
+                sim.run_to_completion();
+                // The original frame was in flight before the fault either
+                // way: faults are fail-stop at the sender, not in-flight
+                // frame killers.
+                assert_eq!(b.load(Ordering::Relaxed), 1, "arrival survives");
+                assert_eq!(a.load(Ordering::Relaxed), echo_escapes as u64);
+                assert_eq!(sim.stats().frames_undeliverable, 1 - echo_escapes as u64);
+                assert_eq!(sim.stats().faults_applied, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_notifies_nodes_like_an_operator_action() {
+        struct TopoLog {
+            changes: Arc<parking_lot::Mutex<Vec<(u64, bool)>>>,
+        }
+        impl SimNode for TopoLog {
+            fn on_frame(&mut self, _: SimTime, _: PortId, _: FrameBytes, _: &mut Outbox) {}
+            fn on_topology(&mut self, now: SimTime, event: TopologyEvent, _: &mut Outbox) {
+                let up = matches!(event, TopologyEvent::LinkUp { .. });
+                self.changes.lock().push((now.as_ns(), up));
+            }
+        }
+        let mut t = Topology::new();
+        t.add_node(SwitchId::new(1)).unwrap();
+        t.add_node(SwitchId::new(2)).unwrap();
+        t.add_link(
+            Endpoint::new(SwitchId::new(1), PortId::new(1)),
+            Endpoint::new(SwitchId::new(2), PortId::new(1)),
+            1_000,
+        )
+        .unwrap();
+        let changes = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut sim = Simulator::new(t);
+        sim.register_node(
+            SwitchId::new(1),
+            Box::new(TopoLog {
+                changes: changes.clone(),
+            }),
+        );
+        let mut plan = crate::fault::FaultPlan::new();
+        plan.flap(LinkId(0), 5_000, 8_000);
+        sim.install_fault_plan(&plan);
+        sim.run_to_completion();
+        assert_eq!(*changes.lock(), vec![(5_000, false), (8_000, true)]);
+        assert_eq!(sim.now().as_ns(), 8_000);
     }
 }

@@ -22,7 +22,7 @@ use std::rc::Rc;
 
 /// Whether a link connects two switch data planes (as opposed to touching
 /// the controller or a host).
-fn is_dp_dp_link(l: &p4auth_netsim::topology::Link) -> bool {
+pub(crate) fn is_dp_dp_link(l: &p4auth_netsim::topology::Link) -> bool {
     let is_switch = |id: SwitchId| !id.is_controller() && id.value() < HOST_ID_BASE;
     is_switch(l.a.node) && is_switch(l.b.node)
 }
@@ -370,10 +370,18 @@ impl SimNode for ControllerNode {
             if !is_switch(a.node) || !is_switch(b.node) {
                 return;
             }
-            let outgoing = self
-                .controller
-                .borrow_mut()
-                .port_key_init(a.node, a.port, b.node, b.port);
+            let mut controller = self.controller.borrow_mut();
+            // A flapping link can come back up while the previous
+            // recovery's exchange is still in flight (the legs travel the
+            // control channel, which the flap does not touch). Starting a
+            // second exchange for the same link would overlap generations
+            // — the pending one completes instead, and `retry_stalled`
+            // re-drives it if it ever stalls.
+            if controller.has_pending_port_exchange(a.node, a.port, b.node, b.port) {
+                return;
+            }
+            let outgoing = controller.port_key_init(a.node, a.port, b.node, b.port);
+            drop(controller);
             Self::transmit(out, outgoing);
         }
     }

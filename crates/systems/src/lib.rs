@@ -35,6 +35,10 @@
 //!   `repro -- users` to millions of modelled users at near-constant
 //!   per-user cost while an aggregate of one user stays bit-identical to
 //!   an individual [`scaleload`] host.
+//! * [`campaigns`] — scenario campaigns composing deterministic fault
+//!   injection (link flaps, pod/switch failure, boot storms) with attack
+//!   overlays, each judged by explicit defence invariants and reported by
+//!   `repro -- scenarios` as `BENCH_scenarios.json`.
 //!
 //! Together with [`blink`], [`netcache`] and [`netwarden`], every Table I
 //! row exists here as a *working* miniature of the cited system, not just
@@ -44,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod blink;
+pub mod campaigns;
 pub mod experiments;
 pub mod flowradar;
 pub mod harness;

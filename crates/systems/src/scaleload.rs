@@ -17,7 +17,7 @@ use p4auth_netsim::fattree::FatTree;
 use p4auth_netsim::frame::FrameBytes;
 use p4auth_netsim::sched::SchedulerKind;
 use p4auth_netsim::shard::{ShardPlan, ShardedSimulator};
-use p4auth_netsim::sim::{Outbox, SimNode, Simulator};
+use p4auth_netsim::sim::{Outbox, SimNode, Simulator, TopologyEvent};
 use p4auth_netsim::time::SimTime;
 use p4auth_netsim::timeline::Timeline;
 use p4auth_primitives::rng::{RandomSource, SplitMix64};
@@ -138,6 +138,10 @@ struct Forwarder {
     ft: FatTree,
     id: SwitchId,
     proc_ns: u64,
+    /// Local ports with a dead link, tracked from topology notifications
+    /// (bit `p` = port `p`; fat-tree data ports are `1..=k`, far below
+    /// 64). ECMP uplink choices rotate around these.
+    down: u64,
 }
 
 /// Destination host id lives in payload bytes `[0..2]` (LE), the ECMP flow
@@ -150,8 +154,27 @@ impl SimNode for Forwarder {
     fn on_frame(&mut self, _now: SimTime, _ingress: PortId, payload: FrameBytes, out: &mut Outbox) {
         let dst = frame_dst(&payload);
         let flow = payload[2] as u64;
-        if let Some(port) = self.ft.next_hop(self.id, dst, flow) {
+        let down = self.down;
+        let is_down = |p: PortId| down & (1u64 << (p.value() & 63)) != 0;
+        if let Some(port) = self.ft.next_hop_avoiding(self.id, dst, flow, is_down) {
             out.send_delayed(port, payload, self.proc_ns);
+        }
+    }
+
+    fn on_topology(&mut self, _now: SimTime, event: TopologyEvent, _out: &mut Outbox) {
+        let (up, a, b) = match event {
+            TopologyEvent::LinkUp { a, b, .. } => (true, a, b),
+            TopologyEvent::LinkDown { a, b, .. } => (false, a, b),
+        };
+        for ep in [a, b] {
+            if ep.node == self.id {
+                let bit = 1u64 << (ep.port.value() & 63);
+                if up {
+                    self.down &= !bit;
+                } else {
+                    self.down |= bit;
+                }
+            }
         }
     }
 }
@@ -209,6 +232,7 @@ fn forwarder(cfg: &ScaleConfig, ft: FatTree, id: SwitchId) -> Box<Forwarder> {
         ft,
         id,
         proc_ns: cfg.proc_ns,
+        down: 0,
     })
 }
 
@@ -216,7 +240,12 @@ fn forwarder(cfg: &ScaleConfig, ft: FatTree, id: SwitchId) -> Box<Forwarder> {
 /// reuses the exact scale-workload switch so host aggregation changes
 /// nothing about the fabric).
 pub(crate) fn fabric_forwarder(ft: FatTree, id: SwitchId, proc_ns: u64) -> Box<dyn SimNode + Send> {
-    Box::new(Forwarder { ft, id, proc_ns })
+    Box::new(Forwarder {
+        ft,
+        id,
+        proc_ns,
+        down: 0,
+    })
 }
 
 fn host(cfg: &ScaleConfig, ft: FatTree, h: u16, arrivals: &Arc<AtomicU64>) -> Box<Host> {

@@ -43,9 +43,10 @@ use crate::scaleload::{
 };
 use p4auth_attacks::digest_flood;
 use p4auth_netsim::fattree::FatTree;
+use p4auth_netsim::fault::FaultPlan;
 use p4auth_netsim::frame::FrameBytes;
 use p4auth_netsim::shard::{ShardPlan, ShardedSimulator};
-use p4auth_netsim::sim::{Outbox, SimNode, Simulator};
+use p4auth_netsim::sim::{Outbox, SimNode, SimStats, Simulator};
 use p4auth_netsim::time::SimTime;
 use p4auth_primitives::rng::SplitMix64;
 use p4auth_telemetry::Registry;
@@ -113,6 +114,10 @@ pub struct UserScaleConfig {
     pub credits_per_window: u16,
     /// Optional compromised user (see [`CompromisedUser`]).
     pub compromised: Option<CompromisedUser>,
+    /// Optional deterministic fault schedule: link churn installed as
+    /// first-class sim events on every engine, plus a boot-storm stagger
+    /// applied to the aggregates' first timers.
+    pub faults: Option<FaultPlan>,
 }
 
 impl UserScaleConfig {
@@ -131,6 +136,7 @@ impl UserScaleConfig {
             mode: AggregateMode::Amortized { window_ns: 10_000 },
             credits_per_window: 64,
             compromised: None,
+            faults: None,
         }
     }
 
@@ -152,6 +158,7 @@ impl UserScaleConfig {
             mode: AggregateMode::Exact,
             credits_per_window: u16::MAX,
             compromised: None,
+            faults: None,
         }
     }
 }
@@ -394,9 +401,11 @@ impl AggregateHostNode {
                 }
                 self.credits[u] -= 1;
                 let due = self.next_due[u];
-                debug_assert!(due >= now_ns, "due times never precede their window");
+                // A boot-storm wave starts the aggregate after some users'
+                // first arrivals; that backlog drains at boot (delay 0) —
+                // the burst a real staggered boot produces.
                 let frame = self.build_frame(u);
-                batch.push((frame, due - now_ns));
+                batch.push((frame, due.saturating_sub(now_ns)));
                 self.advance(u, due);
             }
         }
@@ -455,6 +464,11 @@ pub struct UserScaleRun {
     pub sim_ns: u64,
     /// Wall-clock duration of the run in ns.
     pub wall_ns: u64,
+    /// The simulator's drop taxonomy and event tallies (deterministic;
+    /// identical across engines). `frames_sent == frames_delivered +
+    /// stats.frames_undeliverable + stats.frames_tapped_dropped` accounts
+    /// for every frame a completed run injected — no silent loss.
+    pub stats: SimStats,
 }
 
 impl UserScaleRun {
@@ -527,7 +541,12 @@ pub fn run_users_engine(
         )
     };
 
-    let (events, sim_ns, wall_ns) = match engine {
+    // Boot-storm stagger: wave offsets added to each aggregate's first
+    // timer, identically on every engine.
+    let storm = cfg.faults.as_ref().and_then(|p| p.boot_storm());
+    let boot_at = |s: u16, first: u64| first + storm.map_or(0, |st| st.offset_for(s));
+
+    let (events, sim_ns, wall_ns, stats) = match engine {
         Engine::Sequential(kind) => {
             let mut sim = Simulator::with_scheduler(ft.build(cfg.latency_ns), kind);
             if let Some(r) = &registry {
@@ -542,12 +561,20 @@ pub fn run_users_engine(
                 let first = agg.first_due_ns();
                 sim.register_node(ft.host(s), Box::new(agg));
                 if let Some(at) = first {
-                    sim.schedule_timer(ft.host(s), SEND_TIMER, at);
+                    sim.schedule_timer(ft.host(s), SEND_TIMER, boot_at(s, at));
                 }
+            }
+            if let Some(plan) = &cfg.faults {
+                sim.install_fault_plan(plan);
             }
             let start = std::time::Instant::now();
             let events = sim.run_to_completion();
-            (events, sim.now().as_ns(), start.elapsed().as_nanos() as u64)
+            (
+                events,
+                sim.now().as_ns(),
+                start.elapsed().as_nanos() as u64,
+                sim.stats(),
+            )
         }
         Engine::Sharded { shards } => {
             let topo = ft.build(cfg.latency_ns);
@@ -565,8 +592,11 @@ pub fn run_users_engine(
                 let first = agg.first_due_ns();
                 sim.register_node(ft.host(s), Box::new(agg));
                 if let Some(at) = first {
-                    sim.schedule_timer(ft.host(s), SEND_TIMER, at);
+                    sim.schedule_timer(ft.host(s), SEND_TIMER, boot_at(s, at));
                 }
+            }
+            if let Some(plan) = &cfg.faults {
+                sim.set_fault_plan(plan.clone());
             }
             let start = std::time::Instant::now();
             let report = sim.run();
@@ -574,6 +604,7 @@ pub fn run_users_engine(
                 report.events,
                 report.now.as_ns(),
                 start.elapsed().as_nanos() as u64,
+                report.stats,
             )
         }
     };
@@ -599,6 +630,7 @@ pub fn run_users_engine(
         frames_delivered: arrivals.load(Ordering::Relaxed),
         sim_ns,
         wall_ns,
+        stats,
     }
 }
 

@@ -3,7 +3,10 @@
 //! controller's `retry_stalled` re-drives anything pending.
 
 use p4auth::controller::{ControllerConfig, ControllerEvent};
+use p4auth::netsim::fattree::FatTree;
+use p4auth::netsim::fault::FaultPlan;
 use p4auth::netsim::sim::TapAction;
+use p4auth::netsim::time::SimTime;
 use p4auth::netsim::topology::Topology;
 use p4auth::systems::harness::{ControllerNode, Network};
 use p4auth::wire::ids::{PortId, RegId, SwitchId};
@@ -180,6 +183,177 @@ fn retry_is_a_noop_when_nothing_is_stalled() {
         out.is_empty(),
         "healthy controller must not spuriously retry: {out:?}"
     );
+}
+
+/// Whether both endpoints are data-plane switches (not the controller,
+/// not a modelled host).
+fn is_dp_dp(l: &p4auth::netsim::topology::Link) -> bool {
+    use p4auth::netsim::topology::HOST_ID_BASE;
+    [l.a.node, l.b.node]
+        .iter()
+        .all(|n| !n.is_controller() && n.value() < HOST_ID_BASE)
+}
+
+/// Every DP-DP link's port keys are installed on both endpoints and the
+/// two ends hold the same key bytes.
+fn assert_dp_dp_keys_agree(net: &Network) {
+    for l in net.sim.topology().links() {
+        if !is_dp_dp(l) {
+            continue;
+        }
+        let ka = net.switches[&l.a.node]
+            .borrow()
+            .keys()
+            .port(l.a.port)
+            .current()
+            .unwrap_or_else(|| panic!("no port key at {}:{}", l.a.node, l.a.port));
+        let kb = net.switches[&l.b.node]
+            .borrow()
+            .keys()
+            .port(l.b.port)
+            .current()
+            .unwrap_or_else(|| panic!("no port key at {}:{}", l.b.node, l.b.port));
+        assert_eq!(
+            ka, kb,
+            "port keys disagree across {}-{}",
+            l.a.node, l.b.node
+        );
+    }
+}
+
+#[test]
+fn link_flap_recovery_reagrees_port_keys() {
+    // A DP-DP link on a fat tree flaps; the recovery LinkUp drives a
+    // fresh port-key exchange and both ends converge on the same key.
+    let ft = FatTree::new(4);
+    let mut net = Network::build(
+        Topology::fat_tree_with_controller(4, 1_000, 200_000),
+        ControllerConfig::default(),
+        0xf1a9,
+        |_| None,
+        |_, c| c,
+    );
+    net.bootstrap_keys();
+    let _ = net.take_events();
+
+    let now = net.sim.now().as_ns();
+    let (uplink, _) = net
+        .sim
+        .topology()
+        .link_at(ft.edge(0, 0), PortId::new(3))
+        .unwrap();
+    let mut plan = FaultPlan::new();
+    plan.flap(uplink, now + 10_000, now + 2_000_000);
+    net.sim.install_fault_plan(&plan);
+    net.sim.run_to_completion();
+
+    assert_eq!(net.sim.stats().faults_applied, 2);
+    assert_dp_dp_keys_agree(&net);
+    let events = net.take_events();
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::Rejected { .. })),
+        "recovery re-keying must verify cleanly: {events:?}"
+    );
+}
+
+#[test]
+fn pod_failure_recovery_converges_all_port_keys() {
+    // Pod 1's DP-DP links fail as a correlated group and recover (the
+    // C-DP control channel models an out-of-band management network —
+    // DESIGN §4g). Post-recovery, every link in the fabric must hold
+    // agreed port keys again.
+    let ft = FatTree::new(4);
+    let mut net = Network::build(
+        Topology::fat_tree_with_controller(4, 1_000, 200_000),
+        ControllerConfig::default(),
+        0x90d1,
+        |_| None,
+        |_, c| c,
+    );
+    net.bootstrap_keys();
+    let _ = net.take_events();
+
+    let now = net.sim.now().as_ns();
+    let pod_links: Vec<_> = net
+        .sim
+        .topology()
+        .links()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            is_dp_dp(l)
+                && (0..2).any(|i| {
+                    [ft.agg(1, i), ft.edge(1, i)].contains(&l.a.node)
+                        || [ft.agg(1, i), ft.edge(1, i)].contains(&l.b.node)
+                })
+        })
+        .map(|(i, _)| p4auth::netsim::topology::LinkId(i as u32))
+        .collect();
+    assert!(!pod_links.is_empty());
+    let mut plan = FaultPlan::new();
+    plan.correlated_flap(&pod_links, now + 10_000, now + 1_000_000);
+    net.sim.install_fault_plan(&plan);
+    net.sim.run_to_completion();
+
+    assert_eq!(net.sim.stats().faults_applied, 2 * pod_links.len() as u64);
+    assert_dp_dp_keys_agree(&net);
+}
+
+#[test]
+fn flap_during_rollover_neither_skips_nor_double_rolls() {
+    // Regression: a DP-DP link flap spanning a periodic-rollover epoch
+    // must not make the epoch skip (flap swallowing the rollover) or run
+    // twice (recovery re-triggering it). Oracle: every switch's local key
+    // version advances by exactly one across the epoch.
+    const PERIOD_NS: u64 = 10_000_000;
+    let mut net = network();
+    net.bootstrap_keys();
+    let _ = net.take_events();
+    net.enable_periodic_rollover(PERIOD_NS);
+
+    let baseline: Vec<(SwitchId, u8)> = [S1, S2]
+        .iter()
+        .map(|&sw| {
+            (
+                sw,
+                net.switches[&sw].borrow().keys().local().version().value(),
+            )
+        })
+        .collect();
+
+    // Flap the S1-S2 data link across the first rollover instant.
+    let now = net.sim.now().as_ns();
+    let (dp_link, _) = net.sim.topology().link_at(S1, PortId::new(2)).unwrap();
+    let mut plan = FaultPlan::new();
+    plan.flap(
+        dp_link,
+        now + PERIOD_NS - 2_000_000,
+        now + PERIOD_NS + 2_000_000,
+    );
+    net.sim.install_fault_plan(&plan);
+
+    net.sim
+        .run_until(SimTime::from_ns(now + PERIOD_NS + PERIOD_NS / 2));
+    net.disable_periodic_rollover();
+    net.sim.run_to_completion();
+
+    for (sw, v0) in baseline {
+        let v = net.switches[&sw].borrow().keys().local().version().value();
+        assert_eq!(
+            v,
+            v0.wrapping_add(1),
+            "{sw}: local key version must advance exactly once across the epoch"
+        );
+    }
+    assert_dp_dp_keys_agree(&net);
+    let events = net.take_events();
+    let rolled = events
+        .iter()
+        .filter(|e| matches!(e, ControllerEvent::LocalKeyRolled(_)))
+        .count();
+    assert_eq!(rolled, 2, "one rollover per switch, exactly");
 }
 
 #[test]
