@@ -21,8 +21,8 @@
 //! machine-readable output to `<path>` (plus `<path>.bin` for the binary
 //! form, where one exists), `--baseline` points a report at its
 //! checked-in JSON for the CI non-regression gates. `decode <file>`
-//! re-emits a binary artifact (`P4TS` snapshot/delta or `P4TL` timeline)
-//! as canonical JSON.
+//! re-emits a binary artifact (`P4TS` snapshot/delta, `P4TL` timeline or
+//! `P4TR` trace) as canonical JSON.
 
 use p4auth_bench::alloc::CountingAlloc;
 use p4auth_bench::report;
@@ -51,6 +51,7 @@ impl ReportSink {
     const OUT_VARS: &'static [(&'static str, &'static str)] = &[
         ("metrics", "P4AUTH_METRICS_OUT"),
         ("timeline", "P4AUTH_TIMELINE_OUT"),
+        ("trace", "P4AUTH_TRACE_OUT"),
         ("replicas", "P4AUTH_REPLICAS_OUT"),
         ("users", "P4AUTH_USERS_OUT"),
         ("scenarios", "P4AUTH_SCENARIOS_OUT"),
@@ -167,7 +168,7 @@ fn main() {
         sink.filter.is_empty() || sink.filter.iter().any(|f| name.contains(f.as_str()))
     };
 
-    let experiments: [(&str, fn()); 16] = [
+    let experiments: [(&str, fn()); 17] = [
         ("table1", report::table1),
         ("fig16", report::fig16),
         ("fig17", report::fig17),
@@ -182,6 +183,7 @@ fn main() {
         ("scale", report::scale),
         ("users", report::users),
         ("timeline", report::timeline),
+        ("trace", report::trace),
         ("replicas", report::replicas),
         ("scenarios", report::scenarios),
     ];
@@ -197,7 +199,7 @@ fn main() {
         ran += 1;
     }
     if ran == 0 {
-        eprintln!("no experiment matches {filter:?}; available: table1 fig16 fig17 fig18 fig19 fig20 fig21 table2 table3 fct metrics scale users timeline replicas scenarios ablation decode", filter = sink.filter);
+        eprintln!("no experiment matches {filter:?}; available: table1 fig16 fig17 fig18 fig19 fig20 fig21 table2 table3 fct metrics scale users timeline trace replicas scenarios ablation decode", filter = sink.filter);
         std::process::exit(1);
     }
 }

@@ -607,19 +607,204 @@ pub fn timeline() {
     }
 }
 
+/// Causal flight recorder (`repro -- trace`): end-to-end trace spans on
+/// the simulation clock, exported deterministically.
+///
+/// Two workloads run under tracing. The *fabric* workload (fig19-mix
+/// user fabric with a link-flap plan) runs on five engines — heap,
+/// calendar, sharded at 1, 2 and 4 shards — and the report asserts their
+/// `P4TR` encodings are byte-identical with zero spans dropped, the
+/// engine-invariance claim for the span layer. The *defence probe* (the
+/// flood campaign on heap and calendar) yields the end-to-end trace —
+/// frame hops, digest verdicts, statedb writes, daemon wakes, KMP
+/// rounds — from which the mitigation critical path is printed: the
+/// stage children of the `mitigation` root span must number at least
+/// four and their widths must sum exactly to the root's width, which in
+/// turn must equal the `defence_mitigation_latency_ns` histogram total.
+///
+/// `P4AUTH_SCALE_SHORT=1` (`--short`) caps the fabric size for CI.
+/// `P4AUTH_TRACE_OUT=<path>` (`--out`) writes the probe trace as Chrome
+/// `chrome://tracing` JSON to `<path>` and as `P4TR` binary to
+/// `<path>.bin` (`repro -- decode` inverts the latter back to the same
+/// JSON). `P4AUTH_SHARD_STAGGER=<ns>` (read by the sharded engine)
+/// injects deterministic per-worker wall-clock delays; CI's two-run gate
+/// uses different values to prove worker scheduling cannot leak into
+/// the artifacts.
+pub fn trace() {
+    use p4auth_netsim::fault::FaultPlan;
+    use p4auth_netsim::sched::SchedulerKind;
+    use p4auth_netsim::topology::LinkId;
+    use p4auth_systems::campaigns::traced_defence_probe;
+    use p4auth_systems::scaleload::Engine;
+    use p4auth_systems::userscale::{run_users_engine, UserScaleConfig};
+    use p4auth_telemetry::trace::{
+        chrome_trace_json, encode_trace, validate_well_formed, SpanKind,
+    };
+    use p4auth_telemetry::Registry;
+    use std::sync::Arc;
+
+    banner(
+        "trace — causal flight recorder, engine-invariant by construction",
+        "ROADMAP \"causal flight recorder\"; DESIGN §4h",
+    );
+
+    let short = std::env::var("P4AUTH_SCALE_SHORT").is_ok_and(|v| v != "0");
+    let users = if short { 400 } else { 2_000 };
+    // Comfortably above what these workloads emit: the invariance and
+    // critical-path claims are only meaningful at zero drops.
+    const TRACE_CAP: usize = 1 << 16;
+
+    // Fabric workload: same config and fault plan on every engine.
+    let mut cfg = UserScaleConfig::for_k(4, users, 1);
+    let mut plan = FaultPlan::new();
+    plan.flap(LinkId(3), 40_000, 400_000);
+    plan.flap(LinkId(11), 120_000, 500_000);
+    cfg.faults = Some(plan);
+    let fabric = |engine: Engine| {
+        let registry = Arc::new(Registry::with_capacities(0, TRACE_CAP));
+        let run = run_users_engine(&cfg, engine, Some(registry.clone()));
+        assert!(run.frames_sent > 0, "the fabric must move frames");
+        assert_eq!(
+            registry.trace().dropped(),
+            0,
+            "{}: fabric trace dropped spans",
+            engine.label()
+        );
+        registry.trace().sorted_records()
+    };
+    let reference = fabric(Engine::Sequential(SchedulerKind::Calendar));
+    validate_well_formed(&reference).expect("fabric trace well-formed");
+    let want = encode_trace(&reference, 0);
+    for engine in [
+        Engine::Sequential(SchedulerKind::Heap),
+        Engine::Sharded { shards: 1 },
+        Engine::Sharded { shards: 2 },
+        Engine::Sharded { shards: 4 },
+    ] {
+        let label = engine.label();
+        assert_eq!(
+            encode_trace(&fabric(engine), 0),
+            want,
+            "{label} fabric trace diverged from calendar"
+        );
+    }
+    println!(
+        "fabric ({users} users, 2 flaps): {} spans, byte-identical across \
+         heap/calendar/sharded(1/2/4) ✓",
+        reference.len()
+    );
+
+    // Defence probe: the end-to-end trace and the critical-path table.
+    let probe = traced_defence_probe(SchedulerKind::Heap, TRACE_CAP);
+    let cal = traced_defence_probe(SchedulerKind::Calendar, TRACE_CAP);
+    assert_eq!(probe.trace().dropped(), 0, "probe trace dropped spans");
+    let records = probe.trace().sorted_records();
+    validate_well_formed(&records).expect("probe trace well-formed");
+    assert_eq!(
+        encode_trace(&records, 0),
+        encode_trace(&cal.trace().sorted_records(), 0),
+        "defence probe trace diverged between heap and calendar"
+    );
+
+    let root = records
+        .iter()
+        .find(|r| r.kind == SpanKind::Mitigation)
+        .expect("the flood probe trips a mitigation");
+    let stages: Vec<_> = records
+        .iter()
+        .filter(|r| r.parent_id == root.span_id)
+        .collect();
+    let total = root.end_ns - root.start_ns;
+    println!("\nmitigation critical path (sim-ns):");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>7}",
+        "stage", "start", "end", "width", "share"
+    );
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>6.1}%",
+        "mitigation (total)", root.start_ns, root.end_ns, total, 100.0
+    );
+    let mut stage_sum = 0u64;
+    for s in &stages {
+        let width = s.end_ns - s.start_ns;
+        stage_sum += width;
+        println!(
+            "  {:<22} {:>12} {:>12} {:>12} {:>6.1}%",
+            s.kind.as_str(),
+            s.start_ns,
+            s.end_ns,
+            width,
+            100.0 * width as f64 / total.max(1) as f64
+        );
+    }
+    assert!(
+        stages.len() >= 4,
+        "want >= 4 critical-path stages, got {}",
+        stages.len()
+    );
+    assert_eq!(
+        stage_sum, total,
+        "stage widths must sum to the mitigation latency"
+    );
+    let snap = probe.snapshot();
+    let hist = snap
+        .histogram("defence_mitigation_latency_ns", "controller")
+        .expect("mitigation latency histogram present");
+    assert_eq!(
+        total, hist.max,
+        "trace total must equal the recorded mitigation latency"
+    );
+
+    let json = chrome_trace_json(&records);
+    let bin = encode_trace(&records, 0);
+    println!(
+        "\ndefence probe: {} spans decompose mitigation latency {total} ns \
+         into {} stages ✓ ({} bytes P4TR, {} bytes JSON)",
+        records.len(),
+        stages.len(),
+        bin.len(),
+        json.len(),
+    );
+    if let Ok(path) = std::env::var("P4AUTH_TRACE_OUT") {
+        std::fs::write(&path, &json).expect("write P4AUTH_TRACE_OUT");
+        let bin_path = format!("{path}.bin");
+        std::fs::write(&bin_path, &bin).expect("write trace binary");
+        println!("wrote {path} and {bin_path}");
+    }
+}
+
 /// Decodes a binary telemetry artifact (`repro -- decode <file>`) back to
-/// its canonical JSON: the magic picks the format — `P4TL` timeline
-/// stream, `P4TS` single snapshot or delta. Output goes to stdout, or to
-/// the path in `P4AUTH_DECODE_OUT` (`--out`). CI's codec-equivalence gate
-/// diffs this output against the direct JSON export.
+/// its canonical JSON: the magic picks the format — `P4TR` trace (emitted
+/// as Chrome trace JSON), `P4TL` timeline stream, `P4TS` single snapshot
+/// or delta. Output goes to stdout, or to the path in `P4AUTH_DECODE_OUT`
+/// (`--out`). CI's codec-equivalence gates diff this output against the
+/// direct JSON export.
 pub fn decode(input: &str) {
     use p4auth_netsim::timeline::{Timeline, TIMELINE_MAGIC};
     use p4auth_telemetry::snapshot::bin;
+    use p4auth_telemetry::trace::{chrome_trace_json, decode_trace, TRACE_MAGIC};
 
     let buf = std::fs::read(input).unwrap_or_else(|e| {
         eprintln!("cannot read {input}: {e}");
         std::process::exit(1);
     });
+    if buf.starts_with(&TRACE_MAGIC) {
+        let json = match decode_trace(&buf) {
+            Ok((records, _dropped)) => chrome_trace_json(&records),
+            Err(e) => {
+                eprintln!("cannot decode {input}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match std::env::var("P4AUTH_DECODE_OUT") {
+            Ok(path) => {
+                std::fs::write(&path, &json).expect("write P4AUTH_DECODE_OUT");
+                println!("wrote {path}");
+            }
+            Err(_) => print!("{json}"),
+        }
+        return;
+    }
     let json = if buf.starts_with(&TIMELINE_MAGIC) {
         Timeline::from_bin(&buf).map(|tl| tl.to_json())
     } else {
@@ -1055,6 +1240,25 @@ fn baseline_campaign_passed(json: &str, name: &str) -> Option<bool> {
     entry[start..].trim_start().starts_with("true").into()
 }
 
+/// Reads an integer field from campaign `name`'s entry line in the
+/// checked-in `BENCH_scenarios.json`. `null`, absent fields and absent
+/// campaigns all yield `None` (older baselines predate the percentile
+/// fields).
+fn baseline_campaign_u64(json: &str, name: &str, field: &str) -> Option<u64> {
+    let tag = format!("\"name\": \"{name}\"");
+    let entry = json.lines().find(|l| l.contains(&tag))?;
+    let field = format!("\"{field}\": ");
+    let start = entry.find(&field)? + field.len();
+    let rest = &entry[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// JSON rendering for an optional latency: `null` when absent.
+fn opt_ns(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".into(), |ns| ns.to_string())
+}
+
 /// Scenario campaigns: deterministic fault injection (link flaps,
 /// correlated groups, pod/switch failure, boot storms) composed with
 /// attack overlays, each judged by explicit defence invariants
@@ -1068,7 +1272,9 @@ fn baseline_campaign_passed(json: &str, name: &str) -> Option<bool> {
 /// CI diffs directly; wall-clock throughput is printed to stdout only.
 /// `P4AUTH_SCENARIOS_BASELINE=<path>` points at the checked-in JSON and
 /// fails the run if any campaign it recorded as passing no longer
-/// passes (the verdict-regression gate).
+/// passes (the verdict-regression gate), or if any recorded mitigation /
+/// rollover latency percentile (`*_p50_ns` / `*_p99_ns`) more than
+/// doubles (the latency-regression gate).
 pub fn scenarios() {
     use crate::campaigns::{run_campaigns, CampaignConfig};
     use std::fmt::Write as _;
@@ -1092,11 +1298,13 @@ pub fn scenarios() {
     let verdicts = run_campaigns(&cfg);
 
     println!(
-        "{:<30} {:>5} {:>7} {:>12} {:>9} {:>10} {:>10} {:>8} {:>7} {:>13}",
+        "{:<30} {:>5} {:>7} {:>12} {:>12} {:>12} {:>9} {:>10} {:>10} {:>8} {:>7} {:>13}",
         "campaign",
         "f+a",
         "passed",
         "mit_lat_ns",
+        "mit_p50_ns",
+        "mit_p99_ns",
         "events",
         "sent",
         "delivered",
@@ -1107,11 +1315,15 @@ pub fn scenarios() {
     let mut entries = String::new();
     for (i, v) in verdicts.iter().enumerate() {
         println!(
-            "{:<30} {:>5} {:>7} {:>12} {:>9} {:>10} {:>10} {:>8} {:>7} {:>13.0}",
+            "{:<30} {:>5} {:>7} {:>12} {:>12} {:>12} {:>9} {:>10} {:>10} {:>8} {:>7} {:>13.0}",
             v.name,
             if v.fault_attack { "yes" } else { "no" },
             if v.passed() { "ok" } else { "FAIL" },
             v.mitigation_latency_ns
+                .map_or_else(|| "-".into(), |ns| ns.to_string()),
+            v.mitigation_latency_p50_ns
+                .map_or_else(|| "-".into(), |ns| ns.to_string()),
+            v.mitigation_latency_p99_ns
                 .map_or_else(|| "-".into(), |ns| ns.to_string()),
             v.fabric.events,
             v.fabric.frames_sent,
@@ -1147,6 +1359,8 @@ pub fn scenarios() {
             entries,
             "    {{\"name\": \"{}\", \"fault_attack\": {}, \"passed\": {}, \
              \"mitigation_latency_ns\": {}, \
+             \"mitigation_latency_p50_ns\": {}, \"mitigation_latency_p99_ns\": {}, \
+             \"rollover_fanout_p50_ns\": {}, \"rollover_fanout_p99_ns\": {}, \
              \"checks\": [{checks}], \
              \"fabric\": {{\"users\": {}, \"events\": {}, \"frames_sent\": {}, \
              \"frames_delivered\": {}, \"frames_undeliverable\": {}, \
@@ -1154,8 +1368,11 @@ pub fn scenarios() {
             v.name,
             v.fault_attack,
             v.passed(),
-            v.mitigation_latency_ns
-                .map_or_else(|| "null".into(), |ns| ns.to_string()),
+            opt_ns(v.mitigation_latency_ns),
+            opt_ns(v.mitigation_latency_p50_ns),
+            opt_ns(v.mitigation_latency_p99_ns),
+            opt_ns(v.rollover_fanout_p50_ns),
+            opt_ns(v.rollover_fanout_p99_ns),
             v.fabric.users,
             v.fabric.events,
             v.fabric.frames_sent,
@@ -1193,6 +1410,35 @@ pub fn scenarios() {
                     v.name
                 );
                 println!("  {}: baseline passed, still passes ✓", v.name);
+            }
+            // Defence latency is a protocol property (detection window +
+            // KMP round-trips), not a fabric-size one: the percentiles
+            // are mode-independent, so short CI runs gate against the
+            // full-mode baseline directly.
+            for (field, measured) in [
+                ("mitigation_latency_p50_ns", v.mitigation_latency_p50_ns),
+                ("mitigation_latency_p99_ns", v.mitigation_latency_p99_ns),
+                ("rollover_fanout_p50_ns", v.rollover_fanout_p50_ns),
+                ("rollover_fanout_p99_ns", v.rollover_fanout_p99_ns),
+            ] {
+                let Some(base) = baseline_campaign_u64(&base_json, v.name, field) else {
+                    continue;
+                };
+                let m = measured.unwrap_or_else(|| {
+                    panic!(
+                        "campaign {}: baseline records {field} but this run lost it",
+                        v.name
+                    )
+                });
+                assert!(
+                    m <= base.saturating_mul(2),
+                    "campaign {} {field} regressed: {m} ns vs baseline {base} ns (>2x)",
+                    v.name
+                );
+                println!(
+                    "  {}: {field} {m} ns within 2x of baseline {base} ns ✓",
+                    v.name
+                );
             }
         }
     }

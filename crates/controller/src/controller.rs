@@ -10,7 +10,7 @@ use p4auth_primitives::kdf::{Kdf, KdfConfig};
 use p4auth_primitives::mac::{HalfSipHashMac, Mac};
 use p4auth_primitives::rng::SplitMix64;
 use p4auth_primitives::Key64;
-use p4auth_telemetry::{Counter, Event as TelemetryEvent, Gauge, Histogram, Registry};
+use p4auth_telemetry::{Counter, Event as TelemetryEvent, Gauge, Histogram, Registry, SpanKind};
 use p4auth_wire::body::{
     AdhkdRole, AlertKind, Body, EakStep, KexContext, KeyExchange, NackReason, RegisterOp,
 };
@@ -191,6 +191,12 @@ struct PendingRequest {
 /// `"controller"` by default (replicas use `"replica<i>"`).
 struct ControllerTelemetry {
     registry: Arc<Registry>,
+    /// Trace-span source id for this controller instance. Controllers are
+    /// not simulation nodes, so they use a reserved range above any
+    /// plausible switch id: `0xFE00` for `"controller"`, `0xFE01 + i` for
+    /// `"replica<i>"` — keeping per-source span sequence streams disjoint
+    /// from the data plane's.
+    trace_source: u16,
     auth: AuthMetrics,
     register_op_ns: Arc<Histogram>,
     outstanding: Arc<Gauge>,
@@ -210,8 +216,27 @@ struct ControllerTelemetry {
 impl ControllerTelemetry {
     const LABEL: &'static str = "controller";
 
+    /// Maps a telemetry label to the reserved controller trace-source
+    /// range (see the `trace_source` field).
+    fn trace_source_for(label: &str) -> u16 {
+        let replica = label
+            .strip_prefix("replica")
+            .and_then(|d| d.parse::<u16>().ok())
+            .map_or(0, |i| i + 1);
+        0xFE00 + replica.min(0xFF)
+    }
+
+    /// Records a zero-width trace span at this controller's source, if
+    /// tracing is enabled on the registry.
+    fn trace_instant(&self, kind: SpanKind, now_ns: u64, arg_a: u64, arg_b: u64) {
+        self.registry
+            .trace()
+            .instant(kind, now_ns, self.trace_source, arg_a, arg_b);
+    }
+
     fn new(registry: Arc<Registry>, label: &str) -> Self {
         ControllerTelemetry {
+            trace_source: Self::trace_source_for(label),
             auth: AuthMetrics::register(&registry, label),
             register_op_ns: registry.histogram_with("ctrl_register_op_ns", label),
             outstanding: registry.gauge_with("ctrl_outstanding", label),
@@ -322,6 +347,13 @@ pub struct Controller {
     /// knows which peer switch sits behind a port). Bounded like the
     /// defence loop's own pending queue.
     port_actions: VecDeque<MitigationAction>,
+    /// Trace bookkeeping for in-flight mitigations:
+    /// `(detected_at_ns, published_at_ns)` per channel, so
+    /// [`Controller::complete_mitigation`] can decompose the recorded
+    /// latency into detect / publish / KMP / install stage spans. Bounded
+    /// by the defence loop's in-flight set (one entry per channel;
+    /// completion and abort both remove).
+    mitigation_marks: HashMap<(SwitchId, PortId), (u64, u64)>,
 }
 
 impl std::fmt::Debug for Controller {
@@ -355,6 +387,7 @@ impl Controller {
             telemetry: None,
             defence: None,
             port_actions: VecDeque::new(),
+            mitigation_marks: HashMap::new(),
         }
     }
 
@@ -509,6 +542,34 @@ impl Controller {
         }
     }
 
+    /// Records a zero-width trace span at this controller's trace source
+    /// (no-op without telemetry or with tracing disabled). Daemons that
+    /// act *through* this controller use it to stamp their statedb writes
+    /// and wakeups into the same span stream.
+    pub(crate) fn trace_instant(&self, kind: SpanKind, now_ns: u64, arg_a: u64, arg_b: u64) {
+        if let Some(t) = &self.telemetry {
+            t.trace_instant(kind, now_ns, arg_a, arg_b);
+        }
+    }
+
+    /// Records a completed trace span `[start_ns, end_ns]` at this
+    /// controller's trace source (no-op without telemetry or tracing).
+    pub(crate) fn trace_span(
+        &self,
+        kind: SpanKind,
+        start_ns: u64,
+        end_ns: u64,
+        arg_a: u64,
+        arg_b: u64,
+    ) {
+        if let Some(t) = &self.telemetry {
+            let trace = t.registry.trace();
+            if let Some(span) = trace.start(kind, start_ns, t.trace_source) {
+                trace.end(span, end_ns, arg_a, arg_b);
+            }
+        }
+    }
+
     /// Whether the defence loop currently quarantines `(switch, channel)`.
     pub fn defence_quarantined(&self, switch: SwitchId, channel: PortId) -> bool {
         self.defence
@@ -548,6 +609,7 @@ impl Controller {
 
     fn complete_mitigation(&mut self, peer: SwitchId, channel: PortId) {
         let now_ns = self.now_ns;
+        let marks = self.mitigation_marks.remove(&(peer, channel));
         let Some(done) = self
             .defence
             .as_mut()
@@ -565,6 +627,62 @@ impl Controller {
                     action: "mitigation_complete",
                 },
             );
+            // The mitigation critical path as one trace: a root span over
+            // the full detection-to-mitigation latency with stage children
+            // that partition it exactly — detect [t0, t1] (crossing
+            // detected until the defence loop published the action),
+            // publish (instant at t1), kmp [t1, now] (the key-exchange
+            // round trip), install (instant at now). Stage widths sum to
+            // `done.latency_ns` by construction.
+            let trace = t.registry.trace();
+            if trace.enabled() {
+                let t0 = now_ns.saturating_sub(done.latency_ns);
+                let t1 = marks.map_or(t0, |(_, published)| published.clamp(t0, now_ns));
+                let (arg_a, arg_b) = (u64::from(peer.value()), u64::from(channel.value()));
+                if let Some(root) = trace.start(SpanKind::Mitigation, t0, t.trace_source) {
+                    if let Some(s) =
+                        trace.child(&root, SpanKind::MitigationDetect, t0, t.trace_source)
+                    {
+                        trace.end(s, t1, arg_a, arg_b);
+                    }
+                    trace.instant_in(
+                        &root,
+                        SpanKind::MitigationPublish,
+                        t1,
+                        t.trace_source,
+                        arg_a,
+                        arg_b,
+                    );
+                    if let Some(s) = trace.child(&root, SpanKind::MitigationKmp, t1, t.trace_source)
+                    {
+                        trace.end(s, now_ns, arg_a, arg_b);
+                    }
+                    trace.instant_in(
+                        &root,
+                        SpanKind::MitigationInstall,
+                        now_ns,
+                        t.trace_source,
+                        arg_a,
+                        arg_b,
+                    );
+                    if done.kind == MitigationKind::Quarantine {
+                        trace.instant_in(
+                            &root,
+                            SpanKind::QuarantineLift,
+                            now_ns,
+                            t.trace_source,
+                            arg_a,
+                            arg_b,
+                        );
+                    }
+                    trace.end(
+                        root,
+                        now_ns,
+                        arg_a,
+                        u64::from(done.kind == MitigationKind::Quarantine),
+                    );
+                }
+            }
         }
     }
 
@@ -578,6 +696,10 @@ impl Controller {
         };
         for action in actions {
             self.stats.defence_mitigations += 1;
+            self.mitigation_marks.insert(
+                (action.peer, action.channel),
+                (action.detected_at_ns, self.now_ns),
+            );
             if let Some(t) = &self.telemetry {
                 t.defence_mitigations.inc();
                 t.registry.record(
@@ -602,6 +724,7 @@ impl Controller {
                 } else {
                     // Nothing to roll yet (bootstrap still running);
                     // abandon rather than wedge the channel.
+                    self.mitigation_marks.remove(&(action.peer, action.channel));
                     self.defence
                         .as_mut()
                         .expect("drained above")
@@ -621,6 +744,8 @@ impl Controller {
                     if let Some(t) = &self.telemetry {
                         t.defence_actions_dropped.inc();
                     }
+                    self.mitigation_marks
+                        .remove(&(evicted.peer, evicted.channel));
                     if let Some(d) = &mut self.defence {
                         d.abort(evicted.peer, evicted.channel);
                     }
@@ -763,6 +888,9 @@ impl Controller {
         );
         let (init, offer) = AdhkdInitiator::start(self.config.dh_params, &mut self.rng);
         let now_ns = self.now_ns;
+        if let Some(t) = &self.telemetry {
+            t.trace_instant(SpanKind::KmpOffer, now_ns, u64::from(switch.value()), 1);
+        }
         let chan = self.channel_mut(switch);
         chan.adhkd = Some((KexContext::LocalUpdate, init, offer));
         chan.retry = RetryState {
@@ -824,6 +952,14 @@ impl Controller {
                 last_attempt_ns: self.now_ns,
             },
         });
+        if let Some(t) = &self.telemetry {
+            t.trace_instant(
+                SpanKind::PortKeyExchange,
+                self.now_ns,
+                u64::from(sw1.value()),
+                u64::from(sw2.value()),
+            );
+        }
         let seq = self.channel_mut(sw1).next_seq();
         let msg = Message::key_exchange(
             SwitchId::CONTROLLER,
@@ -845,6 +981,14 @@ impl Controller {
         port1: PortId,
         sw2: SwitchId,
     ) -> Vec<Outgoing> {
+        if let Some(t) = &self.telemetry {
+            t.trace_instant(
+                SpanKind::PortKeyExchange,
+                self.now_ns,
+                u64::from(sw1.value()),
+                u64::from(sw2.value()),
+            );
+        }
         let seq = self.channel_mut(sw1).next_seq();
         let msg = Message::key_exchange(
             SwitchId::CONTROLLER,
@@ -1150,6 +1294,12 @@ impl Controller {
                                 reason: reason.kind(),
                             },
                         );
+                        t.trace_instant(
+                            SpanKind::DigestReject,
+                            self.now_ns,
+                            u64::from(from.value()),
+                            u64::from(PortId::CPU.value()),
+                        );
                         if let RejectReason::Replayed { last_accepted } = reason {
                             t.registry.record(
                                 self.now_ns,
@@ -1310,6 +1460,9 @@ impl Controller {
                     // exchange made progress, so its retry budget resets.
                     let (init, offer) = AdhkdInitiator::start(self.config.dh_params, &mut self.rng);
                     let now_ns = self.now_ns;
+                    if let Some(t) = &self.telemetry {
+                        t.trace_instant(SpanKind::KmpOffer, now_ns, u64::from(from.value()), 0);
+                    }
                     let chan = self.channel_mut(from);
                     chan.adhkd = Some((KexContext::LocalInit, init, offer));
                     chan.retry = RetryState {
@@ -1393,6 +1546,18 @@ impl Controller {
                                 node: SwitchId::CONTROLLER.value(),
                                 step: "adhkd_answer",
                             },
+                        );
+                        t.trace_instant(
+                            SpanKind::KmpAnswer,
+                            self.now_ns,
+                            u64::from(from.value()),
+                            u64::from(rolled),
+                        );
+                        t.trace_instant(
+                            SpanKind::KeyInstall,
+                            self.now_ns,
+                            u64::from(from.value()),
+                            u64::from(version),
                         );
                     }
                     // A fresh local key completes (and lifts) any defence

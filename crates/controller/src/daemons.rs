@@ -195,8 +195,18 @@ impl KeyManagerDaemon {
     /// check runs after the batch lands.
     pub fn step(&mut self, db: &mut StateDb, core: &mut Controller, now_ns: u64) -> Vec<Outgoing> {
         // Drain the subscription; the reconcile below re-reads the table
-        // directly, so a `missed` gap costs nothing extra.
-        let _ = db.poll(self.sub);
+        // directly, so a `missed` gap costs nothing extra. A non-empty
+        // poll is this daemon's wakeup edge — stamp it into the trace so
+        // the statedb-write → daemon-wake → KMP chain is visible.
+        let poll = db.poll(self.sub);
+        if !poll.updates.is_empty() || poll.missed > 0 {
+            core.trace_instant(
+                p4auth_telemetry::SpanKind::DaemonWake,
+                now_ns,
+                poll.updates.len() as u64,
+                0,
+            );
+        }
         let mut out = Vec::new();
         let mut batch = WriteBatch::new();
         let epoch = Self::epoch(db);
@@ -257,7 +267,10 @@ impl KeyManagerDaemon {
             }
             Self::publish_key(&mut batch, core, switch);
         }
-        db.apply(now_ns, batch);
+        let changed = db.apply(now_ns, batch);
+        if changed > 0 {
+            core.trace_instant(p4auth_telemetry::SpanKind::StateDbWrite, now_ns, changed, 0);
+        }
 
         // Record this partition's fan-out latency exactly once per epoch
         // (the `set` is a no-op on every later step, and the db flag
@@ -272,6 +285,13 @@ impl KeyManagerDaemon {
                 let latency = now_ns.saturating_sub(started);
                 db.set(now_ns, tables::KMP, &fanout_key, Value::U64(latency));
                 core.record_rollover_fanout(latency);
+                core.trace_span(
+                    p4auth_telemetry::SpanKind::RolloverEpoch,
+                    started.min(now_ns),
+                    now_ns,
+                    epoch,
+                    latency,
+                );
             }
         }
 
@@ -342,6 +362,14 @@ impl DefenceDaemon {
             seen.into_iter().collect()
         };
 
+        if !candidates.is_empty() {
+            core.trace_instant(
+                p4auth_telemetry::SpanKind::DaemonWake,
+                now_ns,
+                candidates.len() as u64,
+                1,
+            );
+        }
         let mut out = Vec::new();
         let mut events = Vec::new();
         for (label, rate) in candidates {
@@ -362,6 +390,7 @@ impl DefenceDaemon {
                     &label,
                     Value::Text(format!("crossing@{now_ns}")),
                 );
+                core.trace_instant(p4auth_telemetry::SpanKind::StateDbWrite, now_ns, 1, 1);
             }
             out.extend(o);
             events.extend(ev);

@@ -665,6 +665,13 @@ impl P4AuthSwitch {
                     reason: reason.kind(),
                 },
             );
+            t.registry.trace().instant(
+                p4auth_telemetry::SpanKind::DigestReject,
+                now_ns,
+                self.config.switch_id.value(),
+                u64::from(peer.value()),
+                u64::from(channel.value()),
+            );
             if let RejectReason::Replayed { last_accepted } = reason {
                 t.registry.record(
                     now_ns,
@@ -680,10 +687,18 @@ impl P4AuthSwitch {
     }
 
     /// Counts a successful verification in the telemetry layer (the
-    /// `stats.verified_ok` mirror for [`AuthMetrics`]).
-    fn note_verify_ok(&self) {
+    /// `stats.verified_ok` mirror for [`AuthMetrics`]) and, when tracing
+    /// is enabled, emits a `digest_verify` span instant on this switch.
+    fn note_verify_ok(&self, now_ns: u64, peer: SwitchId, channel: PortId) {
         if let Some(t) = &self.telemetry {
             t.auth.record_verify(&Ok(()));
+            t.registry.trace().instant(
+                p4auth_telemetry::SpanKind::DigestVerify,
+                now_ns,
+                self.config.switch_id.value(),
+                u64::from(peer.value()),
+                u64::from(channel.value()),
+            );
         }
     }
 
@@ -876,7 +891,7 @@ impl P4AuthSwitch {
         } else if let Some(reply) = reply_op {
             if auth {
                 self.stats.verified_ok += 1;
-                self.note_verify_ok();
+                self.note_verify_ok(now_ns, msg.header().sender, PortId::CPU);
             }
             match reply {
                 RegisterOp::Ack { .. } => self.stats.acks += 1,
@@ -993,7 +1008,7 @@ impl P4AuthSwitch {
             };
         }
         self.stats.verified_ok += 1;
-        self.note_verify_ok();
+        self.note_verify_ok(now_ns, msg.header().sender, ingress);
         events.push(AgentEvent::VerifiedOk);
 
         if let Some(t) = &self.telemetry {
@@ -1309,7 +1324,7 @@ impl P4AuthSwitch {
         } else {
             if auth {
                 self.stats.verified_ok += 1;
-                self.note_verify_ok();
+                self.note_verify_ok(now_ns, msg.header().sender, ingress);
                 events.push(AgentEvent::VerifiedOk);
             }
             self.stats.probes_accepted += 1;

@@ -315,6 +315,13 @@ impl Chassis {
                         count: recirculations,
                     },
                 );
+                t.registry.trace().instant(
+                    p4auth_telemetry::SpanKind::FrameRecirculate,
+                    now_ns,
+                    self.config.switch_id.value(),
+                    u64::from(recirculations),
+                    u64::from(stages_used),
+                );
             }
         }
         let cost_ns = self.cost.packet_ns(hash_passes, recirculations);

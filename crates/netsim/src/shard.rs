@@ -375,10 +375,21 @@ impl Mailbox {
 /// final)` of the worker's private registry.
 type ShardCaptures = (Snapshot, Vec<(u64, Snapshot)>, Snapshot);
 
+/// The spans a worker's private trace ring captured plus its drop
+/// count, handed back for the shard-index-order trace merge.
+type ShardTrace = (Vec<p4auth_telemetry::SpanRecord>, u64);
+
 /// What a worker hands back at join: its stats, final clock, the final
 /// snapshot of its private registry (when the caller attached
-/// telemetry), and raw timeline captures (when exporting).
-type WorkerOutcome = (SimStats, SimTime, Option<Snapshot>, Option<ShardCaptures>);
+/// telemetry), raw timeline captures (when exporting), and its trace
+/// ring contents (when the caller's registry has tracing enabled).
+type WorkerOutcome = (
+    SimStats,
+    SimTime,
+    Option<Snapshot>,
+    Option<ShardCaptures>,
+    Option<ShardTrace>,
+);
 
 /// A partitioned simulator: builds one [`Simulator`] per shard on worker
 /// threads and drives them in chained safe-window rounds (see the module
@@ -603,6 +614,7 @@ impl ShardedSimulator {
                 nodes: std::mem::take(&mut shard_nodes[s]),
                 timers: std::mem::take(&mut shard_timers[s]),
                 event_capacity: self.telemetry.as_ref().map(|r| r.event_capacity()),
+                trace_capacity: self.telemetry.as_ref().map_or(0, |r| r.trace_capacity()),
                 export_interval_ns: self.export_interval_ns,
                 stagger_ns: stagger.clone(),
                 fault_plan: self.fault_plan.clone(),
@@ -743,8 +755,9 @@ impl ShardedSimulator {
         let mut now = SimTime::ZERO;
         let mut snapshots: Vec<Option<Snapshot>> = Vec::with_capacity(handles.len());
         let mut captures: Vec<Option<ShardCaptures>> = Vec::with_capacity(handles.len());
+        let mut traces: Vec<Option<ShardTrace>> = Vec::with_capacity(handles.len());
         for handle in handles {
-            let (shard_stats, shard_now, shard_snap, shard_caps) =
+            let (shard_stats, shard_now, shard_snap, shard_caps, shard_trace) =
                 handle.join().expect("worker panicked");
             stats.frames_delivered += shard_stats.frames_delivered;
             stats.frames_tapped_dropped += shard_stats.frames_tapped_dropped;
@@ -755,16 +768,22 @@ impl ShardedSimulator {
             now = now.max(shard_now);
             snapshots.push(shard_snap);
             captures.push(shard_caps);
+            traces.push(shard_trace);
         }
         // Deterministic telemetry hand-back: merge the per-shard final
         // snapshots in shard-index order, then absorb into the caller's
-        // registry.
+        // registry. Trace rings follow the same discipline — absorbed in
+        // shard-index order, drop counts carried along — so the caller's
+        // canonical (sorted) span stream is engine-invariant.
         if let Some(user) = &self.telemetry {
             let parts: Vec<Snapshot> = snapshots
                 .into_iter()
                 .map(|s| s.expect("telemetry attached but a worker recorded nothing"))
                 .collect();
             user.absorb(&Snapshot::merged(&parts));
+            for part in traces.into_iter().flatten() {
+                user.trace().absorb(&part.0, part.1);
+            }
         }
         let timeline = self
             .export_interval_ns
@@ -875,6 +894,10 @@ struct WorkerSetup {
     /// records into a private registry with a matching event capacity
     /// and returns its final snapshot for the shard-index merge.
     event_capacity: Option<usize>,
+    /// Trace-ring capacity for the worker's private registry (0 when the
+    /// caller's registry has tracing disabled), sized to match the
+    /// caller's exactly like `event_capacity`.
+    trace_capacity: usize,
     export_interval_ns: Option<u64>,
     stagger_ns: Arc<Vec<u64>>,
     /// Fault schedule to install after shard routing (owner tallying
@@ -919,6 +942,7 @@ fn worker(setup: WorkerSetup) -> WorkerOutcome {
         nodes,
         timers,
         event_capacity,
+        trace_capacity,
         export_interval_ns,
         stagger_ns,
         fault_plan,
@@ -933,7 +957,9 @@ fn worker(setup: WorkerSetup) -> WorkerOutcome {
     // telemetry merge and the timeline merge read from it. Never the
     // caller's registry — see the module docs.
     let registry: Option<Arc<Registry>> = match (event_capacity, export_interval_ns) {
-        (Some(cap), _) if cap > 0 => Some(Arc::new(Registry::with_event_capacity(cap))),
+        (Some(cap), _) if cap > 0 || trace_capacity > 0 => {
+            Some(Arc::new(Registry::with_capacities(cap, trace_capacity)))
+        }
         (Some(_), _) | (None, Some(_)) => Some(Arc::new(Registry::new())),
         (None, None) => None,
     };
@@ -1029,7 +1055,11 @@ fn worker(setup: WorkerSetup) -> WorkerOutcome {
     let snapshot = event_capacity
         .is_some()
         .then(|| registry.as_ref().expect("registry built above").snapshot());
-    (sim.stats(), sim.now(), snapshot, captures)
+    let trace = (trace_capacity > 0).then(|| {
+        let log = registry.as_ref().expect("registry built above").trace();
+        (log.records(), log.dropped())
+    });
+    (sim.stats(), sim.now(), snapshot, captures, trace)
 }
 
 #[cfg(test)]
@@ -1284,6 +1314,52 @@ mod tests {
             registry.snapshot().to_json(),
             seq_registry.snapshot().to_json()
         );
+    }
+
+    #[test]
+    fn sharded_trace_is_bit_identical_to_sequential_under_stagger() {
+        // Sequential reference with tracing on.
+        let seq_registry = Arc::new(Registry::with_capacities(64, 64));
+        let mut seq = Simulator::with_scheduler(two_node_topology(), SchedulerKind::Calendar);
+        seq.set_telemetry(seq_registry.clone());
+        seq.register_node(
+            SwitchId::new(1),
+            Box::new(Echo {
+                arrivals: Arc::new(AtomicU64::new(0)),
+                reply: false,
+            }),
+        );
+        seq.register_node(
+            SwitchId::new(2),
+            Box::new(Echo {
+                arrivals: Arc::new(AtomicU64::new(0)),
+                reply: true,
+            }),
+        );
+        seq.schedule_timer(SwitchId::new(1), 7, 50);
+        seq.run_to_completion();
+        let reference = seq_registry.trace().sorted_records();
+        assert!(!reference.is_empty(), "the ping-pong must emit frame spans");
+        assert_eq!(seq_registry.trace().dropped(), 0);
+
+        for schedule in [Vec::new(), vec![120_000, 0, 40_000]] {
+            let registry = Arc::new(Registry::with_capacities(64, 64));
+            let mut sharded = ping_pong_sharded();
+            sharded.set_telemetry(registry.clone());
+            sharded.set_stagger(schedule);
+            sharded.run();
+            assert_eq!(registry.trace().sorted_records(), reference);
+            assert_eq!(registry.trace().dropped(), 0);
+            let bin = p4auth_telemetry::trace::encode_trace(&reference, 0);
+            assert_eq!(
+                p4auth_telemetry::trace::encode_trace(
+                    &registry.trace().sorted_records(),
+                    registry.trace().dropped(),
+                ),
+                bin,
+                "P4TR bytes engine-invariant"
+            );
+        }
     }
 
     #[test]

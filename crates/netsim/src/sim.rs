@@ -252,6 +252,9 @@ pub struct SimStats {
 /// attached so hot-path updates are plain relaxed atomics.
 struct SimTelemetry {
     registry: Arc<Registry>,
+    /// Cached `registry.trace().enabled()` so the hot path pays one
+    /// branch, not a lock, when tracing is off (the default).
+    trace_enabled: bool,
     events_scheduled: Arc<Counter>,
     frames_delivered: Arc<Counter>,
     frames_tap_dropped: Arc<Counter>,
@@ -286,6 +289,7 @@ struct ShardRoute {
 impl SimTelemetry {
     fn new(registry: Arc<Registry>, link_count: usize) -> Self {
         SimTelemetry {
+            trace_enabled: registry.trace().enabled(),
             events_scheduled: registry.counter("sim_events_scheduled"),
             frames_delivered: registry.counter("sim_frames_delivered"),
             frames_tap_dropped: registry.counter("sim_frames_tap_dropped"),
@@ -794,6 +798,15 @@ impl Simulator {
                                         self.stats.frames_tapped_modified += 1;
                                         if let Some(t) = &self.telemetry {
                                             t.frames_tap_modified.inc();
+                                            if t.trace_enabled {
+                                                t.registry.trace().instant(
+                                                    p4auth_telemetry::SpanKind::FrameTap,
+                                                    self.now.as_ns(),
+                                                    from.value(),
+                                                    u64::from(dst.node.value()),
+                                                    0,
+                                                );
+                                            }
                                         }
                                     }
                                 }
@@ -809,6 +822,15 @@ impl Simulator {
                                                 cause: DropCause::Tap,
                                             },
                                         );
+                                        if t.trace_enabled {
+                                            t.registry.trace().instant(
+                                                p4auth_telemetry::SpanKind::FrameTap,
+                                                self.now.as_ns(),
+                                                from.value(),
+                                                u64::from(dst.node.value()),
+                                                1,
+                                            );
+                                        }
                                     }
                                 }
                             }
@@ -903,6 +925,15 @@ impl Simulator {
                                 bytes: payload.len() as u32,
                             },
                         );
+                        if t.trace_enabled {
+                            t.registry.trace().instant(
+                                p4auth_telemetry::SpanKind::FrameDeliver,
+                                self.now.as_ns(),
+                                dst.node.value(),
+                                u64::from(dst.port.value()),
+                                payload.len() as u64,
+                            );
+                        }
                     }
                     let mut out = self.checkout_outbox();
                     node.on_frame(self.now, dst.port, payload, &mut out);

@@ -41,7 +41,7 @@ use p4auth_netsim::fault::FaultPlan;
 use p4auth_netsim::sched::SchedulerKind;
 use p4auth_netsim::time::SimTime;
 use p4auth_netsim::topology::{LinkId, Topology};
-use p4auth_telemetry::Registry;
+use p4auth_telemetry::{Registry, SpanKind};
 use p4auth_wire::body::AlertKind;
 use p4auth_wire::ids::{PortId, RegId, SwitchId};
 use std::sync::atomic::AtomicU64;
@@ -122,6 +122,16 @@ pub struct CampaignVerdict {
     /// Detection-to-mitigation latency in sim-ns, when the campaign's
     /// attack tripped the defence.
     pub mitigation_latency_ns: Option<u64>,
+    /// p50 of the `defence_mitigation_latency_ns` histogram over the
+    /// defence phase (absent when the defence never fired).
+    pub mitigation_latency_p50_ns: Option<u64>,
+    /// p99 of the `defence_mitigation_latency_ns` histogram.
+    pub mitigation_latency_p99_ns: Option<u64>,
+    /// p50 of the `ctrl_rollover_fanout_ns` histogram (absent unless the
+    /// campaign ran a bulk rollover epoch).
+    pub rollover_fanout_p50_ns: Option<u64>,
+    /// p99 of the `ctrl_rollover_fanout_ns` histogram.
+    pub rollover_fanout_p99_ns: Option<u64>,
     /// The fabric phase's benchmarked row.
     pub fabric: FabricSummary,
 }
@@ -209,6 +219,14 @@ const K: u16 = 4;
 /// Defence-phase observation window in sim-ns (matches the §VII defence
 /// anchor test).
 const DEFENCE_WINDOW_NS: u64 = 200_000_000;
+/// Trace-span buffer capacity for defence phases. Sized so the default
+/// campaign configurations never drop a span (asserted by the
+/// `trace_no_spans_dropped` invariant below) — zero drops is what makes
+/// the exported trace bit-identical across engines.
+const CAMPAIGN_TRACE_CAPACITY: usize = 16_384;
+/// Trace-span source id for the campaign harness itself (phase root
+/// spans); above the controller's reserved `0xFE..` range and any node.
+const CAMPAIGN_TRACE_SOURCE: u16 = 0xFFFF;
 
 /// Fabric phase: the user-scale workload with `plan` installed, plus the
 /// two accounting invariants every campaign shares — no silent loss, and
@@ -257,7 +275,7 @@ fn defence_net(
     seed: u64,
     configure: impl FnMut(SwitchId, AgentConfig) -> AgentConfig,
 ) -> (Network, Arc<Registry>) {
-    let registry = Arc::new(Registry::with_event_capacity(2048));
+    let registry = Arc::new(Registry::with_capacities(2048, CAMPAIGN_TRACE_CAPACITY));
     let mut net = Network::build(
         Topology::fat_tree_with_controller(K, 1_000, 200_000),
         ControllerConfig::default(),
@@ -270,6 +288,78 @@ fn defence_net(
     net.enable_defence(DefenceConfig::default());
     let _ = net.take_events();
     (net, registry)
+}
+
+/// Stamps a defence phase's extent as a `campaign_phase` root span, so
+/// the exported trace carries the phase boundary every other span falls
+/// inside. `idx` is the campaign's position in [`run_campaigns`] order.
+fn campaign_phase_span(registry: &Registry, idx: u64, start_ns: u64, end_ns: u64) {
+    let trace = registry.trace();
+    if let Some(span) = trace.start(SpanKind::CampaignPhase, start_ns, CAMPAIGN_TRACE_SOURCE) {
+        trace.end(span, end_ns.max(start_ns), idx, 0);
+    }
+}
+
+/// Shared per-campaign telemetry wrap-up: asserts the bounded trace
+/// buffer dropped nothing at the default campaign configuration (the
+/// zero-drop property is what keeps traces bit-identical across
+/// engines) and extracts the mitigation / rollover latency percentiles
+/// the scenarios report surfaces. Returns
+/// `[mitigation_p50, mitigation_p99, rollover_p50, rollover_p99]`.
+fn finish_telemetry(registry: &Registry, checks: &mut Checks) -> [Option<u64>; 4] {
+    let trace = registry.trace();
+    checks.require(
+        "trace_no_spans_dropped",
+        trace.dropped() == 0,
+        format!(
+            "{} spans buffered, {} dropped (capacity {})",
+            trace.len(),
+            trace.dropped(),
+            trace.capacity()
+        ),
+    );
+    let snap = registry.snapshot();
+    let pick = |name: &str| {
+        snap.histogram(name, "controller")
+            .filter(|h| h.count > 0)
+            .map(|h| (h.p50, h.p99))
+    };
+    let mitigation = pick("defence_mitigation_latency_ns");
+    let rollover = pick("ctrl_rollover_fanout_ns");
+    [
+        mitigation.map(|p| p.0),
+        mitigation.map(|p| p.1),
+        rollover.map(|p| p.0),
+        rollover.map(|p| p.1),
+    ]
+}
+
+/// The flight-recorder workload behind `repro -- trace`: campaign 1's
+/// defence phase (digest flood on a booted, defended fat tree) with
+/// tracing enabled, on a sequential engine of the given scheduler kind.
+/// Returns the registry holding the recorded spans — deterministic, and
+/// identical between the heap and calendar schedulers, so callers can
+/// byte-diff the encoded trace across engines.
+pub fn traced_defence_probe(kind: SchedulerKind, trace_capacity: usize) -> Arc<Registry> {
+    let registry = Arc::new(Registry::with_capacities(2048, trace_capacity));
+    let mut net = Network::build_with_scheduler(
+        Topology::fat_tree_with_controller(K, 1_000, 200_000),
+        kind,
+        ControllerConfig::default(),
+        0xb007,
+        |_| None,
+        |_, c| c,
+    );
+    net.enable_telemetry(registry.clone());
+    net.bootstrap_keys();
+    net.enable_defence(DefenceConfig::default());
+    let _ = net.take_events();
+    let _victim = arm_flood(&mut net, FatTree::new(K), 0);
+    let start = net.sim.now().as_ns();
+    net.sim
+        .run_until(SimTime::from_ns(start + DEFENCE_WINDOW_NS));
+    campaign_phase_span(&registry, 0, start, net.sim.now().as_ns());
+    registry
 }
 
 /// DP-DP links terminating at `sw` (the out-of-band fault set for
@@ -441,12 +531,18 @@ fn boot_storm_digest_flood(cfg: &CampaignConfig) -> CampaignVerdict {
     net.sim
         .run_until(SimTime::from_ns(start + DEFENCE_WINDOW_NS));
     let latency = check_flood_defence(&mut net, &registry, victim, baseline_ok, &mut checks);
+    campaign_phase_span(&registry, 0, start, net.sim.now().as_ns());
+    let [mp50, mp99, rp50, rp99] = finish_telemetry(&registry, &mut checks);
 
     CampaignVerdict {
         name: "boot_storm_digest_flood",
         fault_attack: true,
         checks: checks.0,
         mitigation_latency_ns: latency,
+        mitigation_latency_p50_ns: mp50,
+        mitigation_latency_p99_ns: mp99,
+        rollover_fanout_p50_ns: rp50,
+        rollover_fanout_p99_ns: rp99,
         fabric,
     }
 }
@@ -463,7 +559,7 @@ fn reroute_replay(cfg: &CampaignConfig) -> CampaignVerdict {
     let fabric = fabric_phase(cfg, plan_for("reroute_replay"), &mut checks);
 
     let victim = ft.edge(0, 0);
-    let (mut net, _registry) = defence_net(0x3e91a7, move |id, c: AgentConfig| {
+    let (mut net, registry) = defence_net(0x3e91a7, move |id, c: AgentConfig| {
         if id == victim {
             c.map_register(REG, "stats")
         } else {
@@ -555,12 +651,18 @@ fn reroute_replay(cfg: &CampaignConfig) -> CampaignVerdict {
     );
     check_clean_channels(&net, None, &mut checks);
     check_port_keys_converged(&net, &mut checks);
+    campaign_phase_span(&registry, 1, now, net.sim.now().as_ns());
+    let [mp50, mp99, rp50, rp99] = finish_telemetry(&registry, &mut checks);
 
     CampaignVerdict {
         name: "reroute_replay",
         fault_attack: true,
         checks: checks.0,
         mitigation_latency_ns: None,
+        mitigation_latency_p50_ns: mp50,
+        mitigation_latency_p99_ns: mp99,
+        rollover_fanout_p50_ns: rp50,
+        rollover_fanout_p99_ns: rp99,
         fabric,
     }
 }
@@ -595,12 +697,18 @@ fn pod_failure_compromised_flood(cfg: &CampaignConfig) -> CampaignVerdict {
     net.sim.run_to_completion();
     let latency = check_flood_defence(&mut net, &registry, victim, baseline_ok, &mut checks);
     check_port_keys_converged(&net, &mut checks);
+    campaign_phase_span(&registry, 2, now, net.sim.now().as_ns());
+    let [mp50, mp99, rp50, rp99] = finish_telemetry(&registry, &mut checks);
 
     CampaignVerdict {
         name: "pod_failure_compromised_flood",
         fault_attack: true,
         checks: checks.0,
         mitigation_latency_ns: latency,
+        mitigation_latency_p50_ns: mp50,
+        mitigation_latency_p99_ns: mp99,
+        rollover_fanout_p50_ns: rp50,
+        rollover_fanout_p99_ns: rp99,
         fabric,
     }
 }
@@ -615,7 +723,7 @@ fn correlated_flap_churn(cfg: &CampaignConfig) -> CampaignVerdict {
 
     let fabric = fabric_phase(cfg, plan_for("correlated_flap_churn"), &mut checks);
 
-    let (mut net, _registry) = defence_net(0xc0991, |_, c| c);
+    let (mut net, registry) = defence_net(0xc0991, |_, c| c);
     let baseline_ok = net.controller.borrow().stats().responses_ok;
     let now = net.sim.now().as_ns();
     let dp_group = dp_links_of(net.sim.topology(), ft.agg(0, 0));
@@ -655,12 +763,18 @@ fn correlated_flap_churn(cfg: &CampaignConfig) -> CampaignVerdict {
     );
     check_clean_channels(&net, None, &mut checks);
     check_port_keys_converged(&net, &mut checks);
+    campaign_phase_span(&registry, 3, now, net.sim.now().as_ns());
+    let [mp50, mp99, rp50, rp99] = finish_telemetry(&registry, &mut checks);
 
     CampaignVerdict {
         name: "correlated_flap_churn",
         fault_attack: false,
         checks: checks.0,
         mitigation_latency_ns: None,
+        mitigation_latency_p50_ns: mp50,
+        mitigation_latency_p99_ns: mp99,
+        rollover_fanout_p50_ns: rp50,
+        rollover_fanout_p99_ns: rp99,
         fabric,
     }
 }
@@ -674,7 +788,7 @@ fn switch_failure_recovery(cfg: &CampaignConfig) -> CampaignVerdict {
 
     let fabric = fabric_phase(cfg, plan_for("switch_failure_recovery"), &mut checks);
 
-    let (mut net, _registry) = defence_net(0x5f41e, |_, c| c);
+    let (mut net, registry) = defence_net(0x5f41e, |_, c| c);
     let now = net.sim.now().as_ns();
     let dead = dp_links_of(net.sim.topology(), ft.agg(1, 0));
     let mut churn = FaultPlan::new();
@@ -708,12 +822,18 @@ fn switch_failure_recovery(cfg: &CampaignConfig) -> CampaignVerdict {
     );
     check_clean_channels(&net, None, &mut checks);
     check_port_keys_converged(&net, &mut checks);
+    campaign_phase_span(&registry, 4, now, net.sim.now().as_ns());
+    let [mp50, mp99, rp50, rp99] = finish_telemetry(&registry, &mut checks);
 
     CampaignVerdict {
         name: "switch_failure_recovery",
         fault_attack: false,
         checks: checks.0,
         mitigation_latency_ns: None,
+        mitigation_latency_p50_ns: mp50,
+        mitigation_latency_p99_ns: mp99,
+        rollover_fanout_p50_ns: rp50,
+        rollover_fanout_p99_ns: rp99,
         fabric,
     }
 }
@@ -778,6 +898,54 @@ mod tests {
         assert!(CampaignConfig::standard().users >= 100_000);
     }
 
+    /// The flight-recorder probe: heap and calendar schedulers produce
+    /// byte-identical encoded traces, the trace is well-formed, nothing
+    /// was dropped, and the mitigation critical path decomposes the
+    /// recorded latency into stages that sum exactly to the total.
+    #[test]
+    fn traced_probe_is_engine_invariant_and_well_formed() {
+        use p4auth_telemetry::trace::{encode_trace, validate_well_formed};
+
+        let heap = traced_defence_probe(SchedulerKind::Heap, CAMPAIGN_TRACE_CAPACITY);
+        let calendar = traced_defence_probe(SchedulerKind::Calendar, CAMPAIGN_TRACE_CAPACITY);
+        assert_eq!(heap.trace().dropped(), 0, "probe must not drop spans");
+        let a = heap.trace().sorted_records();
+        let b = calendar.trace().sorted_records();
+        assert_eq!(
+            encode_trace(&a, 0),
+            encode_trace(&b, 0),
+            "heap and calendar traces must be byte-identical"
+        );
+        validate_well_formed(&a).expect("trace is well-formed");
+        assert!(!a.is_empty(), "the probe records spans");
+
+        // The mitigation root's stage children partition its interval.
+        let root = a
+            .iter()
+            .find(|r| r.kind == SpanKind::Mitigation)
+            .expect("the flood trips a mitigation");
+        let stages: Vec<_> = a.iter().filter(|r| r.parent_id == root.span_id).collect();
+        assert!(
+            stages.len() >= 4,
+            "want >= 4 critical-path stages, got {}",
+            stages.len()
+        );
+        let total: u64 = stages.iter().map(|s| s.end_ns - s.start_ns).sum();
+        assert_eq!(
+            total,
+            root.end_ns - root.start_ns,
+            "stage widths must sum to the mitigation latency"
+        );
+
+        // The recorded latency matches the histogram the campaigns gate.
+        let snap = heap.snapshot();
+        let hist = snap
+            .histogram("defence_mitigation_latency_ns", "controller")
+            .expect("latency histogram present");
+        assert_eq!(hist.count, 1);
+        assert_eq!(root.end_ns - root.start_ns, hist.max);
+    }
+
     /// Two runs produce identical deterministic fields — the property the
     /// CI two-run diff of `BENCH_scenarios.json` depends on.
     #[test]
@@ -792,6 +960,10 @@ mod tests {
             assert_eq!(x.name, y.name);
             assert_eq!(x.passed(), y.passed());
             assert_eq!(x.mitigation_latency_ns, y.mitigation_latency_ns);
+            assert_eq!(x.mitigation_latency_p50_ns, y.mitigation_latency_p50_ns);
+            assert_eq!(x.mitigation_latency_p99_ns, y.mitigation_latency_p99_ns);
+            assert_eq!(x.rollover_fanout_p50_ns, y.rollover_fanout_p50_ns);
+            assert_eq!(x.rollover_fanout_p99_ns, y.rollover_fanout_p99_ns);
             assert_eq!(x.fabric.events, y.fabric.events);
             assert_eq!(x.fabric.frames_sent, y.fabric.frames_sent);
             assert_eq!(x.fabric.frames_delivered, y.fabric.frames_delivered);

@@ -543,6 +543,73 @@ mod tests {
     }
 
     #[test]
+    fn event_ring_wrap_past_capacity_between_baseline_and_delta() {
+        // The baseline is itself taken after the ring already wrapped,
+        // and more than a full capacity's worth of events lands before
+        // the delta: the delta carries only the surviving tail, the
+        // overflow accounting bridges the gap, and reconstruction is
+        // exact.
+        let r = Registry::with_event_capacity(4);
+        for t in 0..6 {
+            r.record(t, Event::AlertSuppressed { source: t as u16 });
+        }
+        let baseline = r.snapshot();
+        assert_eq!(baseline.events_overflowed, 2, "baseline already wrapped");
+        for t in 6..20 {
+            r.record(t, Event::AlertSuppressed { source: t as u16 });
+        }
+        let cur = r.snapshot();
+        let delta = cur.delta_from(&baseline);
+        // 14 appended, capacity 4: only the last 4 survive in the buffer.
+        assert_eq!(delta.events.len(), 4);
+        assert_eq!(delta.events[0].t_ns, 16);
+        assert_eq!(delta.events_overflowed, 14);
+        assert_eq!(delta.events_len, 4);
+        let rebuilt = delta.apply_to(&baseline);
+        assert_eq!(rebuilt, cur);
+        assert_eq!(rebuilt.to_json(), cur.to_json());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Same reconstruction contract as the main proptest, but with a
+        /// tiny ring (capacity 2) and event-heavy op streams so the ring
+        /// is forced to wrap — usually several times — between every
+        /// checkpoint pair.
+        #[test]
+        fn delta_survives_forced_ring_wraps(
+            times in proptest::collection::vec(0u64..1_000_000, 5..80),
+            cut in 1usize..4,
+        ) {
+            let r = Registry::with_event_capacity(2);
+            let baseline = r.snapshot();
+            let mut checkpoints: Vec<Snapshot> = Vec::new();
+            for (i, &t) in times.iter().enumerate() {
+                r.record(i as u64, Event::AlertSuppressed { source: (t % 5) as u16 });
+                if i % cut == 0 {
+                    checkpoints.push(r.snapshot());
+                }
+            }
+            let fin = r.snapshot();
+            prop_assert!(
+                fin.events_overflowed as usize >= times.len().saturating_sub(2),
+                "the ring must actually wrap for this test to mean anything"
+            );
+            let mut state = baseline.clone();
+            let mut prev = baseline;
+            for cp in checkpoints {
+                let delta = cp.delta_from(&prev);
+                state = delta.apply_to(&state);
+                prop_assert_eq!(&state, &cp);
+                prev = cp;
+            }
+            let last = fin.delta_from(&prev);
+            state = last.apply_to(&state);
+            prop_assert_eq!(&state, &fin);
+        }
+    }
+
+    #[test]
     fn merged_matches_a_shared_registry() {
         // Two disjoint streams vs. one registry receiving both.
         let shared = Registry::new();

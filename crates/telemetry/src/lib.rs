@@ -47,6 +47,7 @@ pub mod metrics;
 pub mod registry;
 pub mod ring;
 pub mod snapshot;
+pub mod trace;
 
 pub use delta::{HistogramDelta, SnapshotDelta};
 pub use events::{DropCause, Event, EventLog, EventRecord, RejectKind};
@@ -54,3 +55,4 @@ pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
 pub use registry::Registry;
 pub use ring::{RateSample, SnapshotRing};
 pub use snapshot::{CounterSample, GaugeSample, HistogramSample, Snapshot};
+pub use trace::{OpenSpan, SpanKind, SpanRecord, TraceLog};

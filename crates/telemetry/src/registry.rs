@@ -5,6 +5,7 @@ use crate::delta::SnapshotDelta;
 use crate::events::{Event, EventLog};
 use crate::metrics::{Counter, Gauge, Histogram};
 use crate::snapshot::{CounterSample, GaugeSample, HistogramSample, Snapshot};
+use crate::trace::TraceLog;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -28,25 +29,35 @@ struct Families {
 /// so independent subsystems can share a series safely.
 ///
 /// The registry also owns an [`EventLog`], disabled unless constructed
-/// via [`Registry::with_event_capacity`].
+/// via [`Registry::with_event_capacity`], and a [`TraceLog`], disabled
+/// unless constructed via [`Registry::with_capacities`].
 #[derive(Default)]
 pub struct Registry {
     families: Mutex<Families>,
     events: EventLog,
+    trace: TraceLog,
 }
 
 impl Registry {
-    /// A registry with event logging disabled.
+    /// A registry with event logging and tracing disabled.
     pub fn new() -> Self {
         Registry::default()
     }
 
     /// A registry whose event log keeps the most recent `capacity`
-    /// events.
+    /// events (tracing stays disabled).
     pub fn with_event_capacity(capacity: usize) -> Self {
+        Registry::with_capacities(capacity, 0)
+    }
+
+    /// A registry with both bounded logs configured: the event log keeps
+    /// `event_capacity` records and the trace log `trace_capacity` spans
+    /// (0 disables either).
+    pub fn with_capacities(event_capacity: usize, trace_capacity: usize) -> Self {
         Registry {
             families: Mutex::default(),
-            events: EventLog::with_capacity(capacity),
+            events: EventLog::with_capacity(event_capacity),
+            trace: TraceLog::with_capacity(trace_capacity),
         }
     }
 
@@ -116,6 +127,18 @@ impl Registry {
         self.events.capacity()
     }
 
+    /// The trace log (possibly disabled).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// The trace log's configured capacity (0 when disabled). Sharded
+    /// runs size their per-shard private trace rings from this, exactly
+    /// like [`Registry::event_capacity`].
+    pub fn trace_capacity(&self) -> usize {
+        self.trace.capacity()
+    }
+
     /// Folds a snapshot of a *disjoint* recording stream into this
     /// registry: counters add, gauges take the snapshot's value,
     /// histograms merge bucket contents, and events replay through this
@@ -127,12 +150,14 @@ impl Registry {
     /// and absorbs the result here, so the caller's registry ends up
     /// byte-identical no matter how the workers were scheduled.
     ///
-    /// The synthesized `events_dropped` counter is skipped: it is derived
-    /// from the event log, and absorbing the snapshot's events plus
-    /// overflow count reproduces it on the next [`Registry::snapshot`].
+    /// The synthesized `events_dropped` and `trace_spans_dropped`
+    /// counters are skipped: both are derived from their logs, and
+    /// absorbing the underlying records reproduces them on the next
+    /// [`Registry::snapshot`].
     pub fn absorb(&self, snap: &Snapshot) {
         for c in &snap.counters {
-            if c.name == "events_dropped" && c.label.is_empty() {
+            if (c.name == "events_dropped" || c.name == "trace_spans_dropped") && c.label.is_empty()
+            {
                 continue;
             }
             self.counter_with(&c.name, &c.label).add(c.value);
@@ -199,19 +224,25 @@ impl Registry {
             .collect();
         drop(families);
         let events_overflowed = self.events.overflowed();
-        if self.events.enabled() {
-            let key = ("events_dropped", "");
+        let mut synthesize = |name: &str, value: u64| {
+            let key = (name, "");
             match counters.binary_search_by(|c| (c.name.as_str(), c.label.as_str()).cmp(&key)) {
-                Ok(i) => counters[i].value = events_overflowed,
+                Ok(i) => counters[i].value = value,
                 Err(i) => counters.insert(
                     i,
                     CounterSample {
-                        name: "events_dropped".to_string(),
+                        name: name.to_string(),
                         label: String::new(),
-                        value: events_overflowed,
+                        value,
                     },
                 ),
             }
+        };
+        if self.events.enabled() {
+            synthesize("events_dropped", events_overflowed);
+        }
+        if self.trace.enabled() {
+            synthesize("trace_spans_dropped", self.trace.dropped());
         }
         Snapshot {
             counters,
